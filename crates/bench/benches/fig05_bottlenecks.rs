@@ -1,0 +1,192 @@
+//! Figure 5: bottlenecks of RAMCloud's pre-existing log-replay
+//! migration (§2.3).
+//!
+//! Reruns the baseline migration five times, each time disabling one
+//! more pipeline stage, and reports the effective migration rate:
+//!
+//! | variant | paper (MB/s, steady state) |
+//! |---|---|
+//! | Full                 | ~130 |
+//! | Skip Re-replication  | ~180 |
+//! | Skip Replay on Target| ~600 |
+//! | Skip Tx to Target    | ~710 |
+//! | Skip Copy for Tx     | ~1150 |
+
+use rocksteady_bench::{check, print_table1, standard_setup, TABLE};
+use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
+use rocksteady_common::time::mb_per_sec;
+use rocksteady_common::{HashRange, ServerId, MILLISECOND, SECOND};
+use rocksteady_master::TabletRole;
+use rocksteady_proto::msg::BaselineOpts;
+
+const KEYS: u64 = 150_000;
+
+fn run_variant(name: &str, opts: BaselineOpts) -> (f64, Vec<(u64, f64)>) {
+    let cfg = ClusterConfig {
+        servers: 5,
+        workers: 12,
+        replicas: 3,
+        segment_bytes: 1 << 20,
+        sample_interval: 10 * MILLISECOND,
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(cfg);
+    b.at(
+        10 * MILLISECOND,
+        ControlCmd::MigrateBaseline {
+            table: TABLE,
+            range: HashRange::full(),
+            source: ServerId(0),
+            target: ServerId(1),
+            opts,
+        },
+    );
+    let mut cluster = b.build();
+    // The whole table migrates; load it all on the source.
+    cluster.create_table(TABLE, &[(HashRange::full(), ServerId(0))]);
+    cluster.load_table(TABLE, KEYS, 30, 100);
+    cluster.seed_backups();
+    // The baseline target pre-registers the receiving tablet (§2.3).
+    cluster
+        .node(ServerId(1))
+        .master
+        .add_tablet(TABLE, HashRange::full(), TabletRole::Owner);
+
+    // Run until the source stops making progress.
+    let stats = cluster.server_stats[&ServerId(0)].clone();
+    let mut last = 0u64;
+    let mut stale = 0;
+    let mut elapsed_end = 0u64;
+    for step in 1..=3_000u64 {
+        cluster.run_until(step * 10 * MILLISECOND);
+        let out = stats.borrow().bytes_migrated_out;
+        if out == last && out > 0 {
+            stale += 1;
+            if stale >= 10 {
+                break;
+            }
+        } else {
+            if out != last {
+                elapsed_end = step * 10 * MILLISECOND;
+            }
+            stale = 0;
+            last = out;
+        }
+    }
+    let start = 10 * MILLISECOND;
+    let duration = elapsed_end.saturating_sub(start).max(1);
+    let rate = mb_per_sec(last, duration);
+
+    // Rate-over-time series, as Figure 5 plots it.
+    let util = cluster.util.borrow();
+    let series: Vec<(u64, f64)> = util
+        .by_server
+        .get(&ServerId(0))
+        .map(|points| {
+            points
+                .iter()
+                .filter(|p| p.bytes_out > 0)
+                .map(|p| {
+                    (
+                        p.at.saturating_sub(start) / MILLISECOND,
+                        mb_per_sec(p.bytes_out, util.interval),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    println!("{name:<22} {rate:>8.0} MB/s over {} ms", duration / MILLISECOND);
+    (rate, series)
+}
+
+fn main() {
+    let cfg = ClusterConfig {
+        servers: 5,
+        workers: 12,
+        replicas: 3,
+        ..ClusterConfig::default()
+    };
+    print_table1(
+        "Figure 5: baseline-migration bottleneck breakdown",
+        &cfg,
+        &format!("{KEYS} records x 100 B payload, whole-table baseline migration"),
+    );
+    // Exercise the shared setup path once so the helper stays honest.
+    {
+        let mut b = ClusterBuilder::new(cfg);
+        b.at(
+            SECOND * 100, // never fires inside this probe
+            ControlCmd::MigrateBaseline {
+                table: TABLE,
+                range: rocksteady_bench::upper(),
+                source: ServerId(0),
+                target: ServerId(1),
+                opts: BaselineOpts::default(),
+            },
+        );
+        let mut probe = b.build();
+        standard_setup(&mut probe, 100, 100);
+    }
+
+    println!("{:<22} {:>13}", "variant", "steady rate");
+    let (full, full_series) = run_variant("Full", BaselineOpts::default());
+    let (no_rerepl, _) = run_variant(
+        "Skip Re-replication",
+        BaselineOpts {
+            skip_rereplication: true,
+            ..Default::default()
+        },
+    );
+    let (no_replay, _) = run_variant(
+        "Skip Replay on Target",
+        BaselineOpts {
+            skip_replay: true,
+            ..Default::default()
+        },
+    );
+    let (no_tx, _) = run_variant(
+        "Skip Tx to Target",
+        BaselineOpts {
+            skip_tx: true,
+            ..Default::default()
+        },
+    );
+    let (no_copy, _) = run_variant(
+        "Skip Copy for Tx",
+        BaselineOpts {
+            skip_copy: true,
+            ..Default::default()
+        },
+    );
+
+    println!("\nFull-variant rate over time (Figure 5's x-axis, scaled):");
+    for (t_ms, mbps) in full_series.iter().take(30) {
+        println!("  t={t_ms:>5} ms  {mbps:>7.0} MB/s");
+    }
+
+    println!();
+    let mut ok = true;
+    ok &= check(
+        no_copy > no_tx && no_tx > no_replay && no_replay > no_rerepl && no_rerepl > full,
+        "each skipped stage raises the migration rate (ordering matches Figure 5)",
+    );
+    ok &= check(
+        (60.0..=300.0).contains(&full),
+        &format!("full baseline lands near the paper's ~130 MB/s (got {full:.0})"),
+    );
+    ok &= check(
+        no_replay / full >= 2.5,
+        &format!(
+            "skipping target replay+re-replication gives the paper's >3x jump (got {:.1}x)",
+            no_replay / full
+        ),
+    );
+    ok &= check(
+        no_copy / no_tx >= 1.2,
+        &format!(
+            "the staging copy costs more than transmission (copy lever {:.2}x)",
+            no_copy / no_tx
+        ),
+    );
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,261 @@
+//! Figures 13 and 14: asynchronous batched PriorityPulls vs the naïve
+//! synchronous approach, with background Pulls disabled (§4.4).
+//!
+//! With no bulk Pulls, the only way records reach the target is
+//! on-demand. The paper's findings:
+//!
+//! - async + batched restores the *median* almost immediately (clients
+//!   get "retry later" and the de-duplicated batch fetches hot records
+//!   once each);
+//! - synchronous single-key PriorityPulls stall target worker cores for
+//!   a full round trip per miss, raising target worker utilization and
+//!   adding median jitter — but answer waiting clients directly, so
+//!   their 99.9th can be lower.
+
+use rocksteady_bench::{check, mean, print_table1, standard_setup, upper, TABLE};
+use rocksteady_cluster::{Cluster, ClusterBuilder, ClusterConfig, ControlCmd};
+use rocksteady_common::time::fmt_nanos;
+use rocksteady_common::{Nanos, ServerId, MILLISECOND, SECOND};
+use rocksteady_workload::YcsbConfig;
+
+const KEYS: u64 = 300_000;
+const CLIENTS: usize = 8;
+const RATE_PER_CLIENT: f64 = 60_000.0;
+const MIG_AT: Nanos = 300 * MILLISECOND;
+const END: Nanos = SECOND;
+
+struct Out {
+    name: &'static str,
+    cluster: Cluster,
+}
+
+fn run(sync: bool) -> Out {
+    let mut cfg = ClusterConfig {
+        servers: 4,
+        workers: 12,
+        replicas: 2,
+        sample_interval: 10 * MILLISECOND,
+        series_interval: 20 * MILLISECOND,
+        ..ClusterConfig::default()
+    };
+    cfg.migration.background_pulls = false; // the §4.4 isolation
+    cfg.migration.sync_priority_pulls = sync;
+    let mut b = ClusterBuilder::new(cfg);
+    let dir = b.directory();
+    for i in 0..CLIENTS {
+        let mut y = YcsbConfig::ycsb_b(dir.clone(), TABLE, KEYS, RATE_PER_CLIENT);
+        y.max_outstanding = 64;
+        y.seed = 500 + i as u64;
+        b.add_ycsb(y);
+    }
+    b.at(
+        MIG_AT,
+        ControlCmd::Migrate {
+            table: TABLE,
+            range: upper(),
+            source: ServerId(0),
+            target: ServerId(1),
+        },
+    );
+    let mut cluster = b.build();
+    standard_setup(&mut cluster, KEYS, 100);
+    cluster.run_until(END);
+    Out {
+        name: if sync {
+            "Sync and Single (b)"
+        } else {
+            "Async and Batched (a)"
+        },
+        cluster,
+    }
+}
+
+fn latency_series(out: &Out) -> Vec<(Nanos, u64, u64)> {
+    let mut per_bucket: std::collections::BTreeMap<Nanos, rocksteady_common::Histogram> =
+        Default::default();
+    for stats in &out.cluster.client_stats {
+        let s = stats.borrow();
+        for (at, h) in s.read_latency.iter() {
+            if h.count() > 0 {
+                per_bucket
+                    .entry(at)
+                    .or_insert_with(rocksteady_common::Histogram::new)
+                    .merge(h);
+            }
+        }
+    }
+    per_bucket
+        .into_iter()
+        .map(|(t, h)| (t, h.percentile(0.5), h.percentile(0.999)))
+        .collect()
+}
+
+fn target_worker_util(out: &Out, from: Nanos, to: Nanos) -> f64 {
+    let util = out.cluster.util.borrow();
+    mean(
+        &util.by_server[&ServerId(1)]
+            .iter()
+            .filter(|p| p.at >= from && p.at < to)
+            .map(|p| p.worker_cores)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Peak simultaneous worker occupancy on the target: synchronous
+/// PriorityPulls stall many cores at once right after migration starts.
+fn target_worker_peak(out: &Out, from: Nanos, to: Nanos) -> f64 {
+    let util = out.cluster.util.borrow();
+    util.by_server[&ServerId(1)]
+        .iter()
+        .filter(|p| p.at >= from && p.at < to)
+        .map(|p| p.worker_cores)
+        .fold(0.0, f64::max)
+}
+
+/// Median-latency jitter: buckets whose median exceeds 1.5x the
+/// pre-migration median (Figure 13b's visual signature).
+fn median_jitter(out: &Out, pre_median: u64) -> usize {
+    latency_series(out)
+        .iter()
+        .filter(|(t, p50, _)| *t >= MIG_AT && *p50 > pre_median + pre_median / 2)
+        .count()
+}
+
+fn main() {
+    let cfg = ClusterConfig {
+        servers: 4,
+        workers: 12,
+        replicas: 2,
+        ..ClusterConfig::default()
+    };
+    print_table1(
+        "Figures 13/14: PriorityPulls without background Pulls",
+        &cfg,
+        &format!("{KEYS} records x 100 B, {CLIENTS} clients x {RATE_PER_CLIENT:.0} ops/s, bulk Pulls disabled"),
+    );
+
+    let asynchronous = run(false);
+    let synchronous = run(true);
+
+    for out in [&asynchronous, &synchronous] {
+        println!("--- {} ---", out.name);
+        println!("Fig 13 (read latency, 20 ms buckets):");
+        println!("  {:>8} {:>10} {:>10}", "t", "median", "99.9th");
+        for (t, p50, p999) in latency_series(out)
+            .iter()
+            .filter(|(t, _, _)| *t >= MIG_AT - 60 * MILLISECOND)
+        {
+            println!(
+                "  {:>8} {:>10} {:>10}",
+                format!("{}ms", t / MILLISECOND),
+                fmt_nanos(*p50),
+                fmt_nanos(*p999)
+            );
+        }
+        println!(
+            "Fig 14: target worker cores busy during migration window: {:.2}",
+            target_worker_util(out, MIG_AT, END)
+        );
+        println!();
+    }
+
+    let mut ok = true;
+    // Fig 13a: the async median recovers almost immediately — within
+    // 100 ms of migration start it is back near the pre-migration value.
+    let pre_median = latency_series(&asynchronous)
+        .iter()
+        .filter(|(t, _, _)| *t < MIG_AT)
+        .map(|(_, p50, _)| *p50)
+        .max()
+        .unwrap_or(0);
+    let async_after: Vec<u64> = latency_series(&asynchronous)
+        .iter()
+        .filter(|(t, _, _)| *t >= MIG_AT + 100 * MILLISECOND)
+        .map(|(_, p50, _)| *p50)
+        .collect();
+    let async_median_after = async_after.iter().copied().max().unwrap_or(0);
+    ok &= check(
+        async_median_after <= pre_median.saturating_mul(3),
+        &format!(
+            "Fig 13a: async median recovers quickly (pre {}, after {})",
+            fmt_nanos(pre_median),
+            fmt_nanos(async_median_after)
+        ),
+    );
+    // Fig 13b: synchronous single-key pulls cause median jitter that the
+    // async batched mode does not exhibit (§4.4).
+    let async_jitter = median_jitter(&asynchronous, pre_median);
+    let sync_jitter = median_jitter(&synchronous, pre_median);
+    ok &= check(
+        sync_jitter >= async_jitter,
+        &format!("Fig 13b: sync mode shows at least as much median jitter ({sync_jitter} vs {async_jitter} buckets)"),
+    );
+    // Fig 14 / §4.4: "synchronous priority pulls would increase both
+    // dispatch and worker load during migration due to the increased
+    // number of RPCs to the source" — without batching and
+    // de-duplication, the source serves far more PriorityPull RPCs.
+    let a_mean = target_worker_util(&asynchronous, MIG_AT, END);
+    let s_mean = target_worker_util(&synchronous, MIG_AT, END);
+    let a_peak = target_worker_peak(&asynchronous, MIG_AT, MIG_AT + 100 * MILLISECOND);
+    let s_peak = target_worker_peak(&synchronous, MIG_AT, MIG_AT + 100 * MILLISECOND);
+    println!(
+        "Fig 14 detail: worker cores busy — async mean {a_mean:.2} peak {a_peak:.1}, sync mean {s_mean:.2} peak {s_peak:.1}"
+    );
+    let pp = |out: &Out| {
+        out.cluster.server_stats[&ServerId(0)]
+            .borrow()
+            .priority_pulls_served
+    };
+    println!(
+        "PriorityPull RPCs served by the source: async {} vs sync {}",
+        pp(&asynchronous),
+        pp(&synchronous)
+    );
+    // §4.4's latency trade-off, directly: the sync approach answers the
+    // waiting client the moment the pull returns, so its 99.9th is no
+    // worse than async's; async's median is no worse than sync's.
+    let during = |out: &Out| {
+        let mut h = rocksteady_common::Histogram::new();
+        for stats in &out.cluster.client_stats {
+            let s = stats.borrow();
+            for (at, b) in s.read_latency.iter() {
+                if at >= MIG_AT && at < MIG_AT + 300 * MILLISECOND {
+                    h.merge(b);
+                }
+            }
+        }
+        (h.percentile(0.5), h.percentile(0.999))
+    };
+    let (a_p50, a_p999) = during(&asynchronous);
+    let (s_p50, s_p999) = during(&synchronous);
+    ok &= check(
+        s_p999 <= a_p999.saturating_mul(13) / 10,
+        &format!(
+            "Fig 13: sync 99.9th no worse than async (sync {} vs async {})",
+            fmt_nanos(s_p999),
+            fmt_nanos(a_p999)
+        ),
+    );
+    ok &= check(
+        a_p50 <= s_p50.saturating_mul(13) / 10,
+        &format!(
+            "Fig 13: async median no worse than sync (async {} vs sync {})",
+            fmt_nanos(a_p50),
+            fmt_nanos(s_p50)
+        ),
+    );
+    // Both variants keep serving: no starvation in either mode.
+    for out in [&asynchronous, &synchronous] {
+        let served: u64 = out
+            .cluster
+            .client_stats
+            .iter()
+            .map(|c| c.borrow().objects.merged().count())
+            .sum();
+        ok &= check(
+            served > 100_000,
+            &format!("{}: clients keep completing operations ({served})", out.name),
+        );
+    }
+    std::process::exit(i32::from(!ok));
+}

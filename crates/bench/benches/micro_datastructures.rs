@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks of the real (thread-safe) storage
+//! substrate: the structures the simulator drives under virtual time,
+//! exercised here with real CPU time.
+//!
+//! These complement Figure 15: the simulated scalability numbers come
+//! from the cost model, while these measure the actual Rust data
+//! structures (log append, hash-table probes, record replay, workload
+//! generation) on the host.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rocksteady_common::rng::Prng;
+use rocksteady_common::zipf::{KeyDist, KeySampler};
+use rocksteady_common::{key_hash, HashRange, TableId};
+use rocksteady_hashtable::HashTable;
+use rocksteady_logstore::crc::crc32c;
+use rocksteady_logstore::{EntryKind, Log, LogConfig, LogRef};
+use rocksteady_master::{MasterConfig, MasterService, ReplayDest, TabletRole, Work};
+use rocksteady_proto::Record;
+
+fn bench_log_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logstore");
+    g.throughput(Throughput::Bytes(135));
+    g.bench_function("append_100B_entry", |b| {
+        let log = Log::new(LogConfig {
+            segment_bytes: 1 << 20,
+            max_segments: None,
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            log.append(EntryKind::Object, 1, i, i, b"0123456789", &[0u8; 90])
+                .unwrap()
+        });
+    });
+    g.bench_function("crc32c_1KB", |b| {
+        let data = vec![0xa5u8; 1024];
+        b.iter(|| crc32c(&data));
+    });
+    g.finish();
+}
+
+fn bench_hashtable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashtable");
+    let ht = HashTable::new(1 << 16, 256);
+    let t = TableId(1);
+    for i in 0..100_000u64 {
+        ht.upsert(t, key_hash(&i.to_le_bytes()), LogRef { segment: i, offset: 0 }, |_| true);
+    }
+    g.bench_function("lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            ht.lookup(t, key_hash(&i.to_le_bytes()), |_| true)
+        });
+    });
+    g.bench_function("scan_range_1k_entries", |b| {
+        let range = HashRange::full().split(100)[0];
+        b.iter(|| {
+            let mut n = 0u32;
+            ht.for_each_in_range(t, range, |_| n += 1);
+            n
+        });
+    });
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migration");
+    g.throughput(Throughput::Bytes(129));
+    g.bench_function("replay_record_128B", |b| {
+        b.iter_batched(
+            || {
+                let mut m = MasterService::new(MasterConfig::default());
+                m.add_tablet(TableId(1), HashRange::full(), TabletRole::Owner);
+                let records: Vec<Record> = (0..1_000u64)
+                    .map(|i| Record {
+                        table: TableId(1),
+                        key_hash: key_hash(&i.to_le_bytes()),
+                        version: 1,
+                        key: bytes::Bytes::copy_from_slice(&i.to_le_bytes()),
+                        value: bytes::Bytes::from(vec![0u8; 92]),
+                        tombstone: false,
+                    })
+                    .collect();
+                (m, records)
+            },
+            |(mut m, records)| {
+                let mut work = Work::default();
+                for r in &records {
+                    m.replay_record(r, ReplayDest::MainLog, &mut work);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    let sampler = KeySampler::new(1_000_000, KeyDist::Zipfian { theta: 0.99 }, true);
+    g.bench_function("zipfian_sample_theta099", |b| {
+        let mut rng = Prng::new(1);
+        b.iter(|| sampler.sample(&mut rng));
+    });
+    g.bench_function("key_hash_30B", |b| {
+        let key = b"user00000000000000000000012345";
+        b.iter(|| key_hash(key));
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_log_append, bench_hashtable, bench_replay, bench_workload
+}
+criterion_main!(benches);

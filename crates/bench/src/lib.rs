@@ -1,0 +1,177 @@
+//! Shared plumbing for the figure-regeneration benchmarks.
+//!
+//! Each `benches/figNN_*.rs` target is a `harness = false` binary that
+//! rebuilds one table or figure from the paper's evaluation (§4) at the
+//! simulator's scale, prints the same rows/series the paper plots, and
+//! runs qualitative *shape checks* — who wins, by roughly what factor,
+//! where the knees fall. EXPERIMENTS.md records paper-vs-measured for
+//! every one of them.
+//!
+//! # Scale
+//!
+//! Two scale substitutions apply to every experiment (DESIGN.md §1):
+//!
+//! - **Data**: the paper migrates 13.9 GB; we migrate tens of MB.
+//!   Migration *rates* (MB/s) are directly comparable; migration
+//!   *durations* shrink proportionally, so timeline x-axes here are in
+//!   hundreds of milliseconds instead of tens of seconds.
+//! - **Event rate** (timeline figures only): simulating the paper's
+//!   ~1 M ops/s for tens of seconds is prohibitive on two host cores,
+//!   so [`timeline_config`] scales the dispatch-side costs ×10 and the
+//!   offered load ÷10. All ratios that drive Figures 9–14 (dispatch
+//!   utilization, priority ordering, migration-vs-foreground contention)
+//!   are preserved; absolute latencies are ~2–3× the paper's.
+
+use rocksteady_cluster::{Cluster, ClusterBuilder, ClusterConfig};
+use rocksteady_common::time::{fmt_nanos, mb_per_sec};
+use rocksteady_common::{CostModel, HashRange, Nanos, ServerId, TableId, MILLISECOND, SECOND};
+
+/// The table every benchmark uses.
+pub const TABLE: TableId = TableId(1);
+/// Migration split point (upper half moves).
+pub const MID: u64 = u64::MAX / 2 + 1;
+
+/// The migrating range.
+pub fn upper() -> HashRange {
+    HashRange {
+        start: MID,
+        end: u64::MAX,
+    }
+}
+
+/// Prints the simulated "Table 1": the cluster configuration every
+/// figure runs on.
+pub fn print_table1(name: &str, cfg: &ClusterConfig, extra: &str) {
+    println!("== {name} ==");
+    println!("Table 1 (simulated cluster configuration)");
+    println!(
+        "  servers: {} (+1 coordinator) | workers/server: {} | replicas: {}",
+        cfg.servers, cfg.workers, cfg.replicas
+    );
+    println!(
+        "  NIC: {:.1} GB/s line rate, {} one-way | dispatch: {}/msg",
+        cfg.nic.bytes_per_ns,
+        fmt_nanos(cfg.nic.one_way_latency_ns),
+        fmt_nanos(cfg.cost.dispatch_per_msg_ns),
+    );
+    println!(
+        "  segments: {} KB | replication ceiling: {:.0} MB/s | seed: {}",
+        cfg.segment_bytes / 1024,
+        cfg.cost.replication_bytes_per_ns * 1e3,
+        cfg.seed
+    );
+    if !extra.is_empty() {
+        println!("  {extra}");
+    }
+    println!();
+}
+
+/// Cluster configuration for the timeline figures (9–14): dispatch-side
+/// costs ×10, so the paper's "source at 80% dispatch load" regime is
+/// reachable at a simulable event rate (see module docs).
+pub fn timeline_config(servers: usize) -> ClusterConfig {
+    let mut cost = CostModel::default();
+    cost.dispatch_per_msg_ns *= 10;
+    cost.dispatch_tx_per_msg_ns *= 10;
+    cost.migration_mgr_check_ns *= 10;
+    ClusterConfig {
+        servers,
+        workers: 12,
+        cost,
+        replicas: 2.min(servers.saturating_sub(1)),
+        segment_bytes: 1 << 20,
+        sample_interval: 50 * MILLISECOND,
+        series_interval: 100 * MILLISECOND,
+        seed: 42,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Standard migration-bench preload: table on server 0, `keys` records
+/// (30 B keys, `value_len` B values), backups seeded, split at [`MID`].
+pub fn standard_setup(cluster: &mut Cluster, keys: u64, value_len: usize) {
+    cluster.create_table(TABLE, &[(HashRange::full(), ServerId(0))]);
+    cluster.load_table(TABLE, keys, 30, value_len);
+    cluster.seed_backups();
+    cluster.split_tablet(TABLE, MID);
+}
+
+/// A qualitative shape check: prints `CHECK PASS/FAIL <what>`.
+/// Returns the outcome so callers can aggregate.
+pub fn check(ok: bool, what: &str) -> bool {
+    println!("CHECK {} {}", if ok { "PASS" } else { "FAIL" }, what);
+    ok
+}
+
+/// Mean of a slice (0.0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Extracts the migration-rate series (interval start, MB/s of record
+/// bytes arriving at `target`) between `from` and `to`.
+pub fn migration_rate_series(
+    cluster: &Cluster,
+    target: ServerId,
+    from: Nanos,
+    to: Nanos,
+) -> Vec<(Nanos, f64)> {
+    let util = cluster.util.borrow();
+    let interval = util.interval.max(1);
+    util.by_server
+        .get(&target)
+        .map(|points| {
+            points
+                .iter()
+                .filter(|p| p.at >= from && p.at < to)
+                .map(|p| (p.at, mb_per_sec(p.bytes_in, interval)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Builds a `ClusterBuilder` and hands it to `f` for customization —
+/// sugar that keeps each figure binary focused on its experiment.
+pub fn cluster(cfg: ClusterConfig, f: impl FnOnce(&mut ClusterBuilder)) -> Cluster {
+    let mut b = ClusterBuilder::new(cfg);
+    f(&mut b);
+    b.build()
+}
+
+/// Formats a nanosecond value for table cells.
+pub fn ns(v: u64) -> String {
+    fmt_nanos(v)
+}
+
+/// Per-interval (median, p999) read-latency rows within a window.
+pub fn latency_rows(
+    stats: &rocksteady_workload::ClientStats,
+    from: Nanos,
+    to: Nanos,
+) -> Vec<(Nanos, u64, u64)> {
+    stats
+        .read_latency
+        .iter()
+        .filter(|(at, h)| *at >= from && *at < to && h.count() > 0)
+        .map(|(at, h)| (at, h.percentile(0.5), h.percentile(0.999)))
+        .collect()
+}
+
+/// Per-interval completed-ops/s rows within a window.
+pub fn throughput_rows(
+    stats: &rocksteady_workload::ClientStats,
+    from: Nanos,
+    to: Nanos,
+) -> Vec<(Nanos, f64)> {
+    let per_sec = SECOND as f64 / stats.objects.interval() as f64;
+    stats
+        .objects
+        .iter()
+        .filter(|(at, _)| *at >= from && *at < to)
+        .map(|(at, h)| (at, h.count() as f64 * per_sec))
+        .collect()
+}

@@ -1,0 +1,150 @@
+//! The coordinator as a simulation actor.
+//!
+//! Wraps the pure [`Coordinator`] state machine in the RPC surface the
+//! rest of the cluster speaks. The state lives behind a shared handle so
+//! the harness can install tables/splits at setup time and inspect the
+//! map (and lineage dependencies) during a run without extra RPCs.
+//!
+//! The real coordinator is quorum-replicated and off the data path (§2);
+//! its request handling is modeled as instantaneous — coordinator load
+//! is not part of any figure, and every coordinator interaction already
+//! pays two network hops.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rocksteady_common::RpcId;
+use rocksteady_coordinator::Coordinator;
+use rocksteady_proto::{Body, Envelope, Request, Response};
+use rocksteady_simnet::{Actor, ActorId, Ctx, Directory, Event};
+
+/// Shared handle to the coordinator state.
+pub type CoordHandle = Rc<RefCell<Coordinator>>;
+
+/// The coordinator actor.
+pub struct CoordinatorActor {
+    state: CoordHandle,
+    dir: Directory,
+    next_rpc: u64,
+    /// Recoveries in flight: our RecoverTablet rpc ids.
+    pending_recoveries: Vec<RpcId>,
+}
+
+impl CoordinatorActor {
+    /// Creates the actor around shared state.
+    pub fn new(state: CoordHandle, dir: Directory) -> Self {
+        CoordinatorActor {
+            state,
+            dir,
+            next_rpc: 1,
+            pending_recoveries: Vec::new(),
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, Envelope>, src: ActorId, rpc: RpcId, req: Request) {
+        let resp = match req {
+            Request::GetTabletMap => Response::TabletMapOk {
+                tablets: self.state.borrow().tablet_map(),
+            },
+            Request::MigrationStarting {
+                table,
+                range,
+                source,
+                target,
+                lineage_from_segment,
+            } => {
+                let ok = self.state.borrow_mut().migration_starting(
+                    table,
+                    range,
+                    source,
+                    target,
+                    lineage_from_segment,
+                );
+                if ok {
+                    Response::Ok
+                } else {
+                    Response::Err(rocksteady_proto::Status::UnknownTablet)
+                }
+            }
+            Request::MigrationComplete {
+                table,
+                range,
+                source,
+                target,
+            } => {
+                self.state
+                    .borrow_mut()
+                    .migration_complete(table, range, source, target);
+                Response::Ok
+            }
+            Request::BaselineOwnershipTransfer {
+                table,
+                range,
+                source,
+                target,
+            } => {
+                let mut state = self.state.borrow_mut();
+                // Mark + complete: the baseline transfers ownership in one
+                // step at the end (§2.3).
+                state.baseline_starting(table, range, source, target);
+                state.baseline_complete(table, range, source, target);
+                Response::Ok
+            }
+            Request::ReportCrash { server } => {
+                let assignments = self.state.borrow_mut().handle_crash(server);
+                let backups: Vec<_> = self.state.borrow().alive_servers();
+                // Membership update: every surviving server must stop
+                // waiting on the dead one (replication acks, pulls).
+                for alive in &backups {
+                    let id = RpcId(self.next_rpc);
+                    self.next_rpc += 1;
+                    ctx.send(
+                        self.dir.actor_of(*alive),
+                        Envelope::req(id, Request::NotifyServerDown { server }),
+                    );
+                }
+                for a in assignments {
+                    let id = RpcId(self.next_rpc);
+                    self.next_rpc += 1;
+                    self.pending_recoveries.push(id);
+                    let dst = self.dir.actor_of(a.recovery_master);
+                    ctx.send(
+                        dst,
+                        Envelope::req(
+                            id,
+                            Request::RecoverTablet {
+                                table: a.table,
+                                range: a.range,
+                                crashed: a.crashed,
+                                backups: backups.clone(),
+                                from_segment: a.from_segment,
+                                merge: a.merge,
+                            },
+                        ),
+                    );
+                }
+                Response::Ok
+            }
+            _ => Response::Err(rocksteady_proto::Status::UnknownTablet),
+        };
+        ctx.send(src, Envelope::resp(rpc, resp));
+    }
+}
+
+impl Actor<Envelope> for CoordinatorActor {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Envelope>, event: Event<Envelope>) {
+        if let Event::Message { src, payload } = event {
+            match payload.body {
+                Body::Req(req) => self.handle(ctx, src, payload.rpc, req),
+                Body::Resp(Response::RecoverTabletOk { .. }) => {
+                    self.pending_recoveries.retain(|r| *r != payload.rpc);
+                }
+                Body::Resp(_) => {}
+            }
+        }
+    }
+}

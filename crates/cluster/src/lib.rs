@@ -1,0 +1,23 @@
+//! The cluster harness: wires coordinator, servers, and clients into one
+//! deterministic simulation and drives experiments.
+//!
+//! Reproduces the paper's experimental rig (§4.1): one coordinator, `N`
+//! servers each running a master and a backup behind one dispatch core
+//! and `W` workers, clients offering load, a control actor that fires
+//! scripted events (start a migration at t=10s, kill the target at
+//! t=15s), and a sampler that snapshots per-server utilization and
+//! migration progress every interval — the raw series behind Figures 5
+//! and 9–14.
+//!
+//! Everything is driven through [`ClusterBuilder`] (declare topology,
+//! clients, script) and [`Cluster`] (preload data, run, harvest series).
+
+pub mod control;
+pub mod coordinator_actor;
+pub mod harness;
+pub mod sampler;
+
+pub use control::{ControlCmd, ControlEvent};
+pub use coordinator_actor::CoordinatorActor;
+pub use harness::{Cluster, ClusterBuilder, ClusterConfig};
+pub use sampler::{UtilPoint, UtilSeries, UtilSeriesHandle};

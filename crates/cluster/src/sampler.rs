@@ -1,0 +1,132 @@
+//! Periodic utilization and migration-progress sampling.
+//!
+//! Figures 5, 9, 11, 12 and 14 are time series of per-server quantities:
+//! dispatch utilization, active worker cores, and migration MB/s. The
+//! sampler actor differences each server's monotonic counters once per
+//! interval of virtual time.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rocksteady_common::{Nanos, ServerId};
+use rocksteady_proto::Envelope;
+use rocksteady_server::stats::StatsHandle;
+use rocksteady_simnet::{Actor, Ctx, Event};
+
+/// One sample of one server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilPoint {
+    /// Interval start (virtual time).
+    pub at: Nanos,
+    /// Dispatch-core utilization in `[0, 1]`.
+    pub dispatch: f64,
+    /// Mean active worker cores over the interval (0 ..= W).
+    pub worker_cores: f64,
+    /// Record bytes received by migration during the interval.
+    pub bytes_in: u64,
+    /// Record bytes sent by migration during the interval.
+    pub bytes_out: u64,
+}
+
+/// Per-server series of samples.
+#[derive(Debug, Default)]
+pub struct UtilSeries {
+    /// Samples by server, in time order.
+    pub by_server: HashMap<ServerId, Vec<UtilPoint>>,
+    /// Sampling interval.
+    pub interval: Nanos,
+}
+
+impl UtilSeries {
+    /// Migration rate series (MB/s of records received) for one server.
+    pub fn migration_rate_mbps(&self, server: ServerId) -> Vec<(Nanos, f64)> {
+        let Some(points) = self.by_server.get(&server) else {
+            return Vec::new();
+        };
+        points
+            .iter()
+            .map(|p| (p.at, rocksteady_common::time::mb_per_sec(p.bytes_in, self.interval)))
+            .collect()
+    }
+}
+
+/// Shared handle to the collected series.
+pub type UtilSeriesHandle = Rc<RefCell<UtilSeries>>;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Snapshot {
+    dispatch_busy_ns: u64,
+    worker_busy_ns: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+/// The sampler actor.
+pub struct SamplerActor {
+    interval: Nanos,
+    targets: Vec<(ServerId, StatsHandle)>,
+    last: Vec<Snapshot>,
+    out: UtilSeriesHandle,
+}
+
+impl SamplerActor {
+    /// Creates a sampler over the given servers' stats, writing into
+    /// `out` every `interval` of virtual time.
+    pub fn new(
+        interval: Nanos,
+        targets: Vec<(ServerId, StatsHandle)>,
+        out: UtilSeriesHandle,
+    ) -> Self {
+        out.borrow_mut().interval = interval;
+        let last = vec![Snapshot::default(); targets.len()];
+        SamplerActor {
+            interval,
+            targets,
+            last,
+            out,
+        }
+    }
+
+    fn sample(&mut self, now: Nanos) {
+        let interval_start = now.saturating_sub(self.interval);
+        let mut out = self.out.borrow_mut();
+        for (i, (server, stats)) in self.targets.iter().enumerate() {
+            let s = stats.borrow();
+            let cur = Snapshot {
+                dispatch_busy_ns: s.dispatch_busy_ns,
+                worker_busy_ns: s.worker_busy_ns,
+                bytes_in: s.bytes_migrated_in,
+                bytes_out: s.bytes_migrated_out,
+            };
+            drop(s);
+            let prev = self.last[i];
+            self.last[i] = cur;
+            let dt = self.interval as f64;
+            out.by_server.entry(*server).or_default().push(UtilPoint {
+                at: interval_start,
+                dispatch: (cur.dispatch_busy_ns - prev.dispatch_busy_ns) as f64 / dt,
+                worker_cores: (cur.worker_busy_ns - prev.worker_busy_ns) as f64 / dt,
+                bytes_in: cur.bytes_in - prev.bytes_in,
+                bytes_out: cur.bytes_out - prev.bytes_out,
+            });
+        }
+    }
+}
+
+impl Actor<Envelope> for SamplerActor {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        ctx.timer(self.interval, 0);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Envelope>, event: Event<Envelope>) {
+        if let Event::Timer { .. } = event {
+            self.sample(ctx.now());
+            ctx.timer(self.interval, 0);
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Latency histograms and timeline recording.
+//!
+//! The paper's evaluation reports medians and 99.9th percentiles, both as
+//! aggregates and as per-second timelines (Figures 10, 13). [`Histogram`]
+//! is an HDR-style log-bucketed histogram with ≤ 1.6% relative error —
+//! ample for tail percentiles — and [`TimeSeries`] slices a run into fixed
+//! virtual-time intervals, keeping one histogram per interval so a single
+//! pass produces the paper's timeline plots.
+
+use crate::time::Nanos;
+
+/// Number of linear sub-buckets per power-of-two range (2^6 = 64 gives a
+/// worst-case relative error of 1/64 ≈ 1.6% per recorded value).
+const SUB_BITS: u32 = 6;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Highest representable power-of-two exponent; values above saturate into
+/// the last bucket. 2^62 ns ≈ 146 years of virtual time.
+const MAX_INDEX: usize = ((63 - SUB_BITS as usize) + 1) * SUB_COUNT as usize;
+
+/// A log-bucketed histogram of `u64` values (typically nanoseconds).
+///
+/// # Examples
+///
+/// ```
+/// use rocksteady_common::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [10, 20, 30, 40, 50] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.percentile(0.50), 30);
+/// assert_eq!(h.max(), 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; MAX_INDEX + 1],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index_of(value: u64) -> usize {
+        if value < SUB_COUNT {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as u64;
+        let sub = (value >> (msb - SUB_BITS as u64)) & (SUB_COUNT - 1);
+        let idx = ((msb - SUB_BITS as u64 + 1) * SUB_COUNT + sub) as usize;
+        idx.min(MAX_INDEX)
+    }
+
+    /// Lower bound of the bucket at `idx` (inverse of [`Self::index_of`]).
+    fn bucket_low(idx: usize) -> u64 {
+        let b = idx as u64 >> SUB_BITS;
+        let sub = idx as u64 & (SUB_COUNT - 1);
+        if b == 0 {
+            sub
+        } else {
+            (SUB_COUNT + sub) << (b - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::index_of(value)] += n;
+        self.total += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact minimum recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q ∈ [0, 1]` (e.g. `0.999` for the 99.9th
+    /// percentile), within the bucket resolution. Returns 0 if empty.
+    ///
+    /// The returned value is the *upper* edge of the bucket containing the
+    /// quantile, clamped to the exact observed max — matching how latency
+    /// SLAs are usually read ("99.9% of requests finished within X").
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= target {
+                let hi = if idx >= MAX_INDEX {
+                    self.max
+                } else {
+                    Self::bucket_low(idx + 1).saturating_sub(1)
+                };
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience for the pair of statistics every figure reports.
+    pub fn median_and_p999(&self) -> (u64, u64) {
+        (self.percentile(0.50), self.percentile(0.999))
+    }
+
+    /// Adds all observations from `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Discards all observations.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+/// Per-interval histograms over virtual time, for timeline figures.
+///
+/// Values recorded at virtual time `t` land in interval `t / interval`.
+/// Intervals are materialized lazily, so sparse runs stay cheap.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    interval: Nanos,
+    slots: Vec<Histogram>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given interval width (e.g. 1 s of virtual
+    /// time per point, as the paper's timelines use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: Nanos) -> Self {
+        assert!(interval > 0, "zero interval");
+        TimeSeries {
+            interval,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Interval width in nanoseconds.
+    pub fn interval(&self) -> Nanos {
+        self.interval
+    }
+
+    /// Records `value` as having completed at virtual time `at`.
+    pub fn record(&mut self, at: Nanos, value: u64) {
+        let slot = (at / self.interval) as usize;
+        if slot >= self.slots.len() {
+            self.slots.resize_with(slot + 1, Histogram::new);
+        }
+        self.slots[slot].record(value);
+    }
+
+    /// Number of materialized intervals.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|h| h.count() == 0)
+    }
+
+    /// Histogram for interval `i`, if materialized.
+    pub fn slot(&self, i: usize) -> Option<&Histogram> {
+        self.slots.get(i)
+    }
+
+    /// Iterates `(interval_start_ns, histogram)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Nanos, &Histogram)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(move |(i, h)| (i as Nanos * self.interval, h))
+    }
+
+    /// Completed-operation throughput per interval, in ops/sec.
+    pub fn throughput_series(&self) -> Vec<f64> {
+        let per_sec = crate::time::SECOND as f64 / self.interval as f64;
+        self.slots
+            .iter()
+            .map(|h| h.count() as f64 * per_sec)
+            .collect()
+    }
+
+    /// Collapses the whole series into one histogram.
+    pub fn merged(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for h in &self.slots {
+            out.merge(h);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_COUNT {
+            h.record(v);
+        }
+        // Values below SUB_COUNT land in exact unit buckets.
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.max(), SUB_COUNT - 1);
+        assert_eq!(h.count(), SUB_COUNT);
+    }
+
+    #[test]
+    fn index_bucket_roundtrip() {
+        for v in [0u64, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, u64::MAX >> 1] {
+            let idx = Histogram::index_of(v);
+            let low = Histogram::bucket_low(idx);
+            let next_low = if idx < MAX_INDEX {
+                Histogram::bucket_low(idx + 1)
+            } else {
+                u64::MAX
+            };
+            assert!(low <= v && v < next_low, "v={v} idx={idx} low={low}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut h = Histogram::new();
+        let v = 1_234_567;
+        h.record(v);
+        let p = h.percentile(1.0);
+        let err = (p as f64 - v as f64).abs() / v as f64;
+        assert!(err <= 1.0 / 64.0 + 1e-9, "error {err}");
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50) as f64;
+        let p999 = h.percentile(0.999) as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.03, "p50 {p50}");
+        assert!((p999 - 9_990.0).abs() / 9_990.0 < 0.03, "p999 {p999}");
+        assert_eq!(h.percentile(1.0), 10_000);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(60);
+        assert!((h.mean() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert!(a.max() >= 500);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn huge_values_saturate_without_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn timeseries_slices_by_interval() {
+        let mut ts = TimeSeries::new(1_000);
+        ts.record(0, 7);
+        ts.record(999, 9);
+        ts.record(1_000, 11);
+        ts.record(5_500, 13);
+        assert_eq!(ts.len(), 6);
+        assert_eq!(ts.slot(0).unwrap().count(), 2);
+        assert_eq!(ts.slot(1).unwrap().count(), 1);
+        assert_eq!(ts.slot(5).unwrap().count(), 1);
+        assert_eq!(ts.slot(3).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn timeseries_throughput() {
+        let mut ts = TimeSeries::new(crate::time::SECOND);
+        for i in 0..100 {
+            ts.record(i, 1); // all within the first second
+        }
+        let tp = ts.throughput_series();
+        assert_eq!(tp.len(), 1);
+        assert!((tp[0] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeseries_merged_equals_total() {
+        let mut ts = TimeSeries::new(10);
+        for i in 0..1_000 {
+            ts.record(i % 100, i);
+        }
+        assert_eq!(ts.merged().count(), 1_000);
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared foundation types for the Rocksteady reproduction.
+//!
+//! This crate holds everything that more than one subsystem needs but that
+//! belongs to none of them:
+//!
+//! - Identifier newtypes ([`ServerId`], [`TableId`], …) and the 64-bit key
+//!   hash ([`key_hash`]) that drives tablet partitioning and the primary
+//!   hash table.
+//! - The [`CostModel`] used by the discrete-event simulator to convert the
+//!   *real* work performed by the storage substrate (bytes copied, hash
+//!   probes, checksums) into virtual service time. All constants are
+//!   calibrated against the numbers reported in the paper (§2, §4).
+//! - Workload-generation primitives: a deterministic [`rng`] and the YCSB
+//!   [`zipf`] generators (including the high-skew θ ≥ 1 regime used in
+//!   Figure 12).
+//! - Measurement primitives: a log-bucketed latency [`hist::Histogram`]
+//!   (sufficient resolution for 99.9th-percentile queries) and the
+//!   [`hist::TimeSeries`] recorder behind the paper's timeline figures.
+
+pub mod cost;
+pub mod hist;
+pub mod ids;
+pub mod range;
+pub mod rng;
+pub mod time;
+pub mod wire;
+pub mod zipf;
+
+pub use cost::CostModel;
+pub use hist::{Histogram, TimeSeries};
+pub use ids::{key_hash, IndexId, KeyHash, RpcId, ServerId, TableId};
+pub use range::{HashRange, ScanCursor};
+pub use time::{Nanos, MICROSECOND, MILLISECOND, SECOND};
+pub use wire::WireSized;

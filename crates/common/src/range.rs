@@ -1,0 +1,153 @@
+//! Key-hash ranges and scan cursors.
+//!
+//! Tablets (§2), migration pull partitions (§3.1.1), and recovery
+//! assignments are all *inclusive ranges of 64-bit key-hash space*. The
+//! types live here (rather than in the hash-table crate) because they
+//! travel inside RPC messages: a Pull carries its partition's range and a
+//! resumable [`ScanCursor`], which is how the source stays completely
+//! stateless during migration (§3).
+
+use crate::ids::KeyHash;
+
+/// An inclusive range of key-hash space, `[start, end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HashRange {
+    /// Lowest hash in the range.
+    pub start: KeyHash,
+    /// Highest hash in the range (inclusive).
+    pub end: KeyHash,
+}
+
+impl HashRange {
+    /// The entire 64-bit hash space.
+    pub fn full() -> Self {
+        HashRange {
+            start: 0,
+            end: KeyHash::MAX,
+        }
+    }
+
+    /// An empty range (contains no hashes).
+    pub fn empty() -> Self {
+        HashRange { start: 1, end: 0 }
+    }
+
+    /// Whether `hash` falls inside this range.
+    pub fn contains(&self, hash: KeyHash) -> bool {
+        self.start <= hash && hash <= self.end
+    }
+
+    /// Whether the range contains no hashes.
+    pub fn is_empty(&self) -> bool {
+        self.start > self.end
+    }
+
+    /// Number of hashes in the range (saturating at `u64::MAX` for the
+    /// full range).
+    pub fn width(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.end - self.start).saturating_add(1)
+        }
+    }
+
+    /// Splits this range into `n` near-equal contiguous partitions.
+    ///
+    /// Used by the migration manager to create the disjoint pull
+    /// partitions (§3.1.1; the paper's evaluation uses 8) and by the
+    /// cluster harness to split tables into tablets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn split(&self, n: usize) -> Vec<HashRange> {
+        assert!(n > 0, "cannot split into zero partitions");
+        let span = self.end - self.start; // inclusive width minus one
+        let width = (span as u128 + 1) / n as u128;
+        let mut out = Vec::with_capacity(n);
+        let mut start = self.start;
+        for i in 0..n {
+            let end = if i == n - 1 {
+                self.end
+            } else {
+                // width >= 1 unless the range is tiny; clamp to keep
+                // partitions non-overlapping and exhaustive either way.
+                let e = start as u128 + width.max(1) - 1;
+                (e.min(self.end as u128)) as KeyHash
+            };
+            out.push(HashRange { start, end });
+            if end == self.end {
+                // Degenerate tiny range: remaining partitions are empty.
+                for _ in i + 1..n {
+                    out.push(HashRange::empty());
+                }
+                break;
+            }
+            start = end + 1;
+        }
+        out
+    }
+}
+
+/// Resumable position for a partitioned hash-table scan: the next bucket
+/// index to visit. Travels inside Pull RPCs so the source keeps no
+/// per-migration state (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct ScanCursor {
+    /// Next bucket index to visit.
+    pub bucket: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_range_contains_extremes() {
+        let r = HashRange::full();
+        assert!(r.contains(0));
+        assert!(r.contains(u64::MAX));
+        assert_eq!(r.width(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_range_contains_nothing() {
+        let r = HashRange::empty();
+        assert!(r.is_empty());
+        assert!(!r.contains(0));
+        assert_eq!(r.width(), 0);
+    }
+
+    #[test]
+    fn split_covers_disjointly() {
+        for n in [1, 2, 3, 7, 8, 16] {
+            let parts = HashRange::full().split(n);
+            assert_eq!(parts.len(), n);
+            assert_eq!(parts[0].start, 0);
+            assert_eq!(parts.last().unwrap().end, u64::MAX);
+            for w in parts.windows(2) {
+                assert_eq!(w[0].end + 1, w[1].start, "gap/overlap in split({n})");
+            }
+        }
+    }
+
+    #[test]
+    fn split_half_is_halves() {
+        let parts = HashRange::full().split(2);
+        assert_eq!(parts[0].end, u64::MAX / 2);
+        assert_eq!(parts[1].start, u64::MAX / 2 + 1);
+    }
+
+    #[test]
+    fn split_tiny_range_pads_with_empties() {
+        let parts = HashRange { start: 10, end: 12 }.split(8);
+        assert_eq!(parts.len(), 8);
+        let covered: Vec<u64> = parts
+            .iter()
+            .filter(|p| !p.is_empty())
+            .flat_map(|p| p.start..=p.end)
+            .collect();
+        assert_eq!(covered, vec![10, 11, 12]);
+    }
+}

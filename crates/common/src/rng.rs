@@ -1,0 +1,199 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every source of randomness in the simulator — workload key choice,
+//! client retry jitter, Poisson arrivals — must be reproducible from a
+//! single experiment seed so that reruns produce identical event traces
+//! (the `determinism` integration test relies on this). [`Prng`] is a
+//! from-scratch xoshiro256++ generator: small, fast, stable across
+//! platforms and library versions, and splittable so each actor derives an
+//! independent stream from the experiment seed.
+
+/// A deterministic 64-bit PRNG (xoshiro256++).
+///
+/// Not cryptographically secure; statistical quality is more than adequate
+/// for workload generation.
+///
+/// # Examples
+///
+/// ```
+/// use rocksteady_common::rng::Prng;
+/// let mut a = Prng::new(42);
+/// let mut b = Prng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+impl Prng {
+    /// Creates a generator from a seed, expanding it with SplitMix64 as
+    /// the xoshiro authors recommend (avoids the all-zero state).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Prng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Derives an independent child generator; used to give each simulated
+    /// actor its own stream from the experiment seed.
+    pub fn split(&mut self, label: u64) -> Prng {
+        Prng::new(self.next_u64() ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits give a uniform dyadic rational in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        // Lemire's multiply-shift rejection method: unbiased without
+        // division in the common case.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Samples an exponential inter-arrival gap with the given mean;
+    /// used for Poisson (open-loop) request arrivals.
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        // Avoid ln(0); next_f64 < 1 so 1-u > 0.
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Prng::new(7);
+        let mut b = Prng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Prng::new(1);
+        let mut b = Prng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut root = Prng::new(99);
+        let mut c1 = root.split(1);
+        let mut c2 = root.split(2);
+        let same = (0..16).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Prng::new(3);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_is_in_bounds_and_roughly_uniform() {
+        let mut r = Prng::new(4);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.next_below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut r = Prng::new(5);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1_000 {
+            match r.next_range(3, 4) {
+                3 => saw_lo = true,
+                4 => saw_hi = true,
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = Prng::new(6);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.next_exp(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((4.8..5.2).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn below_zero_panics() {
+        Prng::new(0).next_below(0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Virtual-time units.
+//!
+//! The simulator clock ticks in nanoseconds. RAMCloud's interesting
+//! behaviour happens between ~100 ns (a hash-table probe) and ~100 s (a
+//! full experiment run), all of which fits comfortably in a `u64`.
+
+/// A point in, or duration of, virtual time, in nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROSECOND: Nanos = 1_000;
+
+/// One millisecond in [`Nanos`].
+pub const MILLISECOND: Nanos = 1_000_000;
+
+/// One second in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+
+/// Formats a duration with an adaptive unit, for human-readable reports.
+///
+/// # Examples
+///
+/// ```
+/// use rocksteady_common::time::fmt_nanos;
+/// assert_eq!(fmt_nanos(650), "650ns");
+/// assert_eq!(fmt_nanos(6_500), "6.5us");
+/// assert_eq!(fmt_nanos(2_500_000), "2.50ms");
+/// assert_eq!(fmt_nanos(3_000_000_000), "3.00s");
+/// ```
+pub fn fmt_nanos(ns: Nanos) -> String {
+    if ns < MICROSECOND {
+        format!("{ns}ns")
+    } else if ns < MILLISECOND {
+        format!("{:.1}us", ns as f64 / MICROSECOND as f64)
+    } else if ns < SECOND {
+        format!("{:.2}ms", ns as f64 / MILLISECOND as f64)
+    } else {
+        format!("{:.2}s", ns as f64 / SECOND as f64)
+    }
+}
+
+/// Converts a byte count and duration into MB/s (decimal megabytes, as the
+/// paper reports migration rates).
+///
+/// Returns 0.0 for a zero-length interval rather than dividing by zero.
+pub fn mb_per_sec(bytes: u64, elapsed: Nanos) -> f64 {
+    if elapsed == 0 {
+        return 0.0;
+    }
+    (bytes as f64 / 1_000_000.0) / (elapsed as f64 / SECOND as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mb_per_sec_basics() {
+        // 1 MB in 1 ms = 1000 MB/s.
+        assert!((mb_per_sec(1_000_000, MILLISECOND) - 1000.0).abs() < 1e-9);
+        assert_eq!(mb_per_sec(123, 0), 0.0);
+    }
+
+    #[test]
+    fn fmt_covers_all_ranges() {
+        assert_eq!(fmt_nanos(0), "0ns");
+        assert_eq!(fmt_nanos(999), "999ns");
+        assert_eq!(fmt_nanos(1_000), "1.0us");
+        assert_eq!(fmt_nanos(999_999), "1000.0us");
+        assert_eq!(fmt_nanos(1_000_000), "1.00ms");
+        assert_eq!(fmt_nanos(59 * SECOND), "59.00s");
+    }
+}

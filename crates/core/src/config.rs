@@ -1,0 +1,47 @@
+//! Migration protocol knobs.
+
+use rocksteady_common::Nanos;
+
+/// Configuration of one Rocksteady migration (defaults are the paper's
+/// evaluation settings, §4.1).
+#[derive(Debug, Clone)]
+pub struct MigrationConfig {
+    /// Number of disjoint source hash-space partitions, each with one
+    /// Pull outstanding (§3.1.1). "A small constant factor more
+    /// partitions than worker cores is sufficient"; the paper uses 8.
+    pub partitions: usize,
+    /// Bytes of records each Pull returns (§3.1.1; the paper uses 20 KB —
+    /// small enough to keep source workers' tasks short, large enough to
+    /// amortize RPC dispatch).
+    pub pull_budget_bytes: u32,
+    /// Maximum records per PriorityPull batch (§4.1 uses 16).
+    pub priority_pull_batch: usize,
+    /// Whether PriorityPulls are issued at all (`false` reproduces the
+    /// Figure 9b/10b "No Priority Pulls" variant).
+    pub priority_pulls: bool,
+    /// Use the naïve synchronous single-key PriorityPull instead of the
+    /// asynchronous batched one (the Figure 13b/14b comparison).
+    pub sync_priority_pulls: bool,
+    /// Issue bulk background Pulls at all. Figures 13/14 study
+    /// PriorityPulls in isolation by disabling them.
+    pub background_pulls: bool,
+    /// Base back-off the target suggests to clients whose record hasn't
+    /// arrived ("retry after randomly waiting a few tens of
+    /// microseconds", §3); the server adds random jitter up to this
+    /// amount again.
+    pub retry_after_ns: Nanos,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            partitions: 8,
+            pull_budget_bytes: 20_000,
+            priority_pull_batch: 16,
+            priority_pulls: true,
+            sync_priority_pulls: false,
+            background_pulls: true,
+            retry_after_ns: 30_000,
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Source-side migration handlers (§3.1.1, Figure 7).
+//!
+//! The source keeps no migration state at all: everything needed to
+//! resume a Pull travels in the RPC (partition range + cursor), so any
+//! worker core can service any Pull for any partition. These functions
+//! are thin, deliberately — the heavy lifting (hash-table partition
+//! scans, record gathering) lives in [`MasterService`], and the server
+//! actor charges the returned [`Work`] plus the fixed per-RPC costs from
+//! the cost model.
+
+use rocksteady_common::{HashRange, KeyHash, ScanCursor, ServerId, TableId};
+use rocksteady_master::{MasterService, TabletRole, Work};
+use rocksteady_proto::Record;
+
+/// Marks the tablet migrating-out (immutable here; clients get
+/// `UnknownTablet`) and returns the version ceiling the target must
+/// allocate above (§3).
+///
+/// Returns `None` if this master has no tablet with exactly that range
+/// (the caller should have split first — migration begins with a split,
+/// §3).
+pub fn handle_prepare(
+    master: &mut MasterService,
+    table: TableId,
+    range: HashRange,
+    target: ServerId,
+) -> Option<u64> {
+    if !master.set_tablet_role(table, range, TabletRole::MigratingOutTo { target }) {
+        return None;
+    }
+    Some(master.version_ceiling())
+}
+
+/// Services one bulk Pull: gathers up to ~`budget_bytes` of records from
+/// `range` resuming at `cursor`.
+pub fn handle_pull(
+    master: &MasterService,
+    table: TableId,
+    range: HashRange,
+    cursor: ScanCursor,
+    budget_bytes: u32,
+) -> (Vec<Record>, Option<ScanCursor>, Work) {
+    let mut work = Work::default();
+    let (records, next) =
+        master.gather_range(table, range, cursor, budget_bytes as u64, &mut work);
+    (records, next, work)
+}
+
+/// Services one PriorityPull: fetches the named hashes (§3.3). Hashes
+/// with no record are absent from the result, which the target records
+/// as "known deleted".
+pub fn handle_priority_pull(
+    master: &MasterService,
+    table: TableId,
+    hashes: &[KeyHash],
+) -> (Vec<Record>, Work) {
+    let mut work = Work::default();
+    let records = master.gather_hashes(table, hashes, &mut work);
+    (records, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocksteady_common::key_hash;
+    use rocksteady_master::MasterConfig;
+
+    const T: TableId = TableId(1);
+
+    fn loaded_source(n: u64) -> MasterService {
+        let mut m = MasterService::new(MasterConfig::default());
+        m.add_tablet(T, HashRange::full(), TabletRole::Owner);
+        for i in 0..n {
+            let key = format!("user{i:06}");
+            m.load_object(T, key.as_bytes(), &[0u8; 100]);
+        }
+        m
+    }
+
+    #[test]
+    fn prepare_locks_the_tablet() {
+        let mut m = loaded_source(10);
+        let ceiling = handle_prepare(&mut m, T, HashRange::full(), ServerId(2)).unwrap();
+        assert!(ceiling > 10);
+        // Clients are now turned away.
+        let mut w = Work::default();
+        let err = m.read(T, key_hash(b"user000001"), None, &mut w).unwrap_err();
+        assert_eq!(err, rocksteady_master::OpError::UnknownTablet);
+        // A second prepare with a wrong range fails.
+        assert!(handle_prepare(&mut m, T, HashRange { start: 0, end: 9 }, ServerId(2)).is_none());
+    }
+
+    #[test]
+    fn pull_partitions_cover_everything_once() {
+        let m = loaded_source(500);
+        let mut seen = std::collections::HashSet::new();
+        for range in HashRange::full().split(8) {
+            let mut cursor = ScanCursor::default();
+            loop {
+                let (records, next, work) =
+                    handle_pull(&m, T, range, cursor, 2_000);
+                assert!(work.probes > 0 || records.is_empty());
+                for r in records {
+                    assert!(range.contains(r.key_hash), "leak across partitions");
+                    assert!(seen.insert(r.key_hash), "duplicate {:#x}", r.key_hash);
+                }
+                match next {
+                    Some(c) => cursor = c,
+                    None => break,
+                }
+            }
+        }
+        assert_eq!(seen.len(), 500);
+    }
+
+    #[test]
+    fn pull_respects_byte_budget_approximately() {
+        let m = loaded_source(2_000);
+        let (records, next, _) =
+            handle_pull(&m, T, HashRange::full(), ScanCursor::default(), 20_000);
+        assert!(next.is_some());
+        let bytes: u64 = records.iter().map(|r| r.wire_size()).sum();
+        // Batches may overshoot by at most one bucket's worth.
+        assert!((20_000..30_000).contains(&bytes), "batch of {bytes} bytes");
+    }
+
+    #[test]
+    fn priority_pull_fetches_exactly_requested() {
+        let m = loaded_source(50);
+        let h1 = key_hash(b"user000003");
+        let h2 = key_hash(b"user000017");
+        let ghost = key_hash(b"no-such-key");
+        let (records, work) = handle_priority_pull(&m, T, &[h1, ghost, h2]);
+        assert_eq!(records.len(), 2);
+        // The ghost key's bucket may be empty (0 probes), but both live
+        // keys cost at least one probe each.
+        assert!(work.probes >= 2);
+        let hashes: Vec<_> = records.iter().map(|r| r.key_hash).collect();
+        assert!(hashes.contains(&h1) && hashes.contains(&h2));
+    }
+}

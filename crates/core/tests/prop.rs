@@ -1,0 +1,198 @@
+//! Property tests for the migration protocol's core invariants.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rocksteady::{MissOutcome, PriorityPullBatcher};
+use rocksteady_common::{HashRange, ScanCursor, TableId};
+use rocksteady_master::{MasterConfig, MasterService, ReplayDest, TabletRole, Work};
+use rocksteady_proto::Record;
+
+const T: TableId = TableId(1);
+
+fn record(hash: u64, version: u64, value: u8, tombstone: bool) -> Record {
+    Record {
+        table: T,
+        key_hash: hash,
+        version,
+        key: Bytes::copy_from_slice(&hash.to_le_bytes()),
+        value: if tombstone {
+            Bytes::new()
+        } else {
+            Bytes::from(vec![value])
+        },
+        tombstone,
+    }
+}
+
+proptest! {
+    /// Version-max replay is order-insensitive: replaying any permutation
+    /// of any multiset of records (including tombstones) converges to the
+    /// same visible state — the invariant that makes Rocksteady's
+    /// unordered parallel replay and crash-recovery merge safe (§3.1.3,
+    /// §3.4).
+    #[test]
+    fn replay_is_order_insensitive(
+        records in proptest::collection::vec(
+            (0u64..16, 1u64..64, any::<u8>(), any::<bool>()),
+            1..60,
+        ),
+        seed in any::<u64>(),
+    ) {
+        // Deduplicate (hash, version) pairs so "same version, different
+        // payload" ambiguity (impossible in the real system, where a
+        // version is written once) doesn't create false positives.
+        let mut seen = std::collections::HashSet::new();
+        let records: Vec<Record> = records
+            .into_iter()
+            .filter(|(h, v, _, _)| seen.insert((*h, *v)))
+            .map(|(h, v, val, tomb)| record(h, v, val, tomb))
+            .collect();
+
+        let run = |order: &[Record]| {
+            let mut m = MasterService::new(MasterConfig::default());
+            m.add_tablet(T, HashRange::full(), TabletRole::Owner);
+            for r in order {
+                m.replay_record(r, ReplayDest::MainLog, &mut Work::default());
+            }
+            // Visible state: hash -> (version, value) for live keys.
+            let mut state = Vec::new();
+            for h in 0u64..16 {
+                let out = m.read(T, h, Some(&h.to_le_bytes()), &mut Work::default());
+                state.push(out.ok().map(|(v, ver)| (ver, v.to_vec())));
+            }
+            state
+        };
+
+        let forward = run(&records);
+        // A deterministic shuffle driven by the seed.
+        let mut shuffled = records.clone();
+        let mut rng = rocksteady_common::rng::Prng::new(seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            shuffled.swap(i, j);
+        }
+        let permuted = run(&shuffled);
+        prop_assert_eq!(forward, permuted);
+    }
+
+    /// Replaying the same records twice (duplicate pulls, retransmits)
+    /// changes nothing: replay is idempotent.
+    #[test]
+    fn replay_is_idempotent(
+        records in proptest::collection::vec((0u64..16, 1u64..64, any::<u8>()), 1..40),
+    ) {
+        let records: Vec<Record> = records
+            .into_iter()
+            .map(|(h, v, val)| record(h, v, val, false))
+            .collect();
+        let mut m = MasterService::new(MasterConfig::default());
+        m.add_tablet(T, HashRange::full(), TabletRole::Owner);
+        for r in &records {
+            m.replay_record(r, ReplayDest::MainLog, &mut Work::default());
+        }
+        let snapshot = |m: &MasterService| {
+            (0u64..16)
+                .map(|h| {
+                    m.read(T, h, Some(&h.to_le_bytes()), &mut Work::default())
+                        .ok()
+                        .map(|(v, ver)| (ver, v.to_vec()))
+                })
+                .collect::<Vec<_>>()
+        };
+        let before = snapshot(&m);
+        for r in &records {
+            let applied = m.replay_record(r, ReplayDest::MainLog, &mut Work::default());
+            prop_assert!(!applied, "duplicate replay must be rejected");
+        }
+        prop_assert_eq!(before, snapshot(&m));
+    }
+
+    /// The PriorityPull batcher never requests the same hash twice, never
+    /// exceeds the batch cap, and eventually resolves every miss to
+    /// either a served or an absent hash.
+    #[test]
+    fn batcher_invariants(
+        misses in proptest::collection::vec(0u64..64, 1..200),
+        cap in 1usize..20,
+        source_has in proptest::collection::hash_set(0u64..64, 0..64),
+    ) {
+        let mut b = PriorityPullBatcher::new();
+        let mut requested: Vec<u64> = Vec::new();
+        let mut miss_iter = misses.iter();
+        loop {
+            // Interleave misses and round trips.
+            for _ in 0..3 {
+                if let Some(&h) = miss_iter.next() {
+                    let _ = b.on_miss(h);
+                }
+            }
+            if let Some(batch) = b.next_batch(cap) {
+                prop_assert!(batch.len() <= cap);
+                requested.extend(&batch);
+                let returned: Vec<u64> = batch
+                    .iter()
+                    .copied()
+                    .filter(|h| source_has.contains(h))
+                    .collect();
+                b.on_response(returned);
+            } else if miss_iter.len() == 0 {
+                break;
+            }
+        }
+        // Never requested the same hash twice (§3.3's guarantee).
+        let mut sorted = requested.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), requested.len(), "duplicate request");
+        prop_assert!(b.is_idle());
+        // Post-drain misses resolve deterministically.
+        for &h in &misses {
+            match b.on_miss(h) {
+                MissOutcome::NotFound => prop_assert!(!source_has.contains(&h)),
+                MissOutcome::Wait => {}
+            }
+        }
+    }
+
+    /// Source pulls partition cleanly: gathering every partition of any
+    /// loaded master retrieves every record exactly once, for any batch
+    /// budget and partition count.
+    #[test]
+    fn pulls_cover_everything_once(
+        keys in 1u64..300,
+        partitions in 1usize..10,
+        budget in 200u64..5_000,
+    ) {
+        let mut m = MasterService::new(MasterConfig {
+            hash_buckets: 1 << 10,
+            hash_stripes: 16,
+            ..MasterConfig::default()
+        });
+        m.add_tablet(T, HashRange::full(), TabletRole::Owner);
+        for i in 0..keys {
+            let key = format!("key{i:06}");
+            m.load_object(T, key.as_bytes(), b"value");
+        }
+        let mut got = Vec::new();
+        for part in HashRange::full().split(partitions) {
+            let mut cursor = ScanCursor::default();
+            loop {
+                let (records, next, _) =
+                    rocksteady::source::handle_pull(&m, T, part, cursor, budget as u32);
+                for r in records {
+                    prop_assert!(part.contains(r.key_hash), "partition leak");
+                    got.push(r.key_hash);
+                }
+                match next {
+                    Some(c) => cursor = c,
+                    None => break,
+                }
+            }
+        }
+        got.sort_unstable();
+        let before = got.len();
+        got.dedup();
+        prop_assert_eq!(got.len(), before, "duplicate records across pulls");
+        prop_assert_eq!(got.len() as u64, keys, "records lost");
+    }
+}

@@ -1,0 +1,512 @@
+//! The master's primary-key hash table.
+//!
+//! RAMCloud's only index over its in-memory log is a hash table mapping
+//! 64-bit key hashes to log references (§2.3, Figure 6). Rocksteady's
+//! migration protocol is built around its structure:
+//!
+//! - Bucket placement uses the *high* bits of the key hash, so a
+//!   contiguous region of key-hash space is a contiguous run of buckets.
+//!   This is what lets the target partition the source's key-hash space
+//!   and run parallel Pulls over **disjoint regions of the hash table**
+//!   with no synchronization between them (§3.1.1, Figure 7).
+//! - Pulls resume from a [`Cursor`] — a bucket index — so the source
+//!   keeps *no* migration state (§3): the cursor travels in the RPC.
+//! - Lookups may probe several entries per bucket (hash collisions are
+//!   resolved by comparing the full key stored in the log), and the
+//!   number of probes is reported to the caller so the simulator can
+//!   charge the cache-miss cost §4.5 measures.
+//!
+//! The table is striped-locked and thread-safe; buckets within one stripe
+//! share a lock, and stripes cover contiguous bucket ranges so disjoint
+//! hash-space partitions touch disjoint locks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::RwLock;
+use rocksteady_common::{KeyHash, TableId};
+use rocksteady_logstore::LogRef;
+
+pub use rocksteady_common::range::{HashRange, ScanCursor as Cursor};
+
+/// One entry: a key (identified by table + hash) and where it lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Owning table.
+    pub table: TableId,
+    /// Full 64-bit primary-key hash.
+    pub hash: KeyHash,
+    /// Location of the current version of the object in the log.
+    pub log_ref: LogRef,
+}
+
+/// Outcome of an [`HashTable::upsert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Upsert {
+    /// A new entry was created.
+    Inserted,
+    /// An existing entry was replaced; holds the prior log reference.
+    Replaced(LogRef),
+}
+
+/// The result of an operation plus how many slots were examined, so the
+/// simulator can charge probe costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probed<T> {
+    /// Operation result.
+    pub value: T,
+    /// Number of slots examined.
+    pub probes: u32,
+}
+
+struct Stripe {
+    buckets: RwLock<Vec<Vec<Slot>>>,
+}
+
+/// The hash table itself.
+pub struct HashTable {
+    stripes: Vec<Stripe>,
+    buckets_per_stripe: usize,
+    bucket_count: u64,
+    /// `64 - log2(bucket_count)`; bucket index = `hash >> shift`.
+    shift: u32,
+    len: AtomicUsize,
+}
+
+impl HashTable {
+    /// Creates a table with at least `min_buckets` buckets (rounded up to
+    /// a power of two) spread over at most `max_stripes` lock stripes.
+    pub fn new(min_buckets: usize, max_stripes: usize) -> Self {
+        let bucket_count = min_buckets.next_power_of_two().max(2) as u64;
+        let stripe_count = max_stripes
+            .next_power_of_two()
+            .clamp(1, bucket_count as usize);
+        let buckets_per_stripe = (bucket_count as usize) / stripe_count;
+        let stripes = (0..stripe_count)
+            .map(|_| Stripe {
+                buckets: RwLock::new(vec![Vec::new(); buckets_per_stripe]),
+            })
+            .collect();
+        HashTable {
+            stripes,
+            buckets_per_stripe,
+            bucket_count,
+            shift: 64 - bucket_count.trailing_zeros(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total bucket count (a power of two).
+    pub fn bucket_count(&self) -> u64 {
+        self.bucket_count
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bucket index for a hash: the *high* bits, so hash-space order is
+    /// bucket order.
+    pub fn bucket_of(&self, hash: KeyHash) -> u64 {
+        hash >> self.shift
+    }
+
+    fn locate(&self, bucket: u64) -> (&Stripe, usize) {
+        let idx = bucket as usize;
+        (
+            &self.stripes[idx / self.buckets_per_stripe],
+            idx % self.buckets_per_stripe,
+        )
+    }
+
+    /// Looks up the reference for `(table, hash)`.
+    ///
+    /// `is_match` disambiguates 64-bit hash collisions by checking the
+    /// full key in the log; it receives each candidate's reference.
+    pub fn lookup(
+        &self,
+        table: TableId,
+        hash: KeyHash,
+        mut is_match: impl FnMut(LogRef) -> bool,
+    ) -> Probed<Option<LogRef>> {
+        let (stripe, b) = self.locate(self.bucket_of(hash));
+        let buckets = stripe.buckets.read();
+        let mut probes = 0;
+        for slot in &buckets[b] {
+            probes += 1;
+            if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
+                return Probed {
+                    value: Some(slot.log_ref),
+                    probes,
+                };
+            }
+        }
+        Probed {
+            value: None,
+            probes,
+        }
+    }
+
+    /// Inserts or replaces the entry for `(table, hash)`.
+    ///
+    /// `is_match` identifies which colliding entry (if any) represents the
+    /// same key; when it returns true the slot is repointed at `new_ref`
+    /// and the old reference is returned.
+    pub fn upsert(
+        &self,
+        table: TableId,
+        hash: KeyHash,
+        new_ref: LogRef,
+        mut is_match: impl FnMut(LogRef) -> bool,
+    ) -> Probed<Upsert> {
+        let (stripe, b) = self.locate(self.bucket_of(hash));
+        let mut buckets = stripe.buckets.write();
+        let mut probes = 0;
+        for slot in &mut buckets[b] {
+            probes += 1;
+            if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
+                let old = slot.log_ref;
+                slot.log_ref = new_ref;
+                return Probed {
+                    value: Upsert::Replaced(old),
+                    probes,
+                };
+            }
+        }
+        buckets[b].push(Slot {
+            table,
+            hash,
+            log_ref: new_ref,
+        });
+        self.len.fetch_add(1, Ordering::Relaxed);
+        Probed {
+            value: Upsert::Inserted,
+            probes: probes + 1,
+        }
+    }
+
+    /// Removes the entry for `(table, hash)` whose reference satisfies
+    /// `is_match`; returns the removed reference.
+    pub fn remove(
+        &self,
+        table: TableId,
+        hash: KeyHash,
+        mut is_match: impl FnMut(LogRef) -> bool,
+    ) -> Probed<Option<LogRef>> {
+        let (stripe, b) = self.locate(self.bucket_of(hash));
+        let mut buckets = stripe.buckets.write();
+        let mut probes = 0;
+        let bucket = &mut buckets[b];
+        for i in 0..bucket.len() {
+            probes += 1;
+            let slot = bucket[i];
+            if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
+                bucket.swap_remove(i);
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                return Probed {
+                    value: Some(slot.log_ref),
+                    probes,
+                };
+            }
+        }
+        Probed {
+            value: None,
+            probes,
+        }
+    }
+
+    /// Atomically repoints `(table, hash)` from `old` to `new`.
+    ///
+    /// The cleaner's relocation path: succeeds only if the slot still
+    /// points at `old`, so a racing write that superseded the entry wins.
+    pub fn update_ref(
+        &self,
+        table: TableId,
+        hash: KeyHash,
+        old: LogRef,
+        new: LogRef,
+    ) -> bool {
+        let (stripe, b) = self.locate(self.bucket_of(hash));
+        let mut buckets = stripe.buckets.write();
+        for slot in &mut buckets[b] {
+            if slot.table == table && slot.hash == hash && slot.log_ref == old {
+                slot.log_ref = new;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Visits whole buckets of entries in `range` belonging to `table`,
+    /// starting at `cursor`, until the weights returned by `visit` sum to
+    /// at least `budget` (then finishes the current bucket and stops).
+    ///
+    /// `visit` returns each entry's *weight* toward the budget — record
+    /// count (weight 1) or serialized bytes, whichever the caller batches
+    /// by. Pulls return "a fixed amount of data (20 KB, for example)"
+    /// (Figure 7), so they weight by bytes.
+    ///
+    /// Returns the advanced cursor (`None` when the range is exhausted)
+    /// and the number of slots probed. This is the source-side engine of
+    /// bulk Pulls: batches end on bucket boundaries so a resumed pull
+    /// never re-sends or skips entries even though the source keeps no
+    /// state (§3.1.1).
+    pub fn scan_range(
+        &self,
+        table: TableId,
+        range: HashRange,
+        cursor: Cursor,
+        budget: u64,
+        mut visit: impl FnMut(&Slot) -> u64,
+    ) -> Probed<Option<Cursor>> {
+        if range.is_empty() {
+            return Probed {
+                value: None,
+                probes: 0,
+            };
+        }
+        let first_bucket = self.bucket_of(range.start).max(cursor.bucket);
+        let last_bucket = self.bucket_of(range.end);
+        let mut probes = 0u32;
+        let mut accepted = 0u64;
+        let mut bucket = first_bucket;
+        while bucket <= last_bucket {
+            let (stripe, b) = self.locate(bucket);
+            let buckets = stripe.buckets.read();
+            for slot in &buckets[b] {
+                probes += 1;
+                if slot.table == table && range.contains(slot.hash) {
+                    accepted += visit(slot);
+                }
+            }
+            drop(buckets);
+            bucket += 1;
+            if accepted >= budget {
+                break;
+            }
+        }
+        let value = if bucket > last_bucket {
+            None
+        } else {
+            Some(Cursor { bucket })
+        };
+        Probed { value, probes }
+    }
+
+    /// Visits every entry of `table` within `range` (no batching).
+    pub fn for_each_in_range(
+        &self,
+        table: TableId,
+        range: HashRange,
+        mut visit: impl FnMut(&Slot),
+    ) {
+        let mut cursor = Cursor::default();
+        loop {
+            let out = self.scan_range(table, range, cursor, u64::MAX, |s| {
+                visit(s);
+                0
+            });
+            match out.value {
+                Some(next) => cursor = next,
+                None => break,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for HashTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashTable")
+            .field("buckets", &self.bucket_count)
+            .field("stripes", &self.stripes.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(segment: u64, offset: u32) -> LogRef {
+        LogRef { segment, offset }
+    }
+
+    const T: TableId = TableId(1);
+
+    #[test]
+    fn insert_lookup_remove() {
+        let ht = HashTable::new(64, 8);
+        assert!(ht.is_empty());
+        let out = ht.upsert(T, 42, r(1, 0), |_| true);
+        assert_eq!(out.value, Upsert::Inserted);
+        assert_eq!(ht.len(), 1);
+        let found = ht.lookup(T, 42, |_| true);
+        assert_eq!(found.value, Some(r(1, 0)));
+        assert!(found.probes >= 1);
+        let gone = ht.remove(T, 42, |_| true);
+        assert_eq!(gone.value, Some(r(1, 0)));
+        assert!(ht.is_empty());
+        assert_eq!(ht.lookup(T, 42, |_| true).value, None);
+    }
+
+    #[test]
+    fn upsert_replaces_and_returns_old() {
+        let ht = HashTable::new(64, 8);
+        ht.upsert(T, 7, r(1, 0), |_| true);
+        let out = ht.upsert(T, 7, r(2, 16), |_| true);
+        assert_eq!(out.value, Upsert::Replaced(r(1, 0)));
+        assert_eq!(ht.len(), 1);
+        assert_eq!(ht.lookup(T, 7, |_| true).value, Some(r(2, 16)));
+    }
+
+    #[test]
+    fn hash_collisions_disambiguated_by_matcher() {
+        let ht = HashTable::new(64, 8);
+        // Two distinct keys with an identical 64-bit hash coexist when the
+        // matcher declares them different.
+        ht.upsert(T, 5, r(1, 0), |_| false); // key A
+        ht.upsert(T, 5, r(9, 0), |_| false); // key B (no match with A)
+        assert_eq!(ht.len(), 2);
+        // Lookup B specifically.
+        let out = ht.lookup(T, 5, |cand| cand == r(9, 0));
+        assert_eq!(out.value, Some(r(9, 0)));
+        assert!(out.probes >= 1);
+        // Replacing A repoints only A.
+        let rep = ht.upsert(T, 5, r(1, 64), |cand| cand == r(1, 0));
+        assert_eq!(rep.value, Upsert::Replaced(r(1, 0)));
+        assert_eq!(ht.len(), 2);
+    }
+
+    #[test]
+    fn tables_are_disjoint() {
+        let ht = HashTable::new(64, 8);
+        ht.upsert(TableId(1), 9, r(1, 0), |_| true);
+        ht.upsert(TableId(2), 9, r(2, 0), |_| true);
+        assert_eq!(ht.len(), 2);
+        assert_eq!(ht.lookup(TableId(1), 9, |_| true).value, Some(r(1, 0)));
+        assert_eq!(ht.lookup(TableId(2), 9, |_| true).value, Some(r(2, 0)));
+    }
+
+    #[test]
+    fn update_ref_is_conditional() {
+        let ht = HashTable::new(64, 8);
+        ht.upsert(T, 3, r(1, 0), |_| true);
+        assert!(ht.update_ref(T, 3, r(1, 0), r(5, 0)));
+        assert!(!ht.update_ref(T, 3, r(1, 0), r(6, 0)), "stale CAS must fail");
+        assert_eq!(ht.lookup(T, 3, |_| true).value, Some(r(5, 0)));
+    }
+
+    #[test]
+    fn bucket_order_is_hash_order() {
+        let ht = HashTable::new(1024, 8);
+        assert!(ht.bucket_of(0) <= ht.bucket_of(u64::MAX / 2));
+        assert!(ht.bucket_of(u64::MAX / 2) <= ht.bucket_of(u64::MAX));
+        assert_eq!(ht.bucket_of(u64::MAX), ht.bucket_count() - 1);
+    }
+
+    #[test]
+    fn scan_range_batches_on_bucket_boundaries() {
+        let ht = HashTable::new(256, 8);
+        // 1000 entries spread over hash space.
+        for i in 0..1_000u64 {
+            let hash = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            ht.upsert(T, hash, r(i, 0), |_| true);
+        }
+        let range = HashRange::full();
+        let mut cursor = Cursor::default();
+        let mut seen = Vec::new();
+        let mut batches = 0;
+        loop {
+            let mut batch = Vec::new();
+            let out = ht.scan_range(T, range, cursor, 50, |s| {
+                batch.push(s.hash);
+                1
+            });
+            batches += 1;
+            seen.extend(batch);
+            match out.value {
+                Some(c) => {
+                    assert!(c.bucket > cursor.bucket, "cursor must advance");
+                    cursor = c;
+                }
+                None => break,
+            }
+            assert!(batches < 10_000, "runaway scan");
+        }
+        assert!(batches > 1, "expected multiple batches");
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 1_000, "scan missed or duplicated entries");
+    }
+
+    #[test]
+    fn scan_range_respects_hash_bounds_and_table() {
+        let ht = HashTable::new(256, 8);
+        for i in 0..100u64 {
+            let hash = i << 56; // spread across top buckets
+            ht.upsert(T, hash, r(i, 0), |_| true);
+            ht.upsert(TableId(9), hash, r(i, 1), |_| true);
+        }
+        let range = HashRange {
+            start: 10u64 << 56,
+            end: 20u64 << 56,
+        };
+        let mut got = Vec::new();
+        ht.for_each_in_range(T, range, |s| got.push((s.hash, s.log_ref)));
+        assert_eq!(got.len(), 11);
+        for (hash, lr) in got {
+            assert!(range.contains(hash));
+            assert_eq!(lr.offset, 0, "leaked entry from another table");
+        }
+    }
+
+    #[test]
+    fn scan_empty_range_terminates() {
+        let ht = HashTable::new(64, 8);
+        let out = ht.scan_range(
+            T,
+            HashRange { start: 1, end: 0 },
+            Cursor::default(),
+            10,
+            |_| -> u64 { panic!("nothing to visit") },
+        );
+        assert_eq!(out.value, None);
+    }
+
+    #[test]
+    fn concurrent_threads_disjoint_partitions() {
+        use std::sync::Arc;
+        let ht = Arc::new(HashTable::new(1 << 12, 64));
+        let parts = HashRange::full().split(4);
+        let mut handles = Vec::new();
+        for (t, part) in parts.into_iter().enumerate() {
+            let ht = Arc::clone(&ht);
+            handles.push(std::thread::spawn(move || {
+                // Insert 2000 hashes inside this partition.
+                let width = part.end - part.start;
+                for i in 0..2_000u64 {
+                    let hash = part.start + (i * 104_729) % width;
+                    ht.upsert(T, hash, r(t as u64, i as u32), |_| true);
+                }
+                // Then scan the partition back.
+                let mut count = 0;
+                ht.for_each_in_range(T, part, |_| count += 1);
+                count
+            }));
+        }
+        let mut total = 0;
+        for h in handles {
+            total += h.join().unwrap();
+        }
+        // Some synthetic hashes may collide; total must equal the table's
+        // len and be close to 8000.
+        assert_eq!(total, ht.len());
+        assert!(total > 7_900, "unexpected collision rate: {total}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Model-based property tests: the hash table against a `HashMap`, and
+//! partitioned scans against exhaustive enumeration.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rocksteady_common::{HashRange, ScanCursor, TableId};
+use rocksteady_hashtable::HashTable;
+use rocksteady_logstore::LogRef;
+
+const T: TableId = TableId(1);
+
+fn r(v: u64) -> LogRef {
+    LogRef {
+        segment: v,
+        offset: (v % 97) as u32,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert(u64, u64),
+    Remove(u64),
+    Lookup(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64, any::<u64>()).prop_map(|(h, v)| Op::Upsert(h, v)),
+        (0u64..64).prop_map(Op::Remove),
+        (0u64..64).prop_map(Op::Lookup),
+    ]
+}
+
+proptest! {
+    /// The table behaves exactly like a `HashMap<hash, LogRef>` under any
+    /// sequence of upserts, removes, and lookups (keys here are unique
+    /// per hash, so the matcher is always `true`).
+    #[test]
+    fn behaves_like_a_map(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let ht = HashTable::new(64, 8);
+        let mut model: HashMap<u64, LogRef> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Upsert(h, v) => {
+                    ht.upsert(T, h, r(v), |_| true);
+                    model.insert(h, r(v));
+                }
+                Op::Remove(h) => {
+                    let got = ht.remove(T, h, |_| true).value;
+                    prop_assert_eq!(got, model.remove(&h));
+                }
+                Op::Lookup(h) => {
+                    let got = ht.lookup(T, h, |_| true).value;
+                    prop_assert_eq!(got, model.get(&h).copied());
+                }
+            }
+            prop_assert_eq!(ht.len(), model.len());
+        }
+    }
+
+    /// A batched scan over any sub-range visits exactly the model's
+    /// entries in that range, once each, for any batch budget.
+    #[test]
+    fn scan_matches_enumeration(
+        hashes in proptest::collection::hash_set(any::<u64>(), 1..200),
+        start in any::<u64>(),
+        end in any::<u64>(),
+        budget in 1u64..50,
+        buckets_pow in 4u32..10,
+    ) {
+        let ht = HashTable::new(1 << buckets_pow, 8);
+        for &h in &hashes {
+            ht.upsert(T, h, r(h), |_| true);
+        }
+        let (start, end) = if start <= end { (start, end) } else { (end, start) };
+        let range = HashRange { start, end };
+        let mut seen = Vec::new();
+        let mut cursor = ScanCursor::default();
+        loop {
+            let out = ht.scan_range(T, range, cursor, budget, |slot| {
+                seen.push(slot.hash);
+                1
+            });
+            match out.value {
+                Some(next) => {
+                    prop_assert!(next.bucket > cursor.bucket, "cursor must advance");
+                    cursor = next;
+                }
+                None => break,
+            }
+        }
+        seen.sort_unstable();
+        let mut expect: Vec<u64> = hashes
+            .iter()
+            .copied()
+            .filter(|h| range.contains(*h))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Splitting any range into any number of partitions and scanning
+    /// each partition visits every entry exactly once — the invariant
+    /// Rocksteady's parallel Pulls rest on (§3.1.1).
+    #[test]
+    fn partitioned_scans_are_exhaustive_and_disjoint(
+        hashes in proptest::collection::hash_set(any::<u64>(), 1..200),
+        partitions in 1usize..12,
+    ) {
+        let ht = HashTable::new(256, 8);
+        for &h in &hashes {
+            ht.upsert(T, h, r(h), |_| true);
+        }
+        let mut seen = Vec::new();
+        for part in HashRange::full().split(partitions) {
+            ht.for_each_in_range(T, part, |slot| seen.push(slot.hash));
+        }
+        seen.sort_unstable();
+        let mut expect: Vec<u64> = hashes.into_iter().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+}

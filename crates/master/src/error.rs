@@ -1,0 +1,41 @@
+//! Operation errors surfaced by the master service.
+
+use rocksteady_common::KeyHash;
+
+/// Why a master operation could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpError {
+    /// No tablet on this master covers the key (stale client map, or the
+    /// key's tablet has migrated away — the source answers this for a
+    /// migrating tablet, §3).
+    UnknownTablet,
+    /// The key does not exist.
+    NotFound,
+    /// This master owns the key (migration target) but the record has not
+    /// arrived yet; the caller should trigger a PriorityPull for the
+    /// hash and tell the client to retry (§3.3).
+    NotYetHere {
+        /// The key hash that needs priority-pulling.
+        hash: KeyHash,
+    },
+    /// No indexlet on this master covers the requested index range.
+    UnknownIndexlet,
+    /// The covering tablet is mid-crash-recovery; retry shortly.
+    Recovering,
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::UnknownTablet => write!(f, "tablet not owned by this master"),
+            OpError::NotFound => write!(f, "no such key"),
+            OpError::NotYetHere { hash } => {
+                write!(f, "record {hash:#x} not yet migrated to this master")
+            }
+            OpError::UnknownIndexlet => write!(f, "indexlet not owned by this master"),
+            OpError::Recovering => write!(f, "tablet is recovering; retry"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}

@@ -1,0 +1,255 @@
+//! Secondary indexes as range-partitioned indexlets (Figure 2).
+//!
+//! RAMCloud indexes map secondary keys to *primary-key hashes*, never to
+//! records, so tables and their indexes scale independently and need not
+//! be co-located (§2, [SLIK, ATC '16]). An index is split into indexlets
+//! by secondary-key range; a scan touches (usually) one indexlet, then
+//! the client multi-gets the returned hashes from the backing tablets —
+//! the two-step dance whose dispatch-load consequences Figure 4 measures.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+
+use rocksteady_common::ids::IndexId;
+use rocksteady_common::{KeyHash, TableId};
+
+/// One contiguous secondary-key range of one index, owned by one master.
+#[derive(Debug)]
+pub struct Indexlet {
+    /// Indexed table.
+    pub table: TableId,
+    /// Which of the table's indexes.
+    pub index: IndexId,
+    /// Inclusive lower bound of the secondary-key range.
+    pub lo: Vec<u8>,
+    /// Exclusive upper bound (`None` = unbounded).
+    pub hi: Option<Vec<u8>>,
+    /// Secondary key → set of primary-key hashes (a set because distinct
+    /// primary keys may share a secondary key).
+    tree: BTreeMap<Vec<u8>, BTreeSet<KeyHash>>,
+    entries: u64,
+}
+
+impl Indexlet {
+    /// Creates an empty indexlet covering `[lo, hi)`.
+    pub fn new(table: TableId, index: IndexId, lo: Vec<u8>, hi: Option<Vec<u8>>) -> Self {
+        Indexlet {
+            table,
+            index,
+            lo,
+            hi,
+            tree: BTreeMap::new(),
+            entries: 0,
+        }
+    }
+
+    /// Whether this indexlet's range covers `sec_key`.
+    pub fn covers(&self, sec_key: &[u8]) -> bool {
+        sec_key >= self.lo.as_slice()
+            && match &self.hi {
+                Some(hi) => sec_key < hi.as_slice(),
+                None => true,
+            }
+    }
+
+    /// Number of (secondary key, hash) entries.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// Whether the indexlet holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Inserts an entry. Returns false (and does nothing) if the entry
+    /// already existed.
+    pub fn insert(&mut self, sec_key: &[u8], primary: KeyHash) -> bool {
+        debug_assert!(self.covers(sec_key), "insert outside indexlet range");
+        let inserted = self
+            .tree
+            .entry(sec_key.to_vec())
+            .or_default()
+            .insert(primary);
+        if inserted {
+            self.entries += 1;
+        }
+        inserted
+    }
+
+    /// Removes an entry. Returns whether it existed.
+    pub fn remove(&mut self, sec_key: &[u8], primary: KeyHash) -> bool {
+        let Some(set) = self.tree.get_mut(sec_key) else {
+            return false;
+        };
+        let removed = set.remove(&primary);
+        if removed {
+            self.entries -= 1;
+            if set.is_empty() {
+                self.tree.remove(sec_key);
+            }
+        }
+        removed
+    }
+
+    /// Scans `[begin, end]` (inclusive, clamped to this indexlet's range)
+    /// in secondary-key order, returning up to `limit` primary hashes and
+    /// the number of entries visited (for cost accounting).
+    ///
+    /// The boolean is true when `limit` truncated the scan.
+    pub fn scan(
+        &self,
+        begin: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> (Vec<KeyHash>, bool, u64) {
+        let lo = if begin < self.lo.as_slice() {
+            self.lo.as_slice()
+        } else {
+            begin
+        };
+        let mut out = Vec::new();
+        let mut visited = 0u64;
+        let mut truncated = false;
+        let range = self
+            .tree
+            .range::<[u8], _>((Bound::Included(lo), Bound::Included(end)));
+        'outer: for (key, hashes) in range {
+            if let Some(hi) = &self.hi {
+                if key.as_slice() >= hi.as_slice() {
+                    break;
+                }
+            }
+            for &h in hashes {
+                visited += 1;
+                if out.len() >= limit {
+                    truncated = true;
+                    break 'outer;
+                }
+                out.push(h);
+            }
+        }
+        (out, truncated, visited)
+    }
+
+    /// Splits this indexlet at `split_key`: `self` keeps `[lo, split_key)`
+    /// and the returned indexlet covers `[split_key, hi)`.
+    ///
+    /// This is the index analogue of a tablet split — how Figure 4's
+    /// "2 indexlets" configurations are created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split_key` is outside `(lo, hi)`.
+    pub fn split_at(&mut self, split_key: &[u8]) -> Indexlet {
+        assert!(
+            split_key > self.lo.as_slice(),
+            "split key below indexlet range"
+        );
+        if let Some(hi) = &self.hi {
+            assert!(split_key < hi.as_slice(), "split key above indexlet range");
+        }
+        let upper_tree = self.tree.split_off(split_key);
+        let moved: u64 = upper_tree.values().map(|s| s.len() as u64).sum();
+        self.entries -= moved;
+        let upper = Indexlet {
+            table: self.table,
+            index: self.index,
+            lo: split_key.to_vec(),
+            hi: self.hi.take(),
+            tree: upper_tree,
+            entries: moved,
+        };
+        self.hi = Some(split_key.to_vec());
+        upper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> Indexlet {
+        Indexlet::new(TableId(1), IndexId(0), Vec::new(), None)
+    }
+
+    #[test]
+    fn insert_scan_remove() {
+        let mut ix = idx();
+        assert!(ix.insert(b"bob", 2));
+        assert!(ix.insert(b"alice", 1));
+        assert!(ix.insert(b"carol", 3));
+        assert!(!ix.insert(b"bob", 2), "duplicate insert");
+        assert_eq!(ix.len(), 3);
+        let (hashes, truncated, visited) = ix.scan(b"a", b"z", 10);
+        assert_eq!(hashes, vec![1, 2, 3], "secondary-key order");
+        assert!(!truncated);
+        assert_eq!(visited, 3);
+        assert!(ix.remove(b"bob", 2));
+        assert!(!ix.remove(b"bob", 2));
+        assert_eq!(ix.len(), 2);
+    }
+
+    #[test]
+    fn shared_secondary_keys() {
+        let mut ix = idx();
+        ix.insert(b"smith", 10);
+        ix.insert(b"smith", 20);
+        let (hashes, _, _) = ix.scan(b"smith", b"smith", 10);
+        assert_eq!(hashes, vec![10, 20]);
+    }
+
+    #[test]
+    fn scan_respects_bounds_and_limit() {
+        let mut ix = idx();
+        for i in 0..26u8 {
+            ix.insert(&[b'a' + i], i as u64);
+        }
+        let (hashes, truncated, _) = ix.scan(b"c", b"f", 100);
+        assert_eq!(hashes, vec![2, 3, 4, 5]);
+        assert!(!truncated);
+        let (hashes, truncated, _) = ix.scan(b"a", b"z", 4);
+        assert_eq!(hashes.len(), 4);
+        assert!(truncated);
+    }
+
+    #[test]
+    fn covers_and_bounds() {
+        let ix = Indexlet::new(TableId(1), IndexId(0), b"m".to_vec(), Some(b"t".to_vec()));
+        assert!(!ix.covers(b"a"));
+        assert!(ix.covers(b"m"));
+        assert!(ix.covers(b"s"));
+        assert!(!ix.covers(b"t"));
+    }
+
+    #[test]
+    fn split_partitions_entries() {
+        let mut lower = idx();
+        for i in 0..26u8 {
+            lower.insert(&[b'a' + i], i as u64);
+        }
+        let upper = lower.split_at(b"n");
+        assert_eq!(lower.len() + upper.len(), 26);
+        assert!(lower.covers(b"a") && !lower.covers(b"n"));
+        assert!(upper.covers(b"n") && upper.covers(b"z"));
+        let (lo_hashes, _, _) = lower.scan(b"a", b"z", 100);
+        assert_eq!(lo_hashes.len() as u64, lower.len());
+        // Scans on the upper half clamp to its range.
+        let (hi_hashes, _, _) = upper.scan(b"a", b"z", 100);
+        assert_eq!(hi_hashes.first(), Some(&13));
+    }
+
+    #[test]
+    fn scan_clamps_to_indexlet_range() {
+        let mut ix =
+            Indexlet::new(TableId(1), IndexId(0), b"h".to_vec(), Some(b"p".to_vec()));
+        for i in 0..26u8 {
+            let k = [b'a' + i];
+            if ix.covers(&k) {
+                ix.insert(&k, i as u64);
+            }
+        }
+        let (hashes, _, _) = ix.scan(b"a", b"z", 100);
+        assert_eq!(hashes, (7..15).map(|i| i as u64).collect::<Vec<_>>());
+    }
+}

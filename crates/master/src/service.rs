@@ -1,0 +1,985 @@
+//! The master's state and operations.
+//!
+//! [`MasterService`] is the storage brain of one simulated server: the
+//! log, the hash table, local tablet roles, and indexlets, with every
+//! operation RAMCloud's data path needs (§2) plus the primitives the
+//! migration protocols are built from (§3): range gathers for Pulls,
+//! hash gathers for PriorityPulls, and version-max replay.
+//!
+//! No scheduling lives here — operations execute immediately and return a
+//! [`Work`] receipt; the server actor charges virtual time for it.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use rocksteady_common::ids::IndexId;
+use rocksteady_common::{HashRange, KeyHash, ScanCursor, ServerId, TableId};
+use rocksteady_hashtable::{HashTable, Upsert};
+use rocksteady_logstore::entry::serialized_len;
+use rocksteady_logstore::{
+    Cleaner, EntryKind, Log, LogConfig, LogRef, Relocation, Relocator, SideLog,
+};
+use rocksteady_proto::Record;
+
+use crate::error::OpError;
+use crate::index::Indexlet;
+use crate::tablet::{LocalTablet, TabletRole};
+use crate::work::Work;
+
+/// Configuration for one master.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// This server's id.
+    pub id: ServerId,
+    /// Log configuration (segment size, memory budget).
+    pub log: LogConfig,
+    /// Minimum hash-table buckets (rounded up to a power of two). Sized
+    /// so buckets average a handful of entries, like RAMCloud.
+    pub hash_buckets: usize,
+    /// Lock stripes for the hash table.
+    pub hash_stripes: usize,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            id: ServerId(0),
+            log: LogConfig::default(),
+            hash_buckets: 1 << 16,
+            hash_stripes: 256,
+        }
+    }
+}
+
+/// Where replayed records land: the main log (baseline migration,
+/// recovery) or a per-worker side log (Rocksteady parallel replay,
+/// §3.1.3).
+pub enum ReplayDest<'a> {
+    /// Append into the master's main log.
+    MainLog,
+    /// Append into the given side log.
+    Side(&'a SideLog),
+}
+
+/// The master service state.
+pub struct MasterService {
+    /// This server's id.
+    pub id: ServerId,
+    /// The in-memory log holding every object this master stores.
+    pub log: Arc<Log>,
+    /// The primary-key hash table over the log.
+    pub hashtable: HashTable,
+    tablets: Vec<LocalTablet>,
+    indexlets: Vec<Indexlet>,
+    /// Next object version; strictly greater than every version this
+    /// master has ever written or replayed.
+    next_version: u64,
+}
+
+impl MasterService {
+    /// Creates an empty master.
+    pub fn new(config: MasterConfig) -> Self {
+        MasterService {
+            id: config.id,
+            log: Arc::new(Log::new(config.log)),
+            hashtable: HashTable::new(config.hash_buckets, config.hash_stripes),
+            tablets: Vec::new(),
+            indexlets: Vec::new(),
+            next_version: 1,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tablet management
+    // ------------------------------------------------------------------
+
+    /// Registers a tablet with the given role.
+    pub fn add_tablet(&mut self, table: TableId, range: HashRange, role: TabletRole) {
+        self.tablets.push(LocalTablet { table, range, role });
+    }
+
+    /// Removes a tablet registration (its objects remain in the log until
+    /// cleaned; RAMCloud drops them lazily too).
+    pub fn drop_tablet(&mut self, table: TableId, range: HashRange) {
+        self.tablets
+            .retain(|t| !(t.table == table && t.range == range));
+    }
+
+    /// Changes an existing tablet's role. Returns false if absent.
+    pub fn set_tablet_role(
+        &mut self,
+        table: TableId,
+        range: HashRange,
+        role: TabletRole,
+    ) -> bool {
+        for t in &mut self.tablets {
+            if t.table == table && t.range == range {
+                t.role = role;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The tablet covering `(table, hash)`, if any.
+    pub fn tablet_covering(&self, table: TableId, hash: KeyHash) -> Option<&LocalTablet> {
+        self.tablets.iter().find(|t| t.covers(table, hash))
+    }
+
+    /// All local tablets.
+    pub fn tablets(&self) -> &[LocalTablet] {
+        &self.tablets
+    }
+
+    /// Splits an owned tablet at `split_hash`: the existing tablet keeps
+    /// `[start, split_hash)` and a new one covers `[split_hash, end]`.
+    /// This is the cheap, metadata-only operation Rocksteady's lazy
+    /// partitioning relies on (§1: migration starts by splitting).
+    ///
+    /// Returns the two resulting ranges, or `None` if no owned tablet
+    /// covers the split point or the split would be empty.
+    pub fn split_tablet(
+        &mut self,
+        table: TableId,
+        split_hash: KeyHash,
+    ) -> Option<(HashRange, HashRange)> {
+        let t = self
+            .tablets
+            .iter_mut()
+            .find(|t| t.covers(table, split_hash))?;
+        if t.range.start == split_hash {
+            return None;
+        }
+        let upper = HashRange {
+            start: split_hash,
+            end: t.range.end,
+        };
+        t.range = HashRange {
+            start: t.range.start,
+            end: split_hash - 1,
+        };
+        let lower = t.range;
+        let role = t.role;
+        self.tablets.push(LocalTablet {
+            table,
+            range: upper,
+            role,
+        });
+        Some((lower, upper))
+    }
+
+    // ------------------------------------------------------------------
+    // Versioning
+    // ------------------------------------------------------------------
+
+    /// The smallest version this master guarantees never to have issued.
+    /// A migration target raises its own floor to the source's ceiling so
+    /// its fresh writes always supersede migrated values (§3).
+    pub fn version_ceiling(&self) -> u64 {
+        self.next_version
+    }
+
+    /// Raises the version floor to at least `v`.
+    pub fn raise_version_floor(&mut self, v: u64) {
+        self.next_version = self.next_version.max(v);
+    }
+
+    fn take_version(&mut self) -> u64 {
+        let v = self.next_version;
+        self.next_version += 1;
+        v
+    }
+
+    /// Whether this master may mutate `(table, hash)`. Migration sources
+    /// reject mutation: the migrating tablet is immutable there (§3).
+    fn check_writable(&self, table: TableId, hash: KeyHash) -> Result<(), OpError> {
+        let tablet = self
+            .tablet_covering(table, hash)
+            .ok_or(OpError::UnknownTablet)?;
+        match tablet.role {
+            TabletRole::Owner
+            | TabletRole::PullingFrom { .. }
+            | TabletRole::BaselineSourceTo { .. } => Ok(()),
+            TabletRole::MigratingOutTo { .. } => Err(OpError::UnknownTablet),
+            TabletRole::Recovering => Err(OpError::Recovering),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    fn key_matcher<'a>(
+        log: &'a Log,
+        key: &'a [u8],
+    ) -> impl FnMut(LogRef) -> bool + 'a {
+        move |r| log.with_entry(r, |v| v.key == key).unwrap_or(false)
+    }
+
+    /// Reads one object by key (or, with `key = None`, by bare hash — the
+    /// index-scan follow-up path, Figure 2).
+    pub fn read(
+        &self,
+        table: TableId,
+        hash: KeyHash,
+        key: Option<&[u8]>,
+        work: &mut Work,
+    ) -> Result<(Bytes, u64), OpError> {
+        let tablet = self
+            .tablet_covering(table, hash)
+            .ok_or(OpError::UnknownTablet)?;
+        let pulling = match tablet.role {
+            TabletRole::Owner | TabletRole::BaselineSourceTo { .. } => false,
+            TabletRole::PullingFrom { .. } => true,
+            TabletRole::MigratingOutTo { .. } => return Err(OpError::UnknownTablet),
+            TabletRole::Recovering => return Err(OpError::Recovering),
+        };
+        let log = Arc::clone(&self.log);
+        let found = match key {
+            Some(k) => self.hashtable.lookup(table, hash, Self::key_matcher(&log, k)),
+            None => self.hashtable.lookup(table, hash, |_| true),
+        };
+        work.probes += found.probes as u64;
+        match found.value {
+            Some(r) => {
+                let out = self
+                    .log
+                    .with_entry(r, |v| {
+                        if v.kind == EntryKind::Tombstone {
+                            // A tombstone slot is authoritative: the key
+                            // is deleted at (at least) this version, and
+                            // version-max replay guarantees nothing older
+                            // can resurrect it.
+                            None
+                        } else {
+                            Some((Bytes::copy_from_slice(v.value), v.version))
+                        }
+                    })
+                    .ok_or(OpError::NotFound)?;
+                let out = out.ok_or(OpError::NotFound)?;
+                work.copied_bytes += out.0.len() as u64;
+                Ok(out)
+            }
+            None if pulling => Err(OpError::NotYetHere { hash }),
+            None => Err(OpError::NotFound),
+        }
+    }
+
+    /// Writes one object; returns its new version and log location.
+    pub fn write(
+        &mut self,
+        table: TableId,
+        hash: KeyHash,
+        key: &[u8],
+        value: &[u8],
+        work: &mut Work,
+    ) -> Result<(u64, LogRef), OpError> {
+        self.check_writable(table, hash)?;
+        let version = self.take_version();
+        let r = self
+            .log
+            .append(EntryKind::Object, table.0, hash, version, key, value)
+            .map_err(|_| OpError::UnknownTablet)?;
+        let len = serialized_len(key.len(), value.len()) as u64;
+        work.appends += 1;
+        work.appended_bytes += len;
+        work.copied_bytes += len;
+        work.checksummed_bytes += len;
+        let log = Arc::clone(&self.log);
+        let up = self
+            .hashtable
+            .upsert(table, hash, r, Self::key_matcher(&log, key));
+        work.probes += up.probes as u64;
+        if let Upsert::Replaced(old) = up.value {
+            let dead = self
+                .log
+                .with_entry(old, |v| v.serialized_len() as u64)
+                .unwrap_or(0);
+            self.log.mark_dead(old, dead);
+        }
+        Ok((version, r))
+    }
+
+    /// Deletes one object; returns whether it existed.
+    pub fn delete(
+        &mut self,
+        table: TableId,
+        hash: KeyHash,
+        key: &[u8],
+        work: &mut Work,
+    ) -> Result<bool, OpError> {
+        self.check_writable(table, hash)?;
+        let version = self.take_version();
+        let log = Arc::clone(&self.log);
+        // Always log the tombstone and keep it indexed: during
+        // migration-in the key may exist at the source without having
+        // arrived yet, and the tombstone's higher version must win over
+        // the late arrival at replay (§3). Dropping the slot instead
+        // would let the older object resurrect.
+        let r = self
+            .log
+            .append(EntryKind::Tombstone, table.0, hash, version, key, b"")
+            .map_err(|_| OpError::UnknownTablet)?;
+        let len = serialized_len(key.len(), 0) as u64;
+        work.appends += 1;
+        work.appended_bytes += len;
+        work.copied_bytes += len;
+        work.checksummed_bytes += len;
+        let up = self
+            .hashtable
+            .upsert(table, hash, r, Self::key_matcher(&log, key));
+        work.probes += up.probes as u64;
+        if let Upsert::Replaced(old) = up.value {
+            let (dead, existed) = self
+                .log
+                .with_entry(old, |v| {
+                    (v.serialized_len() as u64, v.kind == EntryKind::Object)
+                })
+                .unwrap_or((0, false));
+            self.log.mark_dead(old, dead);
+            Ok(existed)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Copies the serialized log bytes of the entry at `r` (the unit the
+    /// write path replicates to backups).
+    pub fn entry_bytes(&self, r: LogRef, work: &mut Work) -> Option<Bytes> {
+        let seg = self.log.segment(r.segment)?;
+        let (_, len) = seg.entry_at(r.offset).ok()?;
+        let bytes = &seg.committed_bytes()[r.offset as usize..r.offset as usize + len];
+        work.copied_bytes += len as u64;
+        Some(Bytes::copy_from_slice(bytes))
+    }
+
+    // ------------------------------------------------------------------
+    // Secondary indexes
+    // ------------------------------------------------------------------
+
+    /// Registers an indexlet on this master.
+    pub fn add_indexlet(&mut self, indexlet: Indexlet) {
+        self.indexlets.push(indexlet);
+    }
+
+    /// All local indexlets.
+    pub fn indexlets(&self) -> &[Indexlet] {
+        &self.indexlets
+    }
+
+    /// Mutable access to local indexlets (for splits).
+    pub fn indexlets_mut(&mut self) -> &mut Vec<Indexlet> {
+        &mut self.indexlets
+    }
+
+    /// Inserts a secondary-index entry into the covering indexlet.
+    pub fn index_insert(
+        &mut self,
+        table: TableId,
+        index: IndexId,
+        sec_key: &[u8],
+        primary: KeyHash,
+        work: &mut Work,
+    ) -> Result<(), OpError> {
+        let ix = self
+            .indexlets
+            .iter_mut()
+            .find(|i| i.table == table && i.index == index && i.covers(sec_key))
+            .ok_or(OpError::UnknownIndexlet)?;
+        ix.insert(sec_key, primary);
+        work.index_entries += 1;
+        Ok(())
+    }
+
+    /// Scans the covering indexlet for `[begin, end]`, returning primary
+    /// hashes in secondary-key order.
+    pub fn index_scan(
+        &self,
+        table: TableId,
+        index: IndexId,
+        begin: &[u8],
+        end: &[u8],
+        limit: usize,
+        work: &mut Work,
+    ) -> Result<(Vec<KeyHash>, bool), OpError> {
+        let ix = self
+            .indexlets
+            .iter()
+            .find(|i| i.table == table && i.index == index && i.covers(begin))
+            .ok_or(OpError::UnknownIndexlet)?;
+        let (hashes, truncated, visited) = ix.scan(begin, end, limit);
+        work.index_entries += visited;
+        Ok((hashes, truncated))
+    }
+
+    // ------------------------------------------------------------------
+    // Migration / recovery primitives
+    // ------------------------------------------------------------------
+
+    /// Gathers up to ~`budget_bytes` of records from `range` starting at
+    /// `cursor` — the source half of one Pull (§3.1.1, Figure 7). Batches
+    /// end on hash-table bucket boundaries; `None` cursor means the
+    /// partition is exhausted.
+    pub fn gather_range(
+        &self,
+        table: TableId,
+        range: HashRange,
+        cursor: ScanCursor,
+        budget_bytes: u64,
+        work: &mut Work,
+    ) -> (Vec<Record>, Option<ScanCursor>) {
+        let mut records = Vec::new();
+        let out = self
+            .hashtable
+            .scan_range(table, range, cursor, budget_bytes, |slot| {
+                match self.log.with_entry(slot.log_ref, |v| Record {
+                    table,
+                    key_hash: v.key_hash,
+                    version: v.version,
+                    key: Bytes::copy_from_slice(v.key),
+                    value: Bytes::copy_from_slice(v.value),
+                    tombstone: v.kind == EntryKind::Tombstone,
+                }) {
+                    Some(rec) => {
+                        let w = rec.wire_size();
+                        records.push(rec);
+                        w
+                    }
+                    None => 0,
+                }
+            });
+        work.probes += out.probes as u64;
+        for rec in &records {
+            let bytes = rec.wire_size();
+            work.checksummed_bytes += bytes;
+            work.copied_bytes += bytes;
+        }
+        (records, out.value)
+    }
+
+    /// Gathers specific keys by hash — the source half of a PriorityPull
+    /// (§3.3). Hashes with no live record are silently absent.
+    pub fn gather_hashes(
+        &self,
+        table: TableId,
+        hashes: &[KeyHash],
+        work: &mut Work,
+    ) -> Vec<Record> {
+        let mut records = Vec::new();
+        for &hash in hashes {
+            let found = self.hashtable.lookup(table, hash, |_| true);
+            work.probes += found.probes as u64;
+            if let Some(r) = found.value {
+                if let Some(rec) = self.log.with_entry(r, |v| Record {
+                    table,
+                    key_hash: v.key_hash,
+                    version: v.version,
+                    key: Bytes::copy_from_slice(v.key),
+                    value: Bytes::copy_from_slice(v.value),
+                    tombstone: v.kind == EntryKind::Tombstone,
+                }) {
+                    let bytes = rec.wire_size();
+                    work.checksummed_bytes += bytes;
+                    work.copied_bytes += bytes;
+                    records.push(rec);
+                }
+            }
+        }
+        records
+    }
+
+    /// Replays one record with version-max semantics: the incoming record
+    /// is applied only if it is newer than what this master already has.
+    /// Used by migration replay (§3.1.3), baseline replay (§2.3), and
+    /// crash recovery.
+    ///
+    /// Returns whether it was applied.
+    pub fn replay_record(
+        &mut self,
+        rec: &Record,
+        dest: ReplayDest<'_>,
+        work: &mut Work,
+    ) -> bool {
+        let log = Arc::clone(&self.log);
+        let table = rec.table;
+        let existing = self
+            .hashtable
+            .lookup(table, rec.key_hash, Self::key_matcher(&log, &rec.key));
+        work.probes += existing.probes as u64;
+        if let Some(r) = existing.value {
+            let existing_version = self.log.with_entry(r, |v| v.version).unwrap_or(0);
+            if existing_version >= rec.version {
+                return false;
+            }
+        }
+        self.raise_version_floor(rec.version + 1);
+        let kind = if rec.tombstone {
+            EntryKind::Tombstone
+        } else {
+            EntryKind::Object
+        };
+        let append = match dest {
+            ReplayDest::MainLog => self.log.append(
+                kind,
+                table.0,
+                rec.key_hash,
+                rec.version,
+                &rec.key,
+                &rec.value,
+            ),
+            ReplayDest::Side(side) => side.append(
+                kind,
+                table.0,
+                rec.key_hash,
+                rec.version,
+                &rec.key,
+                &rec.value,
+            ),
+        };
+        let Ok(new_ref) = append else {
+            return false;
+        };
+        let len = serialized_len(rec.key.len(), rec.value.len()) as u64;
+        work.appends += 1;
+        work.appended_bytes += len;
+        work.copied_bytes += len;
+        work.checksummed_bytes += len;
+        // Objects and tombstones both keep a slot: the tombstone's
+        // presence (with its version) is what makes unordered replay
+        // delete-safe.
+        let up = self.hashtable.upsert(
+            table,
+            rec.key_hash,
+            new_ref,
+            Self::key_matcher(&log, &rec.key),
+        );
+        work.probes += up.probes as u64;
+        if let Upsert::Replaced(old) = up.value {
+            let dead = self
+                .log
+                .with_entry(old, |v| v.serialized_len() as u64)
+                .unwrap_or(0);
+            self.log.mark_dead(old, dead);
+        }
+        true
+    }
+
+    /// Direct load for experiment setup: behaves like a normal write but
+    /// skips tablet-ownership checks (the harness loads tables before the
+    /// coordinator map exists).
+    pub fn load_object(&mut self, table: TableId, key: &[u8], value: &[u8]) -> LogRef {
+        let hash = rocksteady_common::key_hash(key);
+        let version = self.take_version();
+        let r = self
+            .log
+            .append(EntryKind::Object, table.0, hash, version, key, value)
+            .expect("load append failed");
+        let log = Arc::clone(&self.log);
+        let up = self
+            .hashtable
+            .upsert(table, hash, r, Self::key_matcher(&log, key));
+        if let Upsert::Replaced(old) = up.value {
+            let dead = self
+                .log
+                .with_entry(old, |v| v.serialized_len() as u64)
+                .unwrap_or(0);
+            self.log.mark_dead(old, dead);
+        }
+        r
+    }
+
+    /// Runs one log-cleaner pass, relocating live entries and repointing
+    /// the hash table. Returns the cleaner's statistics if anything was
+    /// cleaned.
+    pub fn clean_once(&mut self, cleaner: &Cleaner) -> Option<rocksteady_logstore::CleanStats> {
+        struct Hooked<'a> {
+            hashtable: &'a HashTable,
+            log: &'a Log,
+        }
+        impl Relocator for Hooked<'_> {
+            fn disposition(
+                &mut self,
+                view: &rocksteady_logstore::EntryView<'_>,
+                old: LogRef,
+            ) -> Relocation {
+                if view.kind == EntryKind::SideLogCommit {
+                    return Relocation::Keep;
+                }
+                // Objects and tombstones alike are live iff the hash
+                // table still points at them (a tombstone is superseded
+                // by any newer write of the key).
+                let key = view.key;
+                let current = self
+                    .hashtable
+                    .lookup(TableId(view.table_id), view.key_hash, |r| {
+                        r == old
+                            || self
+                                .log
+                                .with_entry(r, |v| v.key == key)
+                                .unwrap_or(false)
+                    })
+                    .value;
+                if current == Some(old) {
+                    Relocation::Keep
+                } else {
+                    Relocation::Drop
+                }
+            }
+
+            fn relocated(
+                &mut self,
+                view: &rocksteady_logstore::EntryView<'_>,
+                old: LogRef,
+                new: LogRef,
+            ) {
+                if view.kind != EntryKind::SideLogCommit {
+                    self.hashtable
+                        .update_ref(TableId(view.table_id), view.key_hash, old, new);
+                }
+            }
+        }
+        let log = Arc::clone(&self.log);
+        let mut hooked = Hooked {
+            hashtable: &self.hashtable,
+            log: &log,
+        };
+        cleaner.clean_once(&self.log, &mut hooked).ok().flatten()
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocksteady_common::key_hash;
+
+    const T: TableId = TableId(1);
+
+    fn owner_master() -> MasterService {
+        let mut m = MasterService::new(MasterConfig {
+            log: LogConfig {
+                segment_bytes: 4096,
+                max_segments: None,
+            },
+            hash_buckets: 256,
+            hash_stripes: 16,
+            ..MasterConfig::default()
+        });
+        m.add_tablet(T, HashRange::full(), TabletRole::Owner);
+        m
+    }
+
+    fn w() -> Work {
+        Work::default()
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = owner_master();
+        let h = key_hash(b"alice");
+        let mut work = w();
+        let (v1, _) = m.write(T, h, b"alice", b"hello", &mut work).unwrap();
+        assert!(work.appends == 1 && work.probes > 0);
+        let (value, version) = m.read(T, h, Some(b"alice"), &mut w()).unwrap();
+        assert_eq!(&value[..], b"hello");
+        assert_eq!(version, v1);
+    }
+
+    #[test]
+    fn overwrites_bump_version_and_kill_old_entry() {
+        let mut m = owner_master();
+        let h = key_hash(b"k");
+        let (v1, _) = m.write(T, h, b"k", b"one", &mut w()).unwrap();
+        let live_before = m.log.stats().live_bytes;
+        let (v2, _) = m.write(T, h, b"k", b"two", &mut w()).unwrap();
+        assert!(v2 > v1);
+        let (value, _) = m.read(T, h, Some(b"k"), &mut w()).unwrap();
+        assert_eq!(&value[..], b"two");
+        // The superseded entry was marked dead.
+        assert!(m.log.stats().live_bytes <= live_before + 50);
+    }
+
+    #[test]
+    fn read_unowned_hash_is_unknown_tablet() {
+        let mut m = MasterService::new(MasterConfig::default());
+        m.add_tablet(T, HashRange { start: 0, end: 10 }, TabletRole::Owner);
+        let err = m.read(T, 11, None, &mut w()).unwrap_err();
+        assert_eq!(err, OpError::UnknownTablet);
+        let err = m.write(T, 11, b"k", b"v", &mut w()).unwrap_err();
+        assert_eq!(err, OpError::UnknownTablet);
+    }
+
+    #[test]
+    fn missing_key_not_found() {
+        let m = owner_master();
+        let err = m.read(T, key_hash(b"ghost"), Some(b"ghost"), &mut w());
+        assert_eq!(err.unwrap_err(), OpError::NotFound);
+    }
+
+    #[test]
+    fn delete_appends_tombstone() {
+        let mut m = owner_master();
+        let h = key_hash(b"k");
+        m.write(T, h, b"k", b"v", &mut w()).unwrap();
+        assert!(m.delete(T, h, b"k", &mut w()).unwrap());
+        assert_eq!(
+            m.read(T, h, Some(b"k"), &mut w()).unwrap_err(),
+            OpError::NotFound
+        );
+        // Deleting again reports absent but still logs a tombstone.
+        assert!(!m.delete(T, h, b"k", &mut w()).unwrap());
+    }
+
+    #[test]
+    fn migration_source_rejects_everything() {
+        let mut m = owner_master();
+        let h = key_hash(b"k");
+        m.write(T, h, b"k", b"v", &mut w()).unwrap();
+        m.set_tablet_role(
+            T,
+            HashRange::full(),
+            TabletRole::MigratingOutTo { target: ServerId(9) },
+        );
+        assert_eq!(
+            m.read(T, h, Some(b"k"), &mut w()).unwrap_err(),
+            OpError::UnknownTablet
+        );
+        assert_eq!(
+            m.write(T, h, b"k", b"v2", &mut w()).unwrap_err(),
+            OpError::UnknownTablet
+        );
+    }
+
+    #[test]
+    fn migration_target_read_miss_is_not_yet_here() {
+        let mut m = MasterService::new(MasterConfig::default());
+        m.add_tablet(
+            T,
+            HashRange::full(),
+            TabletRole::PullingFrom { source: ServerId(2) },
+        );
+        let h = key_hash(b"waiting");
+        assert_eq!(
+            m.read(T, h, Some(b"waiting"), &mut w()).unwrap_err(),
+            OpError::NotYetHere { hash: h }
+        );
+        // Writes are accepted immediately (§3).
+        let (v, _) = m.write(T, h, b"waiting", b"fresh", &mut w()).unwrap();
+        assert!(v >= 1);
+        let (value, _) = m.read(T, h, Some(b"waiting"), &mut w()).unwrap();
+        assert_eq!(&value[..], b"fresh");
+    }
+
+    #[test]
+    fn split_tablet_metadata_only() {
+        let mut m = owner_master();
+        let mid = u64::MAX / 2 + 1;
+        let (lo, hi) = m.split_tablet(T, mid).unwrap();
+        assert_eq!(lo.end + 1, hi.start);
+        assert_eq!(m.tablets().len(), 2);
+        assert!(m.tablet_covering(T, 0).unwrap().range.contains(0));
+        assert!(m.tablet_covering(T, u64::MAX).unwrap().range.start == mid);
+        // Splitting at a range start is rejected.
+        assert!(m.split_tablet(T, mid).is_none());
+    }
+
+    #[test]
+    fn gather_range_returns_all_records_in_batches() {
+        let mut m = owner_master();
+        for i in 0..200u64 {
+            let key = format!("key-{i}");
+            m.write(T, key_hash(key.as_bytes()), key.as_bytes(), b"0123456789", &mut w())
+                .unwrap();
+        }
+        let range = HashRange::full();
+        let mut cursor = ScanCursor::default();
+        let mut got = Vec::new();
+        let mut batches = 0;
+        loop {
+            let (records, next) = m.gather_range(T, range, cursor, 2_000, &mut w());
+            batches += 1;
+            got.extend(records);
+            match next {
+                Some(c) => cursor = c,
+                None => break,
+            }
+            assert!(batches < 1_000);
+        }
+        assert!(batches > 1, "should take multiple 2KB batches");
+        assert_eq!(got.len(), 200);
+        let mut hashes: Vec<u64> = got.iter().map(|r| r.key_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 200, "duplicates or losses in gather");
+    }
+
+    #[test]
+    fn gather_hashes_fetches_specific_records() {
+        let mut m = owner_master();
+        let h1 = key_hash(b"a");
+        let h2 = key_hash(b"b");
+        m.write(T, h1, b"a", b"va", &mut w()).unwrap();
+        m.write(T, h2, b"b", b"vb", &mut w()).unwrap();
+        let recs = m.gather_hashes(T, &[h1, key_hash(b"missing"), h2], &mut w());
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().any(|r| &r.key[..] == b"a"));
+        assert!(recs.iter().any(|r| &r.key[..] == b"b"));
+    }
+
+    #[test]
+    fn replay_respects_version_order() {
+        let mut m = owner_master();
+        let h = key_hash(b"k");
+        let rec = |version: u64, value: &str, tombstone: bool| Record {
+            table: T,
+            key_hash: h,
+            version,
+            key: Bytes::from_static(b"k"),
+            value: Bytes::copy_from_slice(value.as_bytes()),
+            tombstone,
+        };
+        assert!(m.replay_record(&rec(5, "v5", false), ReplayDest::MainLog, &mut w()));
+        // Older record loses.
+        assert!(!m.replay_record(&rec(3, "v3", false), ReplayDest::MainLog, &mut w()));
+        let (value, version) = m.read(T, h, Some(b"k"), &mut w()).unwrap();
+        assert_eq!(&value[..], b"v5");
+        assert_eq!(version, 5);
+        // Newer tombstone wins.
+        assert!(m.replay_record(&rec(6, "", true), ReplayDest::MainLog, &mut w()));
+        assert_eq!(
+            m.read(T, h, Some(b"k"), &mut w()).unwrap_err(),
+            OpError::NotFound
+        );
+        // Replay raised the version floor past everything seen.
+        assert!(m.version_ceiling() >= 7);
+    }
+
+    #[test]
+    fn replay_into_side_log_then_commit() {
+        let mut m = owner_master();
+        let side = SideLog::new(Arc::clone(&m.log));
+        let h = key_hash(b"side");
+        let rec = Record {
+            table: T,
+            key_hash: h,
+            version: 9,
+            key: Bytes::from_static(b"side"),
+            value: Bytes::from_static(b"data"),
+            tombstone: false,
+        };
+        assert!(m.replay_record(&rec, ReplayDest::Side(&side), &mut w()));
+        // Visible via the hash table even before commit (the slot points
+        // into the side segment).
+        let (value, _) = m.read(T, h, Some(b"side"), &mut w()).unwrap();
+        assert_eq!(&value[..], b"data");
+        side.commit().unwrap();
+        let (value, _) = m.read(T, h, Some(b"side"), &mut w()).unwrap();
+        assert_eq!(&value[..], b"data");
+    }
+
+    #[test]
+    fn version_ceiling_transfer_keeps_writes_winning() {
+        // Simulates §3's ownership handoff: target raises its floor to the
+        // source ceiling, writes a fresh value, then the stale record
+        // arrives late via replay and must lose.
+        let mut source = owner_master();
+        let h = key_hash(b"hot");
+        source.write(T, h, b"hot", b"old", &mut w()).unwrap();
+        let ceiling = source.version_ceiling();
+
+        let mut target = MasterService::new(MasterConfig::default());
+        target.add_tablet(
+            T,
+            HashRange::full(),
+            TabletRole::PullingFrom { source: ServerId(1) },
+        );
+        target.raise_version_floor(ceiling);
+        target.write(T, h, b"hot", b"new", &mut w()).unwrap();
+        // Now the migrated copy arrives late.
+        let stale = source.gather_hashes(T, &[h], &mut w());
+        assert!(!target.replay_record(&stale[0], ReplayDest::MainLog, &mut w()));
+        let (value, _) = target.read(T, h, Some(b"hot"), &mut w()).unwrap();
+        assert_eq!(&value[..], b"new");
+    }
+
+    #[test]
+    fn entry_bytes_roundtrip_for_replication() {
+        let mut m = owner_master();
+        let h = key_hash(b"k");
+        let (_, r) = m.write(T, h, b"k", b"replicate-me", &mut w()).unwrap();
+        let bytes = m.entry_bytes(r, &mut w()).unwrap();
+        let (view, _) = rocksteady_logstore::entry::parse(&bytes).unwrap();
+        assert_eq!(view.key, b"k");
+        assert_eq!(view.value, b"replicate-me");
+    }
+
+    #[test]
+    fn index_insert_and_scan() {
+        let mut m = owner_master();
+        m.add_indexlet(Indexlet::new(T, IndexId(0), Vec::new(), None));
+        for (name, id) in [("bob", 2u64), ("alice", 1), ("carol", 3)] {
+            m.index_insert(T, IndexId(0), name.as_bytes(), id, &mut w())
+                .unwrap();
+        }
+        let (hashes, truncated) = m
+            .index_scan(T, IndexId(0), b"a", b"z", 10, &mut w())
+            .unwrap();
+        assert_eq!(hashes, vec![1, 2, 3]);
+        assert!(!truncated);
+        assert_eq!(
+            m.index_scan(T, IndexId(9), b"a", b"z", 10, &mut w())
+                .unwrap_err(),
+            OpError::UnknownIndexlet
+        );
+    }
+
+    #[test]
+    fn cleaner_integration_preserves_reads() {
+        let mut m = MasterService::new(MasterConfig {
+            log: LogConfig {
+                segment_bytes: 1024,
+                max_segments: None,
+            },
+            hash_buckets: 256,
+            hash_stripes: 16,
+            ..MasterConfig::default()
+        });
+        m.add_tablet(T, HashRange::full(), TabletRole::Owner);
+        // Two generations so half the entries are dead.
+        for round in 0..2 {
+            for i in 0..100u64 {
+                let key = format!("k{i}");
+                let value = format!("value-{round}-{i}");
+                m.write(
+                    T,
+                    key_hash(key.as_bytes()),
+                    key.as_bytes(),
+                    value.as_bytes(),
+                    &mut w(),
+                )
+                .unwrap();
+            }
+        }
+        let cleaner = Cleaner {
+            utilization_threshold: 0.95,
+            max_segments_per_pass: 4,
+        };
+        let mut cleaned_any = false;
+        for _ in 0..50 {
+            match m.clean_once(&cleaner) {
+                Some(stats) => {
+                    cleaned_any |= stats.segments_cleaned > 0;
+                }
+                None => break,
+            }
+        }
+        assert!(cleaned_any, "cleaner never ran");
+        for i in 0..100u64 {
+            let key = format!("k{i}");
+            let (value, _) = m
+                .read(T, key_hash(key.as_bytes()), Some(key.as_bytes()), &mut w())
+                .unwrap();
+            assert_eq!(value, format!("value-1-{i}").as_bytes());
+        }
+    }
+}

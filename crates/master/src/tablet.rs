@@ -1,0 +1,79 @@
+//! Local tablet bookkeeping on one master.
+//!
+//! The master's view of a tablet is richer than the coordinator's
+//! descriptor: during a Rocksteady migration the *target* needs to know
+//! which records have arrived (it answers reads), while the *source* only
+//! needs the single bit "this range is migrating away" — sources keep no
+//! other migration state (§3).
+
+use rocksteady_common::{HashRange, ServerId, TableId};
+
+/// This master's role for one tablet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TabletRole {
+    /// Normal ownership: serve everything.
+    Owner,
+    /// Rocksteady target: owner of record, but data may still be arriving
+    /// from `source`. Reads of absent keys yield
+    /// [`OpError::NotYetHere`](crate::OpError::NotYetHere).
+    PullingFrom {
+        /// Where the data still lives.
+        source: ServerId,
+    },
+    /// Rocksteady source: ownership has moved; reject clients with
+    /// `UnknownTablet`, serve only Pull/PriorityPull. The tablet's data
+    /// is immutable here (§3).
+    MigratingOutTo {
+        /// The new owner.
+        target: ServerId,
+    },
+    /// Baseline-migration source: still the owner (clients served here,
+    /// with writes allowed only before the scan passes them — our
+    /// baseline freezes writes to the range, §2.3), while copying to
+    /// `target`.
+    BaselineSourceTo {
+        /// Where data is being copied.
+        target: ServerId,
+    },
+    /// Crash recovery in progress: all client traffic is turned away
+    /// with a retry until the replicated log has been replayed, so no
+    /// write can be accepted below the versions the dead participant
+    /// issued (§3.4 / §2's unavailability window during recovery).
+    Recovering,
+}
+
+/// One tablet as this master sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalTablet {
+    /// Table the tablet belongs to.
+    pub table: TableId,
+    /// Key-hash range (inclusive).
+    pub range: HashRange,
+    /// This master's role.
+    pub role: TabletRole,
+}
+
+impl LocalTablet {
+    /// Whether this tablet covers `(table, hash)`.
+    pub fn covers(&self, table: TableId, hash: u64) -> bool {
+        self.table == table && self.range.contains(hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_is_table_and_range() {
+        let t = LocalTablet {
+            table: TableId(1),
+            range: HashRange { start: 0, end: 10 },
+            role: TabletRole::Owner,
+        };
+        assert!(t.covers(TableId(1), 0));
+        assert!(t.covers(TableId(1), 10));
+        assert!(!t.covers(TableId(1), 11));
+        assert!(!t.covers(TableId(2), 5));
+    }
+}

@@ -1,0 +1,1631 @@
+//! The server actor: dispatch/worker scheduling and protocol glue.
+//!
+//! See the crate docs for the model. Approximations relative to real
+//! hardware, all of which bias *against* Rocksteady or are
+//! timing-neutral:
+//!
+//! - A task's real data-structure work executes when the task is
+//!   *assigned* to a worker; its outputs (responses, follow-up RPCs) are
+//!   released when the modeled service time elapses. State is therefore
+//!   never stale by more than one service time (≤ a few µs).
+//! - A durable write may occasionally be acknowledged while a covering
+//!   replication chunk shipped by a *concurrent* write is still in
+//!   flight; the bytes are identical and ordering per backup is
+//!   preserved, so this shifts timing by at most one RTT and never
+//!   changes recovered data.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use rocksteady::{
+    Action, BaselineAction, BaselineMigration, MigrationManager, MissOutcome, ReplayBatch,
+};
+use rocksteady_backup::BackupService;
+use rocksteady_common::{KeyHash, Nanos, RpcId, TableId};
+use rocksteady_logstore::SideLog;
+use rocksteady_master::{MasterService, OpError, ReplayDest, TabletRole, Work};
+use rocksteady_proto::msg::{BaselineOpts, SegmentImage};
+use rocksteady_proto::{Body, Envelope, Priority, Record, Request, Response, Status};
+use rocksteady_simnet::{Actor, ActorId, Ctx, Event};
+
+use crate::stats::StatsHandle;
+use crate::{Directory, ServerConfig};
+
+// Timer token kinds (low 8 bits).
+const KIND_DISPATCH: u64 = 1;
+const KIND_WORKER_DONE: u64 = 2;
+const KIND_DEFERRED_SEND: u64 = 3;
+const KIND_CLEANER: u64 = 4;
+
+fn token(kind: u64, payload: u64) -> u64 {
+    (payload << 8) | kind
+}
+
+/// A unit of worker work.
+#[derive(Debug)]
+enum Task {
+    /// Service an inbound RPC.
+    Rpc {
+        src: ActorId,
+        rpc: RpcId,
+        req: Request,
+    },
+    /// One baseline-migration scan step (source).
+    BaselineStep,
+    /// Replay fetched segment images (crash recovery).
+    RecoveryReplay {
+        /// Key into the node's recovery table.
+        recovery: u64,
+    },
+    /// One log-cleaner pass (background system task, §2.3).
+    CleanerPass,
+}
+
+/// Effects released when a worker task's service time elapses.
+#[derive(Debug)]
+enum Deferred {
+    /// Plain message send.
+    Send(ActorId, Envelope),
+    /// Tell the migration manager a replay finished.
+    ReplayDone(Option<usize>),
+    /// Schedule the next baseline scan step.
+    BaselineContinue,
+    /// Ship un-replicated log bytes to the backups; if `wait` is set the
+    /// worker stays held and the named client is answered when all
+    /// replica acks return (the durable-write path).
+    ShipLog {
+        wait: Option<(ActorId, RpcId, Response)>,
+    },
+}
+
+#[derive(Debug, Default)]
+struct WorkerState {
+    busy: bool,
+    /// Held past its service time (awaiting replication acks or a
+    /// synchronous PriorityPull).
+    held: bool,
+    /// When the hold began (service end), for busy-time accounting —
+    /// a blocked core is a busy core (§4.4 measures exactly this).
+    hold_since: Nanos,
+    deferred: Vec<Deferred>,
+    /// The replay partition this worker is processing, if any.
+    replay_partition: Option<Option<usize>>,
+}
+
+/// What an outstanding outbound RPC means to us.
+#[derive(Debug)]
+enum Pending {
+    Pull { partition: usize },
+    PriorityPull { hashes: Vec<KeyHash> },
+    SyncPriorityPull(SyncWait),
+    Prepare,
+    MigStartAck,
+    MigCompleteAck,
+    /// A replication chunk; `waiters` lists ack groups to credit.
+    ReplAck { group: Option<u64> },
+    PushRecords,
+    BaselineTransferAck,
+    FetchSegments { recovery: u64 },
+}
+
+#[derive(Debug)]
+struct SyncWait {
+    worker: usize,
+    client: ActorId,
+    client_rpc: RpcId,
+    table: TableId,
+    hash: KeyHash,
+    key: Bytes,
+}
+
+/// A group of replication acks someone waits on.
+#[derive(Debug)]
+struct AckGroup {
+    remaining: u32,
+    /// Worker to release.
+    worker: Option<usize>,
+    /// Client to answer.
+    respond: Option<(ActorId, RpcId, Response)>,
+}
+
+#[derive(Debug)]
+struct MigrationRun {
+    mgr: MigrationManager,
+    source_actor: ActorId,
+    client: Option<(ActorId, RpcId)>,
+    pull_rpcs: HashMap<RpcId, usize>,
+}
+
+struct BaselineRun {
+    mig: BaselineMigration,
+    target_actor: ActorId,
+    opts: BaselineOpts,
+}
+
+struct RecoveryRun {
+    table: TableId,
+    range: rocksteady_common::HashRange,
+    coordinator_rpc: (ActorId, RpcId),
+    pending_fetches: u32,
+    images: HashMap<u64, Bytes>,
+}
+
+/// One simulated RAMCloud server (master + backup + dispatch/workers).
+pub struct ServerNode {
+    /// Static configuration.
+    pub cfg: ServerConfig,
+    dir: Directory,
+    /// The master component (public for harness preloading).
+    pub master: MasterService,
+    /// The backup component.
+    pub backup: BackupService,
+    stats: StatsHandle,
+
+    // Dispatch.
+    rx_queue: VecDeque<(ActorId, Envelope)>,
+    dispatch_busy_until: Nanos,
+    dispatch_scheduled: bool,
+    /// Cost accumulated while handling the current dispatch event.
+    dispatch_charge: Nanos,
+
+    // Workers.
+    workers: Vec<WorkerState>,
+    queues: [VecDeque<Task>; rocksteady_proto::msg::PRIORITY_LEVELS],
+
+    // Outbound RPC state.
+    next_rpc: u64,
+    outstanding: HashMap<RpcId, Pending>,
+    /// Destination actor of each outstanding RPC, for crash failover.
+    rpc_dst: HashMap<RpcId, ActorId>,
+
+    // Replication manager (serialized §2.3 resource). Foreground
+    // (write-path) replication preempts bulk (lazy re-replication)
+    // traffic: bulk chunks queue behind both lanes, foreground only
+    // behind itself.
+    repl_free_at: Nanos,
+    repl_bulk_free_at: Nanos,
+    repl_cursor: HashMap<u64, usize>,
+    deferred_sends: HashMap<u64, (ActorId, Envelope)>,
+    next_deferred: u64,
+    ack_groups: HashMap<u64, AckGroup>,
+    next_group: u64,
+
+    // Migration state.
+    migration: Option<MigrationRun>,
+    sidelogs: Vec<Option<SideLog>>,
+    baseline: Option<BaselineRun>,
+    /// In-flight crash recoveries, keyed by the coordinator's RPC id
+    /// (several tablets may recover onto this master concurrently).
+    recoveries: HashMap<u64, RecoveryRun>,
+}
+
+impl ServerNode {
+    /// Creates a server; `dir` provides actor wiring, `stats` is shared
+    /// with the harness.
+    pub fn new(cfg: ServerConfig, dir: Directory, stats: StatsHandle) -> Self {
+        let workers = (0..cfg.workers).map(|_| WorkerState::default()).collect();
+        let master = MasterService::new(cfg.master.clone());
+        let backup = BackupService::new(cfg.id);
+        ServerNode {
+            master,
+            backup,
+            dir,
+            stats,
+            rx_queue: VecDeque::new(),
+            dispatch_busy_until: 0,
+            dispatch_scheduled: false,
+            dispatch_charge: 0,
+            workers,
+            queues: Default::default(),
+            next_rpc: 1,
+            outstanding: HashMap::new(),
+            rpc_dst: HashMap::new(),
+            repl_free_at: 0,
+            repl_bulk_free_at: 0,
+            repl_cursor: HashMap::new(),
+            deferred_sends: HashMap::new(),
+            next_deferred: 1,
+            ack_groups: HashMap::new(),
+            next_group: 1,
+            migration: None,
+            sidelogs: (0..cfg.workers).map(|_| None).collect(),
+            baseline: None,
+            recoveries: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> StatsHandle {
+        std::rc::Rc::clone(&self.stats)
+    }
+
+    /// Marks everything currently in the log as already replicated.
+    /// Harness-only: used after preloaded data has been copied onto the
+    /// backups directly, so the replication manager doesn't re-ship it.
+    pub fn mark_log_durable(&mut self) {
+        for seg in self.master.log.segments_snapshot() {
+            self.repl_cursor.insert(seg.id(), seg.committed());
+        }
+    }
+
+    // ------------------------------------------------------------ sends --
+
+    fn alloc_rpc(&mut self, pending: Pending) -> RpcId {
+        let id = RpcId(self.next_rpc);
+        self.next_rpc += 1;
+        self.outstanding.insert(id, pending);
+        id
+    }
+
+    /// Allocates an RPC bound for `dst`, recording the destination so a
+    /// crash notification can fail it over.
+    fn alloc_rpc_to(&mut self, dst: ActorId, pending: Pending) -> RpcId {
+        let id = self.alloc_rpc(pending);
+        self.rpc_dst.insert(id, dst);
+        id
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_, Envelope>, dst: ActorId, env: Envelope) {
+        self.dispatch_charge += self.cfg.cost.dispatch_tx_per_msg_ns;
+        ctx.send(dst, env);
+    }
+
+    fn respond(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        dst: ActorId,
+        rpc: RpcId,
+        resp: Response,
+    ) {
+        self.send(ctx, dst, Envelope::resp(rpc, resp));
+    }
+
+    // ------------------------------------------------- dispatch machinery --
+
+    fn ensure_dispatch(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        if self.dispatch_scheduled || self.rx_queue.is_empty() {
+            return;
+        }
+        self.dispatch_scheduled = true;
+        let delay = self.dispatch_busy_until.saturating_sub(ctx.now());
+        ctx.timer(delay, token(KIND_DISPATCH, 0));
+    }
+
+    fn on_dispatch_timer(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        self.dispatch_scheduled = false;
+        let Some((src, env)) = self.rx_queue.pop_front() else {
+            return;
+        };
+        self.dispatch_charge = self.cfg.cost.dispatch_per_msg_ns;
+        match env.body {
+            Body::Req(req) => self.on_request(ctx, src, env.rpc, req),
+            Body::Resp(resp) => self.on_response(ctx, env.rpc, resp),
+        }
+        self.try_assign(ctx);
+        // Account the accumulated dispatch time and chain the next poll.
+        let charge = self.dispatch_charge;
+        self.dispatch_charge = 0;
+        self.stats.borrow_mut().dispatch_busy_ns += charge;
+        self.dispatch_busy_until = ctx.now() + charge;
+        self.ensure_dispatch(ctx);
+    }
+
+    // ---------------------------------------------------- request intake --
+
+    fn on_request(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        src: ActorId,
+        rpc: RpcId,
+        req: Request,
+    ) {
+        match req {
+            // Control-plane requests are cheap and handled right on the
+            // dispatch core.
+            Request::PrepareMigration {
+                table,
+                range,
+                target,
+            } => {
+                let resp = match rocksteady::source::handle_prepare(
+                    &mut self.master,
+                    table,
+                    range,
+                    target,
+                ) {
+                    Some(version_ceiling) => Response::PrepareMigrationOk { version_ceiling },
+                    None => Response::Err(Status::UnknownTablet),
+                };
+                self.respond(ctx, src, rpc, resp);
+            }
+            Request::MigrateTablet {
+                table,
+                range,
+                source,
+            } => {
+                if self.migration.is_some() {
+                    self.respond(ctx, src, rpc, Response::Err(Status::MigrationInProgress));
+                    return;
+                }
+                // Ownership (locally) from the very start: reads miss into
+                // the PriorityPull path, writes are accepted (§3).
+                self.master
+                    .add_tablet(table, range, TabletRole::PullingFrom { source });
+                let lineage = self.master.log.head_segment_id();
+                let mut mgr = MigrationManager::new(
+                    table,
+                    range,
+                    source,
+                    lineage,
+                    self.cfg.migration.clone(),
+                );
+                let source_actor = self.dir.actor_of(source);
+                let first = mgr.begin();
+                self.stats.borrow_mut().migration_started_at = Some(ctx.now());
+                self.migration = Some(MigrationRun {
+                    mgr,
+                    source_actor,
+                    client: Some((src, rpc)),
+                    pull_rpcs: HashMap::new(),
+                });
+                self.run_migration_actions(ctx, vec![first]);
+            }
+            Request::MigrateTabletBaseline {
+                table,
+                range,
+                target,
+                opts,
+            } => {
+                let Some(mig) = BaselineMigration::new(
+                    &mut self.master,
+                    table,
+                    range,
+                    target,
+                    opts,
+                    self.cfg.migration.pull_budget_bytes as u64,
+                ) else {
+                    self.respond(ctx, src, rpc, Response::Err(Status::UnknownTablet));
+                    return;
+                };
+                self.stats.borrow_mut().migration_started_at = Some(ctx.now());
+                self.baseline = Some(BaselineRun {
+                    mig,
+                    target_actor: self.dir.actor_of(target),
+                    opts,
+                });
+                self.queues[Priority::Background as usize].push_back(Task::BaselineStep);
+                self.respond(ctx, src, rpc, Response::MigrateTabletOk);
+            }
+            Request::RecoverTablet {
+                table,
+                range,
+                crashed,
+                backups,
+                from_segment,
+                merge,
+            } => {
+                // Block client traffic on the range until the replicated
+                // log has been merged: accepting a write before the
+                // replay would let it carry a version below what the
+                // dead participant already acknowledged (§3.4).
+                if merge {
+                    if !self
+                        .master
+                        .set_tablet_role(table, range, TabletRole::Recovering)
+                    {
+                        self.master.add_tablet(table, range, TabletRole::Recovering);
+                    }
+                    // A migration we were running for this range is moot.
+                    if let Some(run) = &self.migration {
+                        if run.mgr.table == table && run.mgr.range == range {
+                            self.migration = None;
+                        }
+                    }
+                } else {
+                    self.master.add_tablet(table, range, TabletRole::Recovering);
+                }
+                let key = rpc.0;
+                let mut pending = 0u32;
+                for b in &backups {
+                    let dst = self.dir.actor_of(*b);
+                    let id = self.alloc_rpc_to(dst, Pending::FetchSegments { recovery: key });
+                    pending += 1;
+                    self.send(
+                        ctx,
+                        dst,
+                        Envelope::req(
+                            id,
+                            Request::FetchSegments {
+                                owner: crashed,
+                                min_segment: from_segment,
+                            },
+                        ),
+                    );
+                }
+                self.recoveries.insert(
+                    key,
+                    RecoveryRun {
+                        table,
+                        range,
+                        coordinator_rpc: (src, rpc),
+                        pending_fetches: pending,
+                        images: HashMap::new(),
+                    },
+                );
+                if pending == 0 {
+                    self.queues[Priority::Replay as usize]
+                        .push_back(Task::RecoveryReplay { recovery: key });
+                }
+            }
+            Request::NotifyServerDown { server } => {
+                self.on_server_down(ctx, server);
+                self.respond(ctx, src, rpc, Response::Ok);
+            }
+            // Everything else runs on a worker.
+            other => {
+                let priority = other.priority();
+                self.queues[priority as usize].push_back(Task::Rpc {
+                    src,
+                    rpc,
+                    req: other,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------- response handling --
+
+    fn on_response(&mut self, ctx: &mut Ctx<'_, Envelope>, rpc: RpcId, resp: Response) {
+        let Some(pending) = self.outstanding.remove(&rpc) else {
+            return; // late/duplicate response
+        };
+        self.rpc_dst.remove(&rpc);
+        match (pending, resp) {
+            (Pending::Prepare, Response::PrepareMigrationOk { version_ceiling }) => {
+                self.master.raise_version_floor(version_ceiling);
+                if let Some(run) = &mut self.migration {
+                    let action = run.mgr.on_prepared();
+                    self.run_migration_actions(ctx, vec![action]);
+                }
+            }
+            (Pending::MigStartAck, Response::Ok) => {
+                let mut actions = Vec::new();
+                if let Some(run) = &mut self.migration {
+                    run.mgr.on_registered();
+                    if let Some((client, client_rpc)) = run.client.take() {
+                        self.respond(ctx, client, client_rpc, Response::MigrateTabletOk);
+                    }
+                }
+                actions.extend(self.poll_migration());
+                self.run_migration_actions(ctx, actions);
+            }
+            (Pending::MigCompleteAck, _) => {}
+            (Pending::Pull { partition }, Response::PullOk { records, next }) => {
+                let wire: u64 = records.iter().map(Record::wire_size).sum();
+                {
+                    let mut s = self.stats.borrow_mut();
+                    s.bytes_migrated_in += wire;
+                }
+                if let Some(run) = &mut self.migration {
+                    run.mgr.on_pull_response(partition, records, next, wire);
+                }
+                let actions = self.poll_migration();
+                self.run_migration_actions(ctx, actions);
+            }
+            (Pending::PriorityPull { hashes }, Response::PriorityPullOk { records }) => {
+                let wire: u64 = records.iter().map(Record::wire_size).sum();
+                self.stats.borrow_mut().bytes_migrated_in += wire;
+                if let Some(run) = &mut self.migration {
+                    run.mgr.on_priority_pull_response(&hashes, records);
+                }
+                let actions = self.poll_migration();
+                self.run_migration_actions(ctx, actions);
+            }
+            (Pending::SyncPriorityPull(wait), Response::PriorityPullOk { records }) => {
+                self.finish_sync_priority_pull(ctx, wait, records);
+            }
+            (Pending::ReplAck { group }, _) => {
+                if let Some(gid) = group {
+                    self.credit_ack_group(ctx, gid);
+                }
+            }
+            (Pending::PushRecords, Response::PushRecordsOk) => {
+                // Window of 1: next scan step now that the target acked.
+                if self.baseline.is_some() {
+                    self.queues[Priority::Background as usize].push_back(Task::BaselineStep);
+                }
+            }
+            (Pending::BaselineTransferAck, _) => {
+                if let Some(run) = &mut self.baseline {
+                    run.mig.on_ownership_transferred(&mut self.master);
+                    self.stats.borrow_mut().migration_finished_at = Some(ctx.now());
+                }
+                self.baseline = None;
+            }
+            (Pending::FetchSegments { recovery }, Response::SegmentsOk { segments }) => {
+                self.on_segments(ctx, recovery, segments);
+            }
+            // Error responses on protocol RPCs: drop the related state
+            // rather than wedging (e.g. source died mid-migration; the
+            // coordinator's crash handling takes over).
+            (Pending::SyncPriorityPull(wait), _) => {
+                self.respond(
+                    ctx,
+                    wait.client,
+                    wait.client_rpc,
+                    Response::Err(Status::Retry {
+                        after: self.cfg.migration.retry_after_ns,
+                    }),
+                );
+                self.release_worker(ctx, wait.worker);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_segments(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        recovery: u64,
+        segments: Vec<SegmentImage>,
+    ) {
+        let Some(rec) = self.recoveries.get_mut(&recovery) else {
+            return;
+        };
+        for img in segments {
+            let entry = rec.images.entry(img.id).or_insert_with(|| img.data.clone());
+            if img.data.len() > entry.len() {
+                *entry = img.data;
+            }
+        }
+        rec.pending_fetches -= 1;
+        if rec.pending_fetches == 0 {
+            self.queues[Priority::Replay as usize]
+                .push_back(Task::RecoveryReplay { recovery });
+            self.try_assign(ctx);
+        }
+    }
+
+    // -------------------------------------------------- worker machinery --
+
+    /// Any idle worker, including the reserved one.
+    fn idle_worker_any(&self) -> Option<usize> {
+        self.workers.iter().position(|w| !w.busy)
+    }
+
+    /// An idle worker excluding worker 0. Worker 0 is reserved away from
+    /// tasks that can *hold* a core while waiting on another server
+    /// (durable writes awaiting replication acks, synchronous
+    /// PriorityPulls) — without the reserve, a ring of fully-loaded
+    /// servers deadlocks: every core held awaiting an ack that only
+    /// another held core could produce. Non-holding work (reads, pulls,
+    /// replay, replication service) runs on any core.
+    fn idle_worker_nonreserved(&self) -> Option<usize> {
+        let skip = usize::from(self.workers.len() > 1);
+        self.workers
+            .iter()
+            .enumerate()
+            .skip(skip)
+            .find(|(_, w)| !w.busy)
+            .map(|(i, _)| i)
+    }
+
+    fn idle_workers(&self) -> usize {
+        self.workers.iter().filter(|w| !w.busy).count()
+    }
+
+    /// Whether a task can hold its worker past its service time, waiting
+    /// on a remote ack (see [`Self::idle_worker_nonreserved`]).
+    fn may_hold(&self, task: &Task) -> bool {
+        match task {
+            Task::Rpc { req, .. } => match req {
+                Request::Write { .. } | Request::Delete { .. } => true,
+                Request::PushRecords {
+                    replay: true,
+                    rereplicate: true,
+                    ..
+                } => true,
+                Request::Read { .. } => self.cfg.migration.sync_priority_pulls,
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn try_assign(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        // Strict priority: Urgent, Foreground, then the migration
+        // manager's held replay batches, then Replay/Background queues
+        // (§3.1, §3.1.2). Hold-capable tasks never take the reserved
+        // worker.
+        loop {
+            let mut assigned = false;
+            for q in 0..self.queues.len() {
+                let Some(front) = self.queues[q].front() else {
+                    if q == 1 && self.migration.is_some() && self.idle_workers() > 0 {
+                        // Between Foreground and Replay: offer idle
+                        // workers to the migration manager (§3.1.2).
+                        let actions = self.poll_migration();
+                        if !actions.is_empty() {
+                            self.run_migration_actions(ctx, actions);
+                            assigned = true;
+                            break;
+                        }
+                    }
+                    continue;
+                };
+                let worker = if self.may_hold(front) {
+                    self.idle_worker_nonreserved()
+                } else {
+                    self.idle_worker_any()
+                };
+                let Some(worker) = worker else {
+                    // Strict priority: don't let lower classes jump the
+                    // queue just because the head can't be placed.
+                    return;
+                };
+                let task = self.queues[q].pop_front().expect("peeked above");
+                self.run_task(ctx, worker, task);
+                assigned = true;
+                break;
+            }
+            if !assigned {
+                if self.migration.is_some() && self.idle_workers() > 0 {
+                    let actions = self.poll_migration();
+                    if !actions.is_empty() {
+                        self.run_migration_actions(ctx, actions);
+                        continue;
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    fn run_task(&mut self, ctx: &mut Ctx<'_, Envelope>, worker: usize, task: Task) {
+        debug_assert!(!self.workers[worker].busy);
+        self.workers[worker].busy = true;
+        let service_ns = match task {
+            Task::Rpc { src, rpc, req } => self.exec_rpc(ctx, worker, src, rpc, req),
+            Task::BaselineStep => self.exec_baseline_step(ctx, worker),
+            Task::RecoveryReplay { recovery } => self.exec_recovery_replay(worker, recovery),
+            Task::CleanerPass => self.exec_cleaner_pass(),
+        };
+        self.stats.borrow_mut().worker_busy_ns += service_ns;
+        ctx.timer(service_ns, token(KIND_WORKER_DONE, worker as u64));
+    }
+
+    fn on_worker_done(&mut self, ctx: &mut Ctx<'_, Envelope>, worker: usize) {
+        let deferred = std::mem::take(&mut self.workers[worker].deferred);
+        let mut migration_event = false;
+        for d in deferred {
+            match d {
+                Deferred::Send(dst, env) => self.send(ctx, dst, env),
+                Deferred::ReplayDone(partition) => {
+                    if let Some(run) = &mut self.migration {
+                        run.mgr.on_replay_done(partition);
+                    }
+                    migration_event = true;
+                }
+                Deferred::BaselineContinue => {
+                    self.queues[Priority::Background as usize].push_back(Task::BaselineStep);
+                }
+                Deferred::ShipLog { wait } => {
+                    self.ship_log(ctx, Some(worker), wait, false);
+                }
+            }
+        }
+        self.workers[worker].replay_partition = None;
+        if !self.workers[worker].held {
+            self.workers[worker].busy = false;
+        } else {
+            self.workers[worker].hold_since = ctx.now();
+        }
+        if migration_event {
+            let actions = self.poll_migration();
+            self.run_migration_actions(ctx, actions);
+        }
+        self.try_assign(ctx);
+    }
+
+    fn release_worker(&mut self, ctx: &mut Ctx<'_, Envelope>, worker: usize) {
+        let w = &mut self.workers[worker];
+        if w.held {
+            // The core sat blocked from service end until now; that wait
+            // is busy time (a stalled worker serves nobody, §4.4).
+            let waited = ctx.now().saturating_sub(w.hold_since);
+            w.held = false;
+            self.stats.borrow_mut().worker_busy_ns += waited;
+        }
+        self.workers[worker].busy = false;
+        self.try_assign(ctx);
+    }
+
+    // ------------------------------------------------------- replication --
+
+    /// Ships every not-yet-replicated byte of the main log to this
+    /// master's backups through the replication-manager resource. If
+    /// `wait` is set, a fresh ack group is created that releases
+    /// `worker` and answers the client once every chunk is acked.
+    fn ship_log(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        worker: Option<usize>,
+        wait: Option<(ActorId, RpcId, Response)>,
+        bulk: bool,
+    ) {
+        let backups = self.cfg.backup_actors.clone();
+        let mut chunk_rpcs = Vec::new();
+        if !backups.is_empty() {
+            let segments = self.master.log.segments_snapshot();
+            // Cap chunk size so bulk (lazy) re-replication interleaves
+            // with foreground responses on the NIC instead of hogging it
+            // with whole-segment transmissions.
+            const CHUNK: usize = 64 * 1024;
+            for seg in segments {
+                let committed = seg.committed();
+                let mut done = *self.repl_cursor.get(&seg.id()).unwrap_or(&0);
+                if committed <= done {
+                    continue;
+                }
+                while done < committed {
+                    let end = (done + CHUNK).min(committed);
+                    let data =
+                        Bytes::copy_from_slice(&seg.committed_bytes()[done..end]);
+                    let bytes = data.len() as u64;
+                    // The replication manager is a serialized ~380 MB/s
+                    // resource (§2.3): each chunk occupies it for its
+                    // fan-out before the RPCs leave.
+                    let occupancy = self.cfg.cost.replication_occupancy_ns(bytes);
+                    let start = if bulk {
+                        ctx.now().max(self.repl_free_at).max(self.repl_bulk_free_at)
+                    } else {
+                        ctx.now().max(self.repl_free_at)
+                    };
+                    let free = start + occupancy;
+                    if bulk {
+                        self.repl_bulk_free_at = free;
+                    } else {
+                        self.repl_free_at = free;
+                    }
+                    let delay = free - ctx.now();
+                    for b in &backups {
+                        let req = Request::ReplicateAppend {
+                            owner: self.cfg.id,
+                            segment: seg.id(),
+                            offset: done as u32,
+                            data: data.clone(),
+                        };
+                        let rpc = self.alloc_rpc_to(*b, Pending::ReplAck { group: None });
+                        chunk_rpcs.push(rpc);
+                        let env = Envelope::req(rpc, req);
+                        if delay == 0 {
+                            self.send(ctx, *b, env);
+                        } else {
+                            let tok = self.next_deferred;
+                            self.next_deferred += 1;
+                            self.deferred_sends.insert(tok, (*b, env));
+                            ctx.timer(delay, token(KIND_DEFERRED_SEND, tok));
+                        }
+                    }
+                    done = end;
+                }
+                self.repl_cursor.insert(seg.id(), committed);
+            }
+        }
+        match wait {
+            Some((client, rpc, resp)) if !chunk_rpcs.is_empty() => {
+                let gid = self.next_group;
+                self.next_group += 1;
+                for r in &chunk_rpcs {
+                    self.outstanding
+                        .insert(*r, Pending::ReplAck { group: Some(gid) });
+                }
+                self.ack_groups.insert(
+                    gid,
+                    AckGroup {
+                        remaining: chunk_rpcs.len() as u32,
+                        worker,
+                        respond: Some((client, rpc, resp)),
+                    },
+                );
+            }
+            Some((client, rpc, resp)) => {
+                // Nothing to ship (no backups, or a concurrent shipment
+                // already covered our bytes): respond immediately.
+                self.respond(ctx, client, rpc, resp);
+                if let Some(w) = worker {
+                    self.release_worker(ctx, w);
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn credit_ack_group(&mut self, ctx: &mut Ctx<'_, Envelope>, gid: u64) {
+        let finished = {
+            let Some(g) = self.ack_groups.get_mut(&gid) else {
+                return;
+            };
+            g.remaining -= 1;
+            g.remaining == 0
+        };
+        if finished {
+            let g = self.ack_groups.remove(&gid).expect("checked above");
+            if let Some((client, rpc, resp)) = g.respond {
+                self.respond(ctx, client, rpc, resp);
+            }
+            if let Some(w) = g.worker {
+                self.release_worker(ctx, w);
+            }
+        }
+    }
+
+    // ------------------------------------------------------ RPC execution --
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_rpc(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        worker: usize,
+        src: ActorId,
+        rpc: RpcId,
+        req: Request,
+    ) -> Nanos {
+        let m = self.cfg.cost.clone();
+        let mut work = Work::default();
+        match req {
+            Request::Read {
+                table,
+                key,
+                key_hash,
+            } => {
+                self.stats.borrow_mut().ops_served += 1;
+                let service = m.op_fixed_ns + m.read_per_object_ns;
+                match self.master.read(table, key_hash, Some(&key), &mut work) {
+                    Ok((value, version)) => {
+                        self.defer_send(worker, src, rpc, Response::ReadOk { value, version });
+                    }
+                    Err(err) => {
+                        return self.read_miss(
+                            ctx, worker, src, rpc, table, key, key_hash, err,
+                            service + work.service_ns(&m),
+                        );
+                    }
+                }
+                service + work.service_ns(&m)
+            }
+            Request::MultiRead { table, keys } => {
+                let n = keys.len() as u64;
+                self.stats.borrow_mut().ops_served += n;
+                let mut values = Vec::with_capacity(keys.len());
+                for (key, hash) in &keys {
+                    values.push(
+                        self.master
+                            .read(table, *hash, Some(key), &mut work)
+                            .ok()
+                            .map(|(v, _)| v),
+                    );
+                }
+                self.defer_send(worker, src, rpc, Response::MultiReadOk { values });
+                m.op_fixed_ns + n * m.read_per_object_ns + work.service_ns(&m)
+            }
+            Request::MultiReadHash { table, hashes } => {
+                let n = hashes.len() as u64;
+                self.stats.borrow_mut().ops_served += n;
+                let mut values = Vec::with_capacity(hashes.len());
+                for hash in &hashes {
+                    values.push(
+                        self.master
+                            .read(table, *hash, None, &mut work)
+                            .ok()
+                            .map(|(v, _)| v),
+                    );
+                }
+                self.defer_send(worker, src, rpc, Response::MultiReadHashOk { values });
+                m.op_fixed_ns + n * m.read_per_object_ns + work.service_ns(&m)
+            }
+            Request::Write {
+                table,
+                key,
+                key_hash,
+                value,
+            } => {
+                self.stats.borrow_mut().ops_served += 1;
+                let service = m.op_fixed_ns + m.write_per_object_ns;
+                match self.master.write(table, key_hash, &key, &value, &mut work) {
+                    Ok((version, _)) => {
+                        // Durable write: ship the log delta at completion
+                        // and hold the worker until the replicas ack (§2:
+                        // 15 µs writes).
+                        self.workers[worker].held = true;
+                        self.workers[worker].deferred.push(Deferred::ShipLog {
+                            wait: Some((src, rpc, Response::WriteOk { version })),
+                        });
+                    }
+                    Err(OpError::UnknownTablet) => {
+                        self.defer_send(worker, src, rpc, Response::Err(Status::UnknownTablet));
+                    }
+                    Err(OpError::Recovering) => {
+                        let after = self.cfg.migration.retry_after_ns * 4;
+                        self.defer_send(worker, src, rpc, Response::Err(Status::Retry { after }));
+                    }
+                    Err(_) => {
+                        self.defer_send(worker, src, rpc, Response::Err(Status::NotFound));
+                    }
+                }
+                service + work.service_ns(&m)
+            }
+            Request::Delete {
+                table,
+                key,
+                key_hash,
+            } => {
+                self.stats.borrow_mut().ops_served += 1;
+                match self.master.delete(table, key_hash, &key, &mut work) {
+                    Ok(existed) => {
+                        self.workers[worker].held = true;
+                        self.workers[worker].deferred.push(Deferred::ShipLog {
+                            wait: Some((src, rpc, Response::DeleteOk { existed })),
+                        });
+                    }
+                    Err(OpError::UnknownTablet) => {
+                        self.defer_send(worker, src, rpc, Response::Err(Status::UnknownTablet));
+                    }
+                    Err(OpError::Recovering) => {
+                        let after = self.cfg.migration.retry_after_ns * 4;
+                        self.defer_send(worker, src, rpc, Response::Err(Status::Retry { after }));
+                    }
+                    Err(_) => {
+                        self.defer_send(worker, src, rpc, Response::Err(Status::NotFound));
+                    }
+                }
+                m.op_fixed_ns + m.write_per_object_ns + work.service_ns(&m)
+            }
+            Request::IndexScan {
+                table,
+                index,
+                begin,
+                end,
+                limit,
+            } => {
+                self.stats.borrow_mut().ops_served += 1;
+                let resp = match self.master.index_scan(
+                    table,
+                    index,
+                    &begin,
+                    &end,
+                    limit as usize,
+                    &mut work,
+                ) {
+                    Ok((hashes, truncated)) => Response::IndexScanOk { hashes, truncated },
+                    Err(_) => Response::Err(Status::UnknownTablet),
+                };
+                self.defer_send(worker, src, rpc, resp);
+                m.op_fixed_ns + m.index_lookup_ns + work.service_ns(&m)
+            }
+            Request::IndexInsert {
+                table,
+                index,
+                sec_key,
+                primary_hash,
+            } => {
+                let resp = match self.master.index_insert(
+                    table,
+                    index,
+                    &sec_key,
+                    primary_hash,
+                    &mut work,
+                ) {
+                    Ok(()) => Response::Ok,
+                    Err(_) => Response::Err(Status::UnknownTablet),
+                };
+                self.defer_send(worker, src, rpc, resp);
+                m.op_fixed_ns + m.index_lookup_ns + work.service_ns(&m)
+            }
+            Request::Pull {
+                table,
+                range,
+                cursor,
+                budget_bytes,
+            } => {
+                self.stats.borrow_mut().pulls_served += 1;
+                let (records, next, gwork) =
+                    rocksteady::source::handle_pull(&self.master, table, range, cursor, budget_bytes);
+                let mut service = m.pull_fixed_ns;
+                let mut wire = 0;
+                for r in &records {
+                    service += m.pull_record_ns(r.wire_size());
+                    wire += r.wire_size();
+                }
+                self.stats.borrow_mut().bytes_migrated_out += wire;
+                let _ = gwork; // per-record costs are covered by pull_record_ns
+                self.defer_send(worker, src, rpc, Response::PullOk { records, next });
+                service
+            }
+            Request::PriorityPull { table, hashes } => {
+                self.stats.borrow_mut().priority_pulls_served += 1;
+                let (records, _gwork) =
+                    rocksteady::source::handle_priority_pull(&self.master, table, &hashes);
+                let mut service = m.priority_pull_fixed_ns;
+                let mut wire = 0;
+                for r in &records {
+                    service += m.priority_pull_per_record_ns
+                        + m.checksum_ns(r.wire_size())
+                        + m.copy_ns(r.wire_size());
+                    wire += r.wire_size();
+                }
+                self.stats.borrow_mut().bytes_migrated_out += wire;
+                self.defer_send(worker, src, rpc, Response::PriorityPullOk { records });
+                service
+            }
+            Request::PushRecords {
+                table: _,
+                records,
+                replay,
+                rereplicate,
+            } => {
+                let mut service = m.op_fixed_ns;
+                let wire: u64 = records.iter().map(Record::wire_size).sum();
+                self.stats.borrow_mut().bytes_migrated_in += wire;
+                if replay {
+                    let mut replayed = 0u64;
+                    for rec in &records {
+                        service += m.replay_record_ns(rec.wire_size());
+                        if self
+                            .master
+                            .replay_record(rec, ReplayDest::MainLog, &mut work)
+                        {
+                            replayed += 1;
+                        }
+                    }
+                    self.stats.borrow_mut().records_replayed += replayed;
+                }
+                if replay && rereplicate {
+                    self.workers[worker].held = true;
+                    self.workers[worker].deferred.push(Deferred::ShipLog {
+                        wait: Some((src, rpc, Response::PushRecordsOk)),
+                    });
+                } else {
+                    self.defer_send(worker, src, rpc, Response::PushRecordsOk);
+                }
+                service
+            }
+            Request::ReplicateAppend {
+                owner,
+                segment,
+                offset,
+                data,
+            } => {
+                let outcome = self.backup.append(owner, segment, offset, &data);
+                debug_assert!(
+                    matches!(outcome, rocksteady_backup::AppendOutcome::Ok),
+                    "replication stream corrupted: {outcome:?}"
+                );
+                self.defer_send(worker, src, rpc, Response::ReplicateOk);
+                m.backup_fixed_ns + (data.len() as f64 * m.backup_per_byte_ns) as Nanos
+            }
+            Request::ReplicateClose { owner, segment } => {
+                self.backup.close(owner, segment);
+                self.defer_send(worker, src, rpc, Response::ReplicateOk);
+                m.backup_fixed_ns
+            }
+            Request::FetchSegments { owner, min_segment } => {
+                let segments = self.backup.fetch(owner, min_segment);
+                let bytes: u64 = segments.iter().map(|s| s.data.len() as u64).sum();
+                self.defer_send(worker, src, rpc, Response::SegmentsOk { segments });
+                m.backup_fixed_ns + m.copy_ns(bytes)
+            }
+            // Control-plane requests never reach workers.
+            other => {
+                debug_assert!(false, "unexpected worker request {other:?}");
+                self.defer_send(worker, src, rpc, Response::Err(Status::UnknownTablet));
+                m.op_fixed_ns
+            }
+        }
+    }
+
+    /// Handles a read that could not be served directly.
+    #[allow(clippy::too_many_arguments)]
+    fn read_miss(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        worker: usize,
+        src: ActorId,
+        rpc: RpcId,
+        table: TableId,
+        key: Bytes,
+        _key_hash: KeyHash,
+        err: OpError,
+        service: Nanos,
+    ) -> Nanos {
+        match err {
+            OpError::NotYetHere { hash } => {
+                let sync = self.cfg.migration.sync_priority_pulls;
+                if sync {
+                    if let Some(run) = &self.migration {
+                        // Naïve mode (Figure 13b/14b): the worker blocks on
+                        // its own single-key PriorityPull.
+                        let source_actor = run.source_actor;
+                        self.workers[worker].held = true;
+                        let pp = self.alloc_rpc_to(source_actor, Pending::SyncPriorityPull(SyncWait {
+                            worker,
+                            client: src,
+                            client_rpc: rpc,
+                            table,
+                            hash,
+                            key,
+                        }));
+                        self.send(
+                            ctx,
+                            source_actor,
+                            Envelope::req(
+                                pp,
+                                Request::PriorityPull {
+                                    table,
+                                    hashes: vec![hash],
+                                },
+                            ),
+                        );
+                        return service;
+                    }
+                }
+                let outcome = match &mut self.migration {
+                    Some(run) => run.mgr.on_read_miss(hash),
+                    None => MissOutcome::Wait,
+                };
+                let resp = match outcome {
+                    MissOutcome::Wait => {
+                        // "Retry after the time when the target expects it
+                        // will have the value" (§3): with PriorityPulls
+                        // that is one PP round trip; without them the
+                        // record only arrives with the bulk pulls, so the
+                        // hint is correspondingly longer.
+                        let base = if self.cfg.migration.priority_pulls {
+                            self.cfg.migration.retry_after_ns
+                        } else {
+                            self.cfg.migration.retry_after_ns * 20
+                        };
+                        let jitter = ctx.rng.next_below(base.max(1));
+                        Response::Err(Status::Retry {
+                            after: base + jitter,
+                        })
+                    }
+                    MissOutcome::NotFound => Response::Err(Status::NotFound),
+                };
+                self.defer_send(worker, src, rpc, resp);
+                let actions = self.poll_migration();
+                self.run_migration_actions(ctx, actions);
+                service
+            }
+            OpError::UnknownTablet => {
+                self.defer_send(worker, src, rpc, Response::Err(Status::UnknownTablet));
+                service
+            }
+            OpError::Recovering => {
+                let after = self.cfg.migration.retry_after_ns * 4;
+                self.defer_send(worker, src, rpc, Response::Err(Status::Retry { after }));
+                service
+            }
+            _ => {
+                self.defer_send(worker, src, rpc, Response::Err(Status::NotFound));
+                service
+            }
+        }
+    }
+
+    fn finish_sync_priority_pull(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        wait: SyncWait,
+        records: Vec<Record>,
+    ) {
+        let m = self.cfg.cost.clone();
+        let mut work = Work::default();
+        let mut service = 0;
+        let mut replayed = 0u64;
+        for rec in &records {
+            service += m.replay_record_ns(rec.wire_size());
+            if self.master.replay_record(rec, ReplayDest::MainLog, &mut work) {
+                replayed += 1;
+            }
+        }
+        self.stats.borrow_mut().records_replayed += replayed;
+        // The worker was blocked the whole round trip; charge the replay
+        // on top.
+        self.stats.borrow_mut().worker_busy_ns += service;
+        let resp = match self
+            .master
+            .read(wait.table, wait.hash, Some(&wait.key), &mut work)
+        {
+            Ok((value, version)) => Response::ReadOk { value, version },
+            Err(_) => Response::Err(Status::NotFound),
+        };
+        self.respond(ctx, wait.client, wait.client_rpc, resp);
+        self.release_worker(ctx, wait.worker);
+    }
+
+    // --------------------------------------------------------- migration --
+
+    fn poll_migration(&mut self) -> Vec<Action> {
+        let idle = self.idle_workers();
+        // The manager runs as a dispatch continuation (§3.1.2).
+        self.dispatch_charge += self.cfg.cost.migration_mgr_check_ns;
+        match &mut self.migration {
+            Some(run) => run.mgr.poll(idle),
+            None => Vec::new(),
+        }
+    }
+
+    fn run_migration_actions(&mut self, ctx: &mut Ctx<'_, Envelope>, actions: Vec<Action>) {
+        for action in actions {
+            let Some(run) = &mut self.migration else {
+                return;
+            };
+            match action {
+                Action::SendPrepare => {
+                    let req = Request::PrepareMigration {
+                        table: run.mgr.table,
+                        range: run.mgr.range,
+                        target: self.cfg.id,
+                    };
+                    let dst = run.source_actor;
+                    let rpc = self.alloc_rpc_to(dst, Pending::Prepare);
+                    self.send(ctx, dst, Envelope::req(rpc, req));
+                }
+                Action::NotifyStart {
+                    lineage_from_segment,
+                } => {
+                    let req = Request::MigrationStarting {
+                        table: run.mgr.table,
+                        range: run.mgr.range,
+                        source: run.mgr.source,
+                        target: self.cfg.id,
+                        lineage_from_segment,
+                    };
+                    let dst = self.dir.coordinator;
+                    let rpc = self.alloc_rpc_to(dst, Pending::MigStartAck);
+                    self.send(ctx, dst, Envelope::req(rpc, req));
+                }
+                Action::SendPull { partition, cursor } => {
+                    let req = Request::Pull {
+                        table: run.mgr.table,
+                        range: run.mgr.range.split(run.mgr.config.partitions)[partition],
+                        cursor,
+                        budget_bytes: run.mgr.config.pull_budget_bytes,
+                    };
+                    let dst = run.source_actor;
+                    let rpc = self.alloc_rpc_to(dst, Pending::Pull { partition });
+                    if let Some(r) = &mut self.migration {
+                        r.pull_rpcs.insert(rpc, partition);
+                    }
+                    self.send(ctx, dst, Envelope::req(rpc, req));
+                }
+                Action::SendPriorityPull { hashes } => {
+                    let req = Request::PriorityPull {
+                        table: run.mgr.table,
+                        hashes: hashes.clone(),
+                    };
+                    let dst = run.source_actor;
+                    let rpc = self.alloc_rpc_to(dst, Pending::PriorityPull { hashes });
+                    self.send(ctx, dst, Envelope::req(rpc, req));
+                }
+                Action::Replay(batch) => {
+                    let Some(worker) = self.idle_worker_any() else {
+                        debug_assert!(false, "manager scheduled replay with no idle worker");
+                        continue;
+                    };
+                    self.workers[worker].busy = true;
+                    let service = self.exec_replay(worker, batch);
+                    self.stats.borrow_mut().worker_busy_ns += service;
+                    ctx.timer(service, token(KIND_WORKER_DONE, worker as u64));
+                }
+                Action::Finished => {
+                    self.finish_migration(ctx);
+                }
+            }
+        }
+    }
+
+    fn exec_replay(&mut self, worker: usize, batch: ReplayBatch) -> Nanos {
+        let m = self.cfg.cost.clone();
+        // Each worker replays into its own side log: zero contention
+        // (§3.1.3).
+        if self.sidelogs[worker].is_none() {
+            self.sidelogs[worker] = Some(SideLog::new(std::sync::Arc::clone(&self.master.log)));
+        }
+        let mut service = 0;
+        let mut replayed = 0u64;
+        let mut work = Work::default();
+        {
+            let side = self.sidelogs[worker].as_ref().expect("created above");
+            for rec in &batch.records {
+                service += m.replay_record_ns(rec.wire_size());
+                if self.master.replay_record(rec, ReplayDest::Side(side), &mut work) {
+                    replayed += 1;
+                }
+            }
+        }
+        self.stats.borrow_mut().records_replayed += replayed;
+        self.workers[worker].replay_partition = Some(batch.partition);
+        self.workers[worker]
+            .deferred
+            .push(Deferred::ReplayDone(batch.partition));
+        service.max(1)
+    }
+
+    fn finish_migration(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        let Some(run) = self.migration.take() else {
+            return;
+        };
+        // Commit every worker's side log into the main log (§3.1.3).
+        for slot in &mut self.sidelogs {
+            if let Some(side) = slot.take() {
+                side.commit().expect("side log commit");
+            }
+        }
+        // Lazy re-replication (§3.4): the committed side segments are now
+        // ordinary unreplicated log bytes; ship them in the background,
+        // yielding to foreground write replication.
+        self.ship_log(ctx, None, None, true);
+        // Become a plain owner.
+        self.master
+            .set_tablet_role(run.mgr.table, run.mgr.range, TabletRole::Owner);
+        // Drop the lineage dependency.
+        let req = Request::MigrationComplete {
+            table: run.mgr.table,
+            range: run.mgr.range,
+            source: run.mgr.source,
+            target: self.cfg.id,
+        };
+        let dst = self.dir.coordinator;
+        let rpc = self.alloc_rpc_to(dst, Pending::MigCompleteAck);
+        self.send(ctx, dst, Envelope::req(rpc, req));
+        self.stats.borrow_mut().migration_finished_at = Some(ctx.now());
+    }
+
+    // ---------------------------------------------------------- baseline --
+
+    fn exec_baseline_step(&mut self, ctx: &mut Ctx<'_, Envelope>, worker: usize) -> Nanos {
+        let m = self.cfg.cost.clone();
+        let Some(run) = &mut self.baseline else {
+            return m.op_fixed_ns;
+        };
+        let (action, work) = run.mig.step(&mut self.master);
+        let service = work.service_ns(&m).max(1);
+        match action {
+            BaselineAction::SendBatch {
+                records,
+                await_ack,
+                scanned_bytes,
+            } => {
+                self.stats.borrow_mut().bytes_migrated_out += scanned_bytes;
+                if await_ack && !records.is_empty() {
+                    let req = Request::PushRecords {
+                        table: run.mig.table,
+                        records,
+                        replay: !run.opts.skip_replay,
+                        rereplicate: !run.opts.skip_replay && !run.opts.skip_rereplication,
+                    };
+                    let dst = run.target_actor;
+                    let rpc = self.alloc_rpc_to(dst, Pending::PushRecords);
+                    self.workers[worker]
+                        .deferred
+                        .push(Deferred::Send(dst, Envelope::req(rpc, req)));
+                } else {
+                    // Lever variants (skip_copy/skip_tx) keep scanning
+                    // without waiting on the network.
+                    self.workers[worker].deferred.push(Deferred::BaselineContinue);
+                }
+            }
+            BaselineAction::TransferOwnership => {
+                let req = Request::BaselineOwnershipTransfer {
+                    table: run.mig.table,
+                    range: run.mig.range,
+                    source: self.cfg.id,
+                    target: self.dir
+                        .servers
+                        .iter()
+                        .find(|(_, a)| **a == run.target_actor)
+                        .map(|(s, _)| *s)
+                        .expect("target in directory"),
+                };
+                let dst = self.dir.coordinator;
+                let rpc = self.alloc_rpc_to(dst, Pending::BaselineTransferAck);
+                self.workers[worker]
+                    .deferred
+                    .push(Deferred::Send(dst, Envelope::req(rpc, req)));
+            }
+            BaselineAction::Done => {
+                if run.mig.is_done() {
+                    self.baseline = None;
+                }
+            }
+        }
+        let _ = ctx;
+        service
+    }
+
+    // ---------------------------------------------------------- recovery --
+
+    fn exec_recovery_replay(&mut self, worker: usize, recovery: u64) -> Nanos {
+        let m = self.cfg.cost.clone();
+        let Some(rec) = self.recoveries.remove(&recovery) else {
+            return m.op_fixed_ns;
+        };
+        let mut service = m.op_fixed_ns;
+        let mut work = Work::default();
+        let mut replayed = 0u64;
+        let mut ids: Vec<u64> = rec.images.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let data = &rec.images[&id];
+            let mut offset = 0usize;
+            while offset < data.len() {
+                let Ok((view, len)) = rocksteady_logstore::entry::parse(&data[offset..]) else {
+                    break;
+                };
+                work.scanned_entries += 1;
+                if view.table_id == rec.table.0
+                    && rec.range.contains(view.key_hash)
+                    && view.kind != rocksteady_logstore::EntryKind::SideLogCommit
+                {
+                    let record = Record {
+                        table: rec.table,
+                        key_hash: view.key_hash,
+                        version: view.version,
+                        key: Bytes::copy_from_slice(view.key),
+                        value: Bytes::copy_from_slice(view.value),
+                        tombstone: view.kind == rocksteady_logstore::EntryKind::Tombstone,
+                    };
+                    service += m.replay_record_ns(record.wire_size());
+                    if self
+                        .master
+                        .replay_record(&record, ReplayDest::MainLog, &mut work)
+                    {
+                        replayed += 1;
+                    }
+                }
+                offset += len;
+            }
+        }
+        service += work.scanned_entries * m.log_scan_per_entry_ns;
+        self.stats.borrow_mut().recovery_replayed += replayed;
+        // The replay raised the version floor above everything the dead
+        // participant acknowledged; clients may come back now.
+        self.master
+            .set_tablet_role(rec.table, rec.range, TabletRole::Owner);
+        let (dst, rpc) = rec.coordinator_rpc;
+        self.workers[worker].deferred.push(Deferred::Send(
+            dst,
+            Envelope::resp(rpc, Response::RecoverTabletOk { replayed }),
+        ));
+        // Recovered data must become durable.
+        self.workers[worker].deferred.push(Deferred::ShipLog { wait: None });
+        service
+    }
+
+    fn exec_cleaner_pass(&mut self) -> Nanos {
+        let m = self.cfg.cost.clone();
+        let cleaner = rocksteady_logstore::Cleaner::default();
+        match self.master.clean_once(&cleaner) {
+            Some(stats) => {
+                self.stats.borrow_mut().segments_cleaned += stats.segments_cleaned as u64;
+                // Relocation copies + checksums live bytes and walks the
+                // victim segment's entries.
+                m.copy_ns(stats.bytes_relocated)
+                    + m.checksum_ns(stats.bytes_relocated)
+                    + (stats.entries_relocated + stats.entries_dropped)
+                        * m.log_scan_per_entry_ns
+                    + m.op_fixed_ns
+            }
+            None => m.op_fixed_ns,
+        }
+    }
+
+    /// Membership update: `server` is dead. Drop it from the backup set
+    /// and fail over everything outstanding to it — replication waits
+    /// are credited (RAMCloud re-replicates elsewhere; we degrade to
+    /// R-1 replicas and document it), blocked sync PriorityPulls turn
+    /// into client retries, and migrations involving the dead peer are
+    /// abandoned (the coordinator's recovery plan supersedes them,
+    /// §3.4).
+    fn on_server_down(&mut self, ctx: &mut Ctx<'_, Envelope>, server: rocksteady_common::ServerId) {
+        let Some(&dead) = self.dir.servers.get(&server) else {
+            return;
+        };
+        self.cfg.backup_actors.retain(|a| *a != dead);
+        let doomed: Vec<RpcId> = self
+            .rpc_dst
+            .iter()
+            .filter(|(_, d)| **d == dead)
+            .map(|(r, _)| *r)
+            .collect();
+        for rpc in doomed {
+            self.rpc_dst.remove(&rpc);
+            let Some(pending) = self.outstanding.remove(&rpc) else {
+                continue;
+            };
+            match pending {
+                Pending::ReplAck { group: Some(g) } => self.credit_ack_group(ctx, g),
+                Pending::ReplAck { group: None } => {}
+                Pending::SyncPriorityPull(wait) => {
+                    let after = self.cfg.migration.retry_after_ns;
+                    self.respond(
+                        ctx,
+                        wait.client,
+                        wait.client_rpc,
+                        Response::Err(Status::Retry { after }),
+                    );
+                    self.release_worker(ctx, wait.worker);
+                }
+                Pending::Pull { .. }
+                | Pending::PriorityPull { .. }
+                | Pending::Prepare
+                | Pending::MigStartAck => {
+                    if let Some(run) = &self.migration {
+                        if run.source_actor == dead {
+                            self.migration = None;
+                        }
+                    }
+                }
+                Pending::PushRecords | Pending::BaselineTransferAck => {
+                    if let Some(run) = &self.baseline {
+                        if run.target_actor == dead {
+                            self.baseline = None;
+                        }
+                    }
+                }
+                Pending::FetchSegments { recovery } => {
+                    // Treat as an empty fetch.
+                    self.on_segments(ctx, recovery, Vec::new());
+                }
+                Pending::MigCompleteAck => {}
+            }
+        }
+    }
+
+    fn defer_send(&mut self, worker: usize, dst: ActorId, rpc: RpcId, resp: Response) {
+        self.workers[worker]
+            .deferred
+            .push(Deferred::Send(dst, Envelope::resp(rpc, resp)));
+    }
+}
+
+impl Actor<Envelope> for ServerNode {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        if let Some(every) = self.cfg.cleaner_interval {
+            ctx.timer(every, KIND_CLEANER);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Envelope>, event: Event<Envelope>) {
+        match event {
+            Event::Message { src, payload } => {
+                self.rx_queue.push_back((src, payload));
+                self.ensure_dispatch(ctx);
+            }
+            Event::Timer { token: tok } => match tok & 0xff {
+                KIND_DISPATCH => self.on_dispatch_timer(ctx),
+                KIND_WORKER_DONE => self.on_worker_done(ctx, (tok >> 8) as usize),
+                KIND_DEFERRED_SEND => {
+                    if let Some((dst, env)) = self.deferred_sends.remove(&(tok >> 8)) {
+                        self.send(ctx, dst, env);
+                    }
+                }
+                KIND_CLEANER => {
+                    self.queues[Priority::Background as usize].push_back(Task::CleanerPass);
+                    self.try_assign(ctx);
+                    if let Some(every) = self.cfg.cleaner_interval {
+                        ctx.timer(every, KIND_CLEANER);
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Per-server counters the experiment harness samples.
+//!
+//! Figures 3, 11, 12 and 14 plot dispatch/worker *utilization*; the node
+//! accumulates monotonic busy-nanosecond counters and the harness
+//! differences them per sampling interval. Migration progress counters
+//! feed the rate-over-time plots (Figures 5 and 9).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rocksteady_common::Nanos;
+
+/// Monotonic counters for one server. Shared with the harness through
+/// `Rc<RefCell<_>>` so sampling never has to reach into the actor.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Nanoseconds the dispatch core has been busy (poll/classify/tx +
+    /// migration-manager continuations).
+    pub dispatch_busy_ns: u64,
+    /// Nanoseconds all worker cores combined have been busy.
+    pub worker_busy_ns: u64,
+    /// Client operations served (each object of a multi-op counts once).
+    pub ops_served: u64,
+    /// Bulk Pull RPCs served (source side).
+    pub pulls_served: u64,
+    /// PriorityPull RPCs served (source side).
+    pub priority_pulls_served: u64,
+    /// Records replayed into this master (migration target side).
+    pub records_replayed: u64,
+    /// Record wire bytes received by migration into this master.
+    pub bytes_migrated_in: u64,
+    /// Record wire bytes sent out by migration from this master (pull
+    /// responses + baseline pushes).
+    pub bytes_migrated_out: u64,
+    /// Virtual time the current/last migration started on this node
+    /// (target side), if any.
+    pub migration_started_at: Option<Nanos>,
+    /// Virtual time that migration finished, if it has.
+    pub migration_finished_at: Option<Nanos>,
+    /// Entries replayed by crash recovery.
+    pub recovery_replayed: u64,
+    /// Segments reclaimed by the log cleaner.
+    pub segments_cleaned: u64,
+}
+
+/// Shared handle to a server's stats.
+pub type StatsHandle = Rc<RefCell<NodeStats>>;
+
+/// Creates a fresh shared stats handle.
+pub fn stats_handle() -> StatsHandle {
+    Rc::new(RefCell::new(NodeStats::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_is_shared() {
+        let h = stats_handle();
+        let h2 = Rc::clone(&h);
+        h.borrow_mut().ops_served += 3;
+        assert_eq!(h2.borrow().ops_served, 3);
+    }
+}

@@ -1,0 +1,612 @@
+//! Deterministic discrete-event simulation kernel with a NIC/link model.
+//!
+//! This is the substitution for the paper's 24-node CloudLab cluster (see
+//! DESIGN.md §1): servers, backups, the coordinator, and clients are
+//! [`Actor`]s exchanging messages under a virtual nanosecond clock. The
+//! kernel provides exactly two event kinds — message delivery and timer
+//! expiry — plus a transmit-side NIC model:
+//!
+//! - every actor has a NIC with a line rate; a message of `n` bytes
+//!   occupies the sender's NIC for `n / line_rate` (transmit
+//!   serialization), so bulk migration traffic and foreground responses
+//!   queue behind each other exactly as they would on a real 40 Gbps
+//!   port (§2.2, §3.2);
+//! - delivery adds a fixed one-way latency (propagation + switch);
+//! - messages to dead actors are dropped (crash testing, §3.4).
+//!
+//! Execution is single-threaded and fully deterministic: events are
+//! ordered by `(time, sequence number)`, so the same setup and seed
+//! replays the same trace (the `determinism` integration test depends on
+//! this).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rocksteady_common::rng::Prng;
+use rocksteady_common::Nanos;
+
+pub use rocksteady_common::wire::WireSized;
+
+/// Identifies an actor within one simulation.
+pub type ActorId = usize;
+
+/// Who lives where in the simulation: maps logical server ids to actor
+/// ids plus the coordinator. Shared by servers and clients for routing.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    /// The coordinator's actor id.
+    pub coordinator: ActorId,
+    /// Actor id of each server.
+    pub servers: std::collections::HashMap<rocksteady_common::ServerId, ActorId>,
+}
+
+impl Directory {
+    /// Actor id for a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is unknown (a wiring bug, not a runtime
+    /// condition).
+    pub fn actor_of(&self, id: rocksteady_common::ServerId) -> ActorId {
+        *self
+            .servers
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown server {id}"))
+    }
+}
+
+/// An event delivered to an actor.
+#[derive(Debug)]
+pub enum Event<M> {
+    /// A message arrived from `src`.
+    Message {
+        /// Sending actor.
+        src: ActorId,
+        /// The payload.
+        payload: M,
+    },
+    /// A timer armed with [`Ctx::timer`] fired.
+    Timer {
+        /// The token passed when arming.
+        token: u64,
+    },
+}
+
+/// Simulation participants implement this.
+pub trait Actor<M> {
+    /// Called once when the simulation starts; arm initial timers here.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Called for every delivered event.
+    fn on_event(&mut self, ctx: &mut Ctx<'_, M>, event: Event<M>);
+
+    /// Downcasting hook so the harness can reach concrete actor state
+    /// between steps (preloading tables, inspecting masters). Implement
+    /// as `self`.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Network parameters shared by all links (single-switch fabric,
+/// Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct NicConfig {
+    /// Line rate in bytes per nanosecond (5.0 ≈ 40 Gbps).
+    pub bytes_per_ns: f64,
+    /// One-way latency between any two actors, in nanoseconds.
+    pub one_way_latency_ns: Nanos,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig {
+            bytes_per_ns: 5.0,
+            one_way_latency_ns: 1_800,
+        }
+    }
+}
+
+/// The per-event interface an actor uses to act on the world.
+pub struct Ctx<'a, M> {
+    now: Nanos,
+    self_id: ActorId,
+    /// Deterministic per-simulation RNG (actors should derive their own
+    /// streams at setup; this one is for ad-hoc jitter).
+    pub rng: &'a mut Prng,
+    actions: &'a mut Vec<Action<M>>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// The id of the actor handling this event.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Sends `payload` to `dst` through the NIC model. Delivery time is
+    /// `max(now, sender nic free) + wire + one_way_latency`.
+    pub fn send(&mut self, dst: ActorId, payload: M) {
+        self.actions.push(Action::Send { dst, payload });
+    }
+
+    /// Arms a timer that fires back on this actor after `delay`.
+    pub fn timer(&mut self, delay: Nanos, token: u64) {
+        self.actions.push(Action::Timer { delay, token });
+    }
+
+    /// Marks another actor dead as of now (crash injection: the control
+    /// actor kills a server mid-run, §3.4). All of its queued and future
+    /// traffic is dropped.
+    pub fn kill(&mut self, actor: ActorId) {
+        self.actions.push(Action::Kill { actor });
+    }
+}
+
+enum Action<M> {
+    Send { dst: ActorId, payload: M },
+    Timer { delay: Nanos, token: u64 },
+    Kill { actor: ActorId },
+}
+
+struct Queued<M> {
+    at: Nanos,
+    seq: u64,
+    dst: ActorId,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Slot<M> {
+    actor: Box<dyn Actor<M>>,
+    alive: bool,
+    /// Earliest time this actor's NIC can begin the next transmission.
+    nic_free: Nanos,
+}
+
+/// The simulation: actors, the event heap, and the clock.
+pub struct Simulation<M: WireSized> {
+    now: Nanos,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Queued<M>>>,
+    slots: Vec<Slot<M>>,
+    nic: NicConfig,
+    rng: Prng,
+    started: bool,
+    events_processed: u64,
+    actions: Vec<Action<M>>,
+}
+
+impl<M: WireSized> Simulation<M> {
+    /// Creates an empty simulation.
+    pub fn new(nic: NicConfig, seed: u64) -> Self {
+        Simulation {
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            nic,
+            rng: Prng::new(seed),
+            started: false,
+            events_processed: 0,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Adds an actor; returns its id. All actors must be added before the
+    /// first [`Simulation::step`].
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        assert!(!self.started, "actors must be added before the run starts");
+        self.slots.push(Slot {
+            actor,
+            alive: true,
+            nic_free: 0,
+        });
+        self.slots.len() - 1
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Total events processed so far (a cheap trace digest for
+    /// determinism checks).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Marks an actor dead: it receives no further events and all traffic
+    /// to it is silently dropped (a crashed server, §3.4).
+    pub fn kill(&mut self, id: ActorId) {
+        self.slots[id].alive = false;
+    }
+
+    /// Whether the actor is alive.
+    pub fn is_alive(&self, id: ActorId) -> bool {
+        self.slots[id].alive
+    }
+
+    /// Mutable access to an actor, for harness setup/inspection between
+    /// steps (e.g. preloading a table or sampling statistics).
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut dyn Actor<M> {
+        &mut *self.slots[id].actor
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for id in 0..self.slots.len() {
+            let mut actions = std::mem::take(&mut self.actions);
+            {
+                let mut ctx = Ctx {
+                    now: self.now,
+                    self_id: id,
+                    rng: &mut self.rng,
+                    actions: &mut actions,
+                };
+                self.slots[id].actor.on_start(&mut ctx);
+            }
+            self.actions = actions;
+            self.flush_actions(id);
+        }
+    }
+
+    fn flush_actions(&mut self, src: ActorId) {
+        let actions = std::mem::take(&mut self.actions);
+        for action in actions {
+            match action {
+                Action::Send { dst, payload } => {
+                    let bytes = payload.wire_size();
+                    let wire = (bytes as f64 / self.nic.bytes_per_ns).round() as Nanos;
+                    let depart = self.now.max(self.slots[src].nic_free) + wire;
+                    self.slots[src].nic_free = depart;
+                    let at = depart + self.nic.one_way_latency_ns;
+                    self.push(Queued {
+                        at,
+                        seq: 0,
+                        dst,
+                        event: Event::Message { src, payload },
+                    });
+                }
+                Action::Timer { delay, token } => {
+                    self.push(Queued {
+                        at: self.now + delay,
+                        seq: 0,
+                        dst: src,
+                        event: Event::Timer { token },
+                    });
+                }
+                Action::Kill { actor } => {
+                    self.slots[actor].alive = false;
+                }
+            }
+        }
+    }
+
+    /// Typed access to an actor's concrete state, for harness
+    /// setup/inspection between steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor is not a `T` (a harness wiring bug).
+    pub fn actor_as<T: 'static>(&mut self, id: ActorId) -> &mut T {
+        self.slots[id]
+            .actor
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("actor type mismatch")
+    }
+
+    fn push(&mut self, mut q: Queued<M>) {
+        q.seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(q));
+    }
+
+    /// Processes one event. Returns false when the heap is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some(Reverse(q)) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(q.at >= self.now, "time went backwards");
+        self.now = q.at;
+        if !self.slots[q.dst].alive {
+            return true;
+        }
+        self.events_processed += 1;
+        let mut actions = std::mem::take(&mut self.actions);
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: q.dst,
+                rng: &mut self.rng,
+                actions: &mut actions,
+            };
+            self.slots[q.dst].actor.on_event(&mut ctx, q.event);
+        }
+        self.actions = actions;
+        self.flush_actions(q.dst);
+        true
+    }
+
+    /// Runs until the clock reaches `deadline` (events at exactly
+    /// `deadline` still run) or the heap empties.
+    pub fn run_until(&mut self, deadline: Nanos) {
+        self.start_if_needed();
+        loop {
+            match self.heap.peek() {
+                Some(Reverse(q)) if q.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs until no events remain.
+    pub fn run_to_idle(&mut self) {
+        while self.step() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Debug)]
+    struct Ping {
+        bytes: u64,
+    }
+
+    impl WireSized for Ping {
+        fn wire_size(&self) -> u64 {
+            self.bytes
+        }
+    }
+
+    /// Replies to every message; logs delivery times.
+    struct Echo {
+        log: Rc<RefCell<Vec<(Nanos, ActorId)>>>,
+        reply: bool,
+    }
+
+    impl Actor<Ping> for Echo {
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Ping>, event: Event<Ping>) {
+            if let Event::Message { src, payload } = event {
+                self.log.borrow_mut().push((ctx.now(), src));
+                if self.reply {
+                    ctx.send(src, Ping { bytes: payload.bytes });
+                }
+            }
+        }
+    }
+
+    /// Sends `n` messages of `bytes` each to `dst` at start.
+    struct Blaster {
+        dst: ActorId,
+        n: usize,
+        bytes: u64,
+        responses: Rc<RefCell<Vec<Nanos>>>,
+    }
+
+    impl Actor<Ping> for Blaster {
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            for _ in 0..self.n {
+                ctx.send(self.dst, Ping { bytes: self.bytes });
+            }
+        }
+
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Ping>, event: Event<Ping>) {
+            if let Event::Message { .. } = event {
+                self.responses.borrow_mut().push(ctx.now());
+            }
+        }
+    }
+
+    fn nic() -> NicConfig {
+        NicConfig {
+            bytes_per_ns: 5.0,
+            one_way_latency_ns: 1_000,
+        }
+    }
+
+    #[test]
+    fn message_delivery_time_includes_wire_and_latency() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(nic(), 1);
+        let echo = sim.add_actor(Box::new(Echo {
+            log: Rc::clone(&log),
+            reply: false,
+        }));
+        let responses = Rc::new(RefCell::new(Vec::new()));
+        sim.add_actor(Box::new(Blaster {
+            dst: echo,
+            n: 1,
+            bytes: 5_000, // 1 us of wire time at 5 B/ns
+            responses,
+        }));
+        sim.run_to_idle();
+        let log = log.borrow();
+        assert_eq!(log.len(), 1);
+        // wire (1000 ns) + latency (1000 ns).
+        assert_eq!(log[0].0, 2_000);
+    }
+
+    #[test]
+    fn nic_serializes_back_to_back_sends() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(nic(), 1);
+        let echo = sim.add_actor(Box::new(Echo {
+            log: Rc::clone(&log),
+            reply: false,
+        }));
+        let responses = Rc::new(RefCell::new(Vec::new()));
+        sim.add_actor(Box::new(Blaster {
+            dst: echo,
+            n: 3,
+            bytes: 5_000,
+            responses,
+        }));
+        sim.run_to_idle();
+        let times: Vec<Nanos> = log.borrow().iter().map(|&(t, _)| t).collect();
+        // Transmissions queue on the sender NIC: 1us apart.
+        assert_eq!(times, vec![2_000, 3_000, 4_000]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let responses = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(nic(), 1);
+        let echo = sim.add_actor(Box::new(Echo {
+            log,
+            reply: true,
+        }));
+        sim.add_actor(Box::new(Blaster {
+            dst: echo,
+            n: 1,
+            bytes: 100,
+            responses: Rc::clone(&responses),
+        }));
+        sim.run_to_idle();
+        let responses = responses.borrow();
+        assert_eq!(responses.len(), 1);
+        // 2 * (20ns wire + 1000ns latency).
+        assert_eq!(responses[0], 2_040);
+    }
+
+    #[test]
+    fn dead_actors_drop_traffic() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let responses = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(nic(), 1);
+        let echo = sim.add_actor(Box::new(Echo {
+            log: Rc::clone(&log),
+            reply: true,
+        }));
+        sim.add_actor(Box::new(Blaster {
+            dst: echo,
+            n: 5,
+            bytes: 100,
+            responses: Rc::clone(&responses),
+        }));
+        sim.kill(echo);
+        sim.run_to_idle();
+        assert!(log.borrow().is_empty());
+        assert!(responses.borrow().is_empty());
+        assert!(!sim.is_alive(echo));
+    }
+
+    /// Timer-based ticker counting fires.
+    struct Ticker {
+        period: Nanos,
+        fires: Rc<RefCell<Vec<Nanos>>>,
+        remaining: u32,
+    }
+
+    impl Actor<Ping> for Ticker {
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            ctx.timer(self.period, 7);
+        }
+
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Ping>, event: Event<Ping>) {
+            if let Event::Timer { token } = event {
+                assert_eq!(token, 7);
+                self.fires.borrow_mut().push(ctx.now());
+                self.remaining -= 1;
+                if self.remaining > 0 {
+                    ctx.timer(self.period, 7);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_periodically() {
+        let fires = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(nic(), 1);
+        sim.add_actor(Box::new(Ticker {
+            period: 500,
+            fires: Rc::clone(&fires),
+            remaining: 4,
+        }));
+        sim.run_to_idle();
+        assert_eq!(*fires.borrow(), vec![500, 1_000, 1_500, 2_000]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let fires = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(nic(), 1);
+        sim.add_actor(Box::new(Ticker {
+            period: 100,
+            fires: Rc::clone(&fires),
+            remaining: 1_000,
+        }));
+        sim.run_until(350);
+        assert_eq!(fires.borrow().len(), 3);
+        assert_eq!(sim.now(), 350);
+        sim.run_until(400);
+        assert_eq!(fires.borrow().len(), 4);
+    }
+
+    #[test]
+    fn deterministic_event_counts() {
+        let count = |seed| {
+            let fires = Rc::new(RefCell::new(Vec::new()));
+            let responses = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Simulation::new(nic(), seed);
+            let echo = sim.add_actor(Box::new(Echo {
+                log: fires,
+                reply: true,
+            }));
+            sim.add_actor(Box::new(Blaster {
+                dst: echo,
+                n: 50,
+                bytes: 777,
+                responses,
+            }));
+            sim.run_to_idle();
+            sim.events_processed()
+        };
+        assert_eq!(count(1), count(1));
+        assert_eq!(count(1), count(2), "seed must not change this workload");
+    }
+}

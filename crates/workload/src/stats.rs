@@ -1,0 +1,61 @@
+//! Client-side measurement: latency series and counters.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rocksteady_common::{Nanos, TimeSeries, SECOND};
+
+/// Per-client measurements, shared with the harness.
+#[derive(Debug)]
+pub struct ClientStats {
+    /// Client-observed read latencies by completion time.
+    pub read_latency: TimeSeries,
+    /// Client-observed write latencies by completion time.
+    pub write_latency: TimeSeries,
+    /// Objects successfully read/written per interval (multigets count
+    /// each object, matching the paper's "objects read per second").
+    pub objects: TimeSeries,
+    /// Operations that ended in `NotFound`.
+    pub not_found: u64,
+    /// `Retry` responses received (reads racing migration, §3.3).
+    pub retries: u64,
+    /// Map refreshes triggered by `UnknownTablet`.
+    pub map_refreshes: u64,
+    /// RPCs that timed out and were re-issued.
+    pub timeouts: u64,
+    /// Durably acknowledged writes as `(key rank, version)` — the
+    /// ground truth crash tests check against: an acked write must
+    /// survive any subsequent failure (§3.4).
+    pub confirmed_writes: Vec<(u64, u64)>,
+}
+
+impl ClientStats {
+    /// Creates stats with the given timeline interval (1 s of virtual
+    /// time by default in the harness).
+    pub fn new(interval: Nanos) -> Self {
+        ClientStats {
+            read_latency: TimeSeries::new(interval),
+            write_latency: TimeSeries::new(interval),
+            objects: TimeSeries::new(interval),
+            not_found: 0,
+            retries: 0,
+            map_refreshes: 0,
+            timeouts: 0,
+            confirmed_writes: Vec::new(),
+        }
+    }
+}
+
+impl Default for ClientStats {
+    fn default() -> Self {
+        Self::new(SECOND)
+    }
+}
+
+/// Shared handle to a client's stats.
+pub type ClientStatsHandle = Rc<RefCell<ClientStats>>;
+
+/// Creates a fresh shared stats handle with the given series interval.
+pub fn client_stats(interval: Nanos) -> ClientStatsHandle {
+    Rc::new(RefCell::new(ClientStats::new(interval)))
+}

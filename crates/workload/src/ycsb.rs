@@ -1,0 +1,337 @@
+//! The YCSB client (§4.1): nearly-open Zipfian read/write load.
+//!
+//! Figures 9–14 drive the cluster with YCSB-B — 95% reads, 5% writes,
+//! keys Zipfian with θ = 0.99 — at an offered load high enough to hold
+//! the source at ~80% dispatch utilization. The client here is *nearly
+//! open*: arrivals are Poisson at the configured rate and queue up when
+//! the cluster falls behind (bounded by `max_outstanding` in flight), so
+//! backlogged demand reappears as the post-migration throughput spike the
+//! paper shows in Figure 9.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rocksteady_common::rng::Prng;
+use rocksteady_common::zipf::{KeyDist, KeySampler};
+use rocksteady_common::{Nanos, RpcId, TableId};
+use rocksteady_proto::{Body, Envelope, Request, Response, Status};
+use rocksteady_simnet::{Actor, Ctx, Directory, Event};
+
+use crate::core::{primary_hash, primary_key, ClientCore};
+use crate::stats::ClientStatsHandle;
+
+const TOK_ARRIVAL: u64 = 1;
+const TOK_RETRY: u64 = 2;
+const TOK_TIMEOUT: u64 = 3;
+
+/// Configuration for one YCSB client actor.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Cluster wiring.
+    pub dir: Directory,
+    /// Table to access.
+    pub table: TableId,
+    /// Number of keys in the table.
+    pub num_keys: u64,
+    /// Primary-key length in bytes (paper: 30).
+    pub key_len: usize,
+    /// Value length in bytes (paper: 100).
+    pub value_len: usize,
+    /// Offered load from this client, operations per second.
+    pub ops_per_sec: f64,
+    /// Fraction of reads (YCSB-B: 0.95).
+    pub read_fraction: f64,
+    /// Key popularity distribution (YCSB-B: Zipfian θ = 0.99).
+    pub dist: KeyDist,
+    /// Scramble popularity ranks across the key space (YCSB default).
+    pub scrambled: bool,
+    /// Maximum operations in flight before arrivals backlog.
+    pub max_outstanding: usize,
+    /// Re-issue an op if no response within this long (crash handling).
+    pub rpc_timeout: Nanos,
+    /// Stop issuing new arrivals at this virtual time (`u64::MAX` =
+    /// never).
+    pub stop_at: Nanos,
+    /// RNG seed (derive per client).
+    pub seed: u64,
+}
+
+impl YcsbConfig {
+    /// YCSB-B against `table` with `num_keys` keys at `ops_per_sec`.
+    pub fn ycsb_b(dir: Directory, table: TableId, num_keys: u64, ops_per_sec: f64) -> Self {
+        YcsbConfig {
+            dir,
+            table,
+            num_keys,
+            key_len: 30,
+            value_len: 100,
+            ops_per_sec,
+            read_fraction: 0.95,
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            scrambled: true,
+            max_outstanding: 64,
+            rpc_timeout: 10 * rocksteady_common::MILLISECOND,
+            stop_at: Nanos::MAX,
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Read,
+    Write,
+}
+
+#[derive(Debug)]
+struct Op {
+    kind: OpKind,
+    rank: u64,
+    started: Nanos,
+    issued: Nanos,
+    rpc: Option<RpcId>,
+    /// Retry attempts so far (drives exponential back-off).
+    retries: u32,
+}
+
+/// The YCSB client actor.
+pub struct YcsbClient {
+    cfg: YcsbConfig,
+    core: ClientCore,
+    stats: ClientStatsHandle,
+    sampler: KeySampler,
+    rng: Prng,
+    ops: HashMap<u64, Op>,
+    rpc_to_op: HashMap<RpcId, u64>,
+    waiting_for_map: Vec<u64>,
+    next_op: u64,
+    pending_arrivals: u64,
+    value: Bytes,
+}
+
+impl YcsbClient {
+    /// Creates a client; `stats` is shared with the harness.
+    pub fn new(cfg: YcsbConfig, stats: ClientStatsHandle) -> Self {
+        let sampler = KeySampler::new(cfg.num_keys, cfg.dist, cfg.scrambled);
+        let rng = Prng::new(cfg.seed);
+        let value = Bytes::from(vec![0xabu8; cfg.value_len]);
+        YcsbClient {
+            core: ClientCore::new(cfg.dir.clone(), cfg.table),
+            stats,
+            sampler,
+            rng,
+            ops: HashMap::new(),
+            rpc_to_op: HashMap::new(),
+            waiting_for_map: Vec::new(),
+            next_op: 1,
+            pending_arrivals: 0,
+            value,
+            cfg,
+        }
+    }
+
+    fn arm_arrival(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        if ctx.now() >= self.cfg.stop_at {
+            return;
+        }
+        let mean = 1e9 / self.cfg.ops_per_sec;
+        let gap = self.rng.next_exp(mean).max(1.0) as Nanos;
+        ctx.timer(gap, TOK_ARRIVAL);
+    }
+
+    fn drain_arrivals(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        while self.pending_arrivals > 0 && self.ops.len() < self.cfg.max_outstanding {
+            self.pending_arrivals -= 1;
+            let kind = if self.rng.next_f64() < self.cfg.read_fraction {
+                OpKind::Read
+            } else {
+                OpKind::Write
+            };
+            let rank = self.sampler.sample(&mut self.rng);
+            let id = self.next_op;
+            self.next_op += 1;
+            self.ops.insert(
+                id,
+                Op {
+                    kind,
+                    rank,
+                    started: ctx.now(),
+                    issued: 0,
+                    rpc: None,
+                    retries: 0,
+                },
+            );
+            self.issue(ctx, id);
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_, Envelope>, op_id: u64) {
+        let Some(op) = self.ops.get(&op_id) else {
+            return;
+        };
+        let hash = primary_hash(op.rank, self.cfg.key_len);
+        let Some(owner) = self.core.owner_of(hash) else {
+            self.waiting_for_map.push(op_id);
+            self.core.request_map(ctx);
+            return;
+        };
+        let key = Bytes::from(primary_key(op.rank, self.cfg.key_len));
+        let req = match op.kind {
+            OpKind::Read => Request::Read {
+                table: self.cfg.table,
+                key,
+                key_hash: hash,
+            },
+            OpKind::Write => Request::Write {
+                table: self.cfg.table,
+                key,
+                key_hash: hash,
+                value: self.value.clone(),
+            },
+        };
+        let rpc = self.core.alloc_rpc();
+        let dst = self.core.actor_of(owner);
+        ctx.send(dst, Envelope::req(rpc, req));
+        self.rpc_to_op.insert(rpc, op_id);
+        let op = self.ops.get_mut(&op_id).expect("checked above");
+        op.rpc = Some(rpc);
+        op.issued = ctx.now();
+        ctx.timer(self.cfg.rpc_timeout, (op_id << 8) | TOK_TIMEOUT);
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_, Envelope>, op_id: u64, found: bool) {
+        let Some(op) = self.ops.remove(&op_id) else {
+            return;
+        };
+        if let Some(rpc) = op.rpc {
+            self.rpc_to_op.remove(&rpc);
+        }
+        let latency = ctx.now() - op.started;
+        let mut s = self.stats.borrow_mut();
+        match op.kind {
+            OpKind::Read => s.read_latency.record(ctx.now(), latency),
+            OpKind::Write => s.write_latency.record(ctx.now(), latency),
+        }
+        if found {
+            s.objects.record(ctx.now(), 1);
+        } else {
+            s.not_found += 1;
+        }
+        drop(s);
+        self.drain_arrivals(ctx);
+    }
+
+    fn on_op_response(&mut self, ctx: &mut Ctx<'_, Envelope>, op_id: u64, resp: Response) {
+        match resp {
+            Response::WriteOk { version } => {
+                if let Some(op) = self.ops.get(&op_id) {
+                    self.stats
+                        .borrow_mut()
+                        .confirmed_writes
+                        .push((op.rank, version));
+                }
+                self.complete(ctx, op_id, true);
+            }
+            Response::ReadOk { .. } | Response::DeleteOk { .. } => {
+                self.complete(ctx, op_id, true);
+            }
+            Response::Err(Status::NotFound) => self.complete(ctx, op_id, false),
+            Response::Err(Status::Retry { after }) => {
+                self.stats.borrow_mut().retries += 1;
+                if let Some(op) = self.ops.get_mut(&op_id) {
+                    if let Some(rpc) = op.rpc.take() {
+                        self.rpc_to_op.remove(&rpc);
+                    }
+                    // Exponential back-off: the first retry honors the
+                    // server's hint ("a few tens of microseconds", §3);
+                    // repeated misses on a cold record back off so a
+                    // thousand waiting clients don't saturate the
+                    // target's dispatch with retry traffic.
+                    op.retries += 1;
+                    let factor = 1u64 << op.retries.min(7);
+                    let delay = (after.saturating_mul(factor) / 2).min(4 * rocksteady_common::MILLISECOND);
+                    ctx.timer(delay, (op_id << 8) | TOK_RETRY);
+                }
+            }
+            Response::Err(Status::UnknownTablet) => {
+                self.stats.borrow_mut().map_refreshes += 1;
+                if let Some(op) = self.ops.get_mut(&op_id) {
+                    if let Some(rpc) = op.rpc.take() {
+                        self.rpc_to_op.remove(&rpc);
+                    }
+                }
+                self.waiting_for_map.push(op_id);
+                self.core.request_map(ctx);
+            }
+            _ => self.complete(ctx, op_id, false),
+        }
+    }
+}
+
+impl Actor<Envelope> for YcsbClient {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        self.core.request_map(ctx);
+        self.arm_arrival(ctx);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Envelope>, event: Event<Envelope>) {
+        match event {
+            Event::Message { payload, .. } => {
+                let rpc = payload.rpc;
+                let Body::Resp(resp) = payload.body else {
+                    return;
+                };
+                if let Response::TabletMapOk { tablets } = resp {
+                    if self.core.install_map(rpc, tablets) {
+                        let waiting = std::mem::take(&mut self.waiting_for_map);
+                        for op_id in waiting {
+                            self.issue(ctx, op_id);
+                        }
+                    }
+                    return;
+                }
+                if let Some(op_id) = self.rpc_to_op.remove(&rpc) {
+                    self.on_op_response(ctx, op_id, resp);
+                }
+            }
+            Event::Timer { token } => match token & 0xff {
+                TOK_ARRIVAL => {
+                    self.pending_arrivals += 1;
+                    self.drain_arrivals(ctx);
+                    self.arm_arrival(ctx);
+                }
+                TOK_RETRY => {
+                    self.issue(ctx, token >> 8);
+                }
+                TOK_TIMEOUT => {
+                    let op_id = token >> 8;
+                    let timed_out = match self.ops.get(&op_id) {
+                        Some(op) => {
+                            op.rpc.is_some()
+                                && ctx.now().saturating_sub(op.issued) >= self.cfg.rpc_timeout
+                        }
+                        None => false,
+                    };
+                    if timed_out {
+                        self.stats.borrow_mut().timeouts += 1;
+                        if let Some(op) = self.ops.get_mut(&op_id) {
+                            if let Some(rpc) = op.rpc.take() {
+                                self.rpc_to_op.remove(&rpc);
+                            }
+                        }
+                        // The owner may have crashed: refresh and retry.
+                        self.waiting_for_map.push(op_id);
+                        if self.core.request_map(ctx).is_none() && !self.core.map_pending() {
+                            self.issue(ctx, op_id);
+                        }
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+}

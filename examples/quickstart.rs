@@ -1,0 +1,106 @@
+//! Quickstart: build a small cluster, store data, live-migrate a tablet.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The sixty-second tour of the reproduction: three simulated RAMCloud
+//! servers, a YCSB client, one Rocksteady migration of half the key
+//! space, and verification that every record survived the move.
+
+use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
+use rocksteady_common::time::fmt_nanos;
+use rocksteady_common::{HashRange, ServerId, TableId, MILLISECOND, SECOND};
+use rocksteady_workload::core::primary_key;
+use rocksteady_workload::YcsbConfig;
+
+fn main() {
+    let table = TableId(1);
+    let keys: u64 = 10_000;
+    let mid = u64::MAX / 2 + 1;
+    let upper = HashRange {
+        start: mid,
+        end: u64::MAX,
+    };
+
+    // 1. Declare the cluster: 3 servers, 4 worker cores each, 2 backups
+    //    per master, plus one YCSB-B client offering 20k ops/s.
+    let mut builder = ClusterBuilder::new(ClusterConfig {
+        servers: 3,
+        workers: 4,
+        replicas: 2,
+        sample_interval: 10 * MILLISECOND,
+        series_interval: 100 * MILLISECOND,
+        ..ClusterConfig::default()
+    });
+    let dir = builder.directory();
+    builder.add_ycsb(YcsbConfig::ycsb_b(dir, table, keys, 20_000.0));
+
+    // 2. Script a Rocksteady migration: at t = 50 ms, move the upper half
+    //    of the table from server 0 to server 1 (§3 of the paper —
+    //    ownership transfers the moment it starts).
+    builder.at(
+        50 * MILLISECOND,
+        ControlCmd::Migrate {
+            table,
+            range: upper,
+            source: ServerId(0),
+            target: ServerId(1),
+        },
+    );
+
+    // 3. Build, preload, and pre-split.
+    let mut cluster = builder.build();
+    cluster.create_table(table, &[(HashRange::full(), ServerId(0))]);
+    cluster.load_table(table, keys, 30, 100);
+    cluster.seed_backups();
+    cluster.split_tablet(table, mid);
+    println!("loaded {keys} records onto {}", ServerId(0));
+
+    // 4. Run. The harness steps virtual time; everything (clients,
+    //    pulls, priority pulls, replay) happens inside the simulation.
+    let finished = cluster
+        .run_until_migrated(ServerId(1), 10 * SECOND)
+        .expect("migration completed");
+    cluster.run_until(finished + 100 * MILLISECOND);
+
+    // 5. Inspect what happened.
+    let started = cluster.server_stats[&ServerId(1)]
+        .borrow()
+        .migration_started_at
+        .unwrap();
+    let tgt = cluster.server_stats[&ServerId(1)].borrow().clone();
+    println!(
+        "migration took {} and moved {:.1} MB ({} records replayed)",
+        fmt_nanos(finished - started),
+        tgt.bytes_migrated_in as f64 / 1e6,
+        tgt.records_replayed,
+    );
+    println!(
+        "rate: {:.0} MB/s",
+        rocksteady_common::time::mb_per_sec(tgt.bytes_migrated_in, finished - started)
+    );
+
+    // 6. Verify: every record readable through its current owner.
+    let mut moved = 0;
+    for rank in 0..keys {
+        let key = primary_key(rank, 30);
+        assert!(
+            cluster.read_direct(table, &key).is_some(),
+            "record {rank} lost in migration!"
+        );
+        if upper.contains(rocksteady_common::key_hash(&key)) {
+            moved += 1;
+        }
+    }
+    println!("verified all {keys} records; {moved} now live on {}", ServerId(1));
+
+    let stats = cluster.client_stats[0].borrow();
+    let reads = stats.read_latency.merged();
+    println!(
+        "client saw {} reads: median {} / 99.9th {}",
+        reads.count(),
+        fmt_nanos(reads.percentile(0.5)),
+        fmt_nanos(reads.percentile(0.999)),
+    );
+}

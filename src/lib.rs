@@ -1,0 +1,25 @@
+//! Rocksteady reproduction suite — facade crate.
+//!
+//! Re-exports the whole workspace so examples and downstream users can
+//! depend on one crate. See the README for a tour and DESIGN.md for the
+//! system inventory; the interesting entry points are:
+//!
+//! - [`migration`] (the `rocksteady` crate): the migration protocol
+//!   itself — manager, priority pulls, baselines.
+//! - [`cluster`]: build and run a simulated RAMCloud cluster.
+//! - [`logstore`] / [`hashtable`] / [`master`]: the storage substrate
+//!   (real, thread-safe data structures).
+//! - [`workload`]: YCSB / multiget-spread / index-scan clients.
+
+pub use rocksteady as migration;
+pub use rocksteady_backup as backup;
+pub use rocksteady_cluster as cluster;
+pub use rocksteady_common as common;
+pub use rocksteady_coordinator as coordinator;
+pub use rocksteady_hashtable as hashtable;
+pub use rocksteady_logstore as logstore;
+pub use rocksteady_master as master;
+pub use rocksteady_proto as proto;
+pub use rocksteady_server as server;
+pub use rocksteady_simnet as simnet;
+pub use rocksteady_workload as workload;

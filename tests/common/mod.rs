@@ -1,0 +1,60 @@
+//! Shared setup for the cross-crate integration tests.
+
+use rocksteady_cluster::{Cluster, ClusterBuilder, ClusterConfig};
+use rocksteady_common::{HashRange, KeyHash, ServerId, TableId, MILLISECOND};
+use rocksteady_workload::core::primary_key;
+
+/// The table every test uses.
+pub const TABLE: TableId = TableId(1);
+/// Split point: upper half of the hash space migrates.
+pub const MID: KeyHash = u64::MAX / 2 + 1;
+/// The migrating range.
+pub fn upper() -> HashRange {
+    HashRange {
+        start: MID,
+        end: u64::MAX,
+    }
+}
+
+/// A small 3-server cluster configuration suitable for fast tests.
+pub fn test_config() -> ClusterConfig {
+    ClusterConfig {
+        servers: 3,
+        workers: 4,
+        replicas: 2,
+        sample_interval: MILLISECOND,
+        series_interval: 10 * MILLISECOND,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Creates the table on server 0, loads `keys` records, seeds backups,
+/// and splits at [`MID`].
+pub fn standard_setup(cluster: &mut Cluster, keys: u64) {
+    cluster.create_table(TABLE, &[(HashRange::full(), ServerId(0))]);
+    cluster.load_table(TABLE, keys, 30, 100);
+    cluster.seed_backups();
+    cluster.split_tablet(TABLE, MID);
+}
+
+/// Convenience builder with the standard config.
+pub fn builder() -> ClusterBuilder {
+    ClusterBuilder::new(test_config())
+}
+
+/// Verifies that every one of `keys` records is readable through its
+/// current owner; returns how many live in the upper (migrated) half.
+pub fn verify_all_readable(cluster: &mut Cluster, keys: u64) -> u64 {
+    let mut upper_count = 0;
+    for rank in 0..keys {
+        let key = primary_key(rank, 30);
+        assert!(
+            cluster.read_direct(TABLE, &key).is_some(),
+            "rank {rank} is unreadable"
+        );
+        if upper().contains(rocksteady_common::key_hash(&key)) {
+            upper_count += 1;
+        }
+    }
+    upper_count
+}

@@ -1,0 +1,110 @@
+//! Lineage-based fault tolerance (§3.4).
+//!
+//! Rocksteady skips synchronous re-replication during migration; safety
+//! comes from the lineage dependency the coordinator records. These tests
+//! kill each migration participant mid-flight, with clients writing the
+//! whole time, and verify the paper's recovery contract:
+//!
+//! - **target crashes** → ownership reverts to the source, which merges
+//!   the target's replicated log *tail* (every write the target
+//!   acknowledged) into its own copy — nothing durably acknowledged is
+//!   lost, even though migrated data was never re-replicated;
+//! - **source crashes** → the target (already the owner) replays the
+//!   source's replicated log to fill in whatever had not been pulled
+//!   yet.
+
+mod common;
+
+use common::{builder, standard_setup, upper, verify_all_readable, TABLE};
+use rocksteady_cluster::ControlCmd;
+use rocksteady_common::{ServerId, MILLISECOND, SECOND};
+use rocksteady_workload::core::primary_key;
+use rocksteady_workload::YcsbConfig;
+
+const KEYS: u64 = 20_000;
+
+fn crash_script(victim: ServerId, kill_at: u64) -> Vec<(u64, ControlCmd)> {
+    vec![
+        (
+            10 * MILLISECOND,
+            ControlCmd::Migrate {
+                table: TABLE,
+                range: upper(),
+                source: ServerId(0),
+                target: ServerId(1),
+            },
+        ),
+        (
+            kill_at,
+            ControlCmd::Kill {
+                server: victim,
+                detect_after: MILLISECOND,
+            },
+        ),
+    ]
+}
+
+fn run_crash_case(victim: ServerId) -> (u64, ServerId) {
+    let mut b = builder();
+    let dir = b.directory();
+    // Heavy writes so durably-acked updates definitely race the crash.
+    let mut ycsb = YcsbConfig::ycsb_b(dir, TABLE, KEYS, 60_000.0);
+    ycsb.read_fraction = 0.5;
+    b.add_ycsb(ycsb);
+    // Kill while pulls are still flowing: the 20k-record migration takes
+    // a few ms; 1 ms in is mid-flight.
+    for (at, cmd) in crash_script(victim, 11 * MILLISECOND) {
+        b.at(at, cmd);
+    }
+    let mut cluster = b.build();
+    standard_setup(&mut cluster, KEYS);
+
+    // Run long enough for detection, recovery, and client retries.
+    cluster.run_until(2 * SECOND);
+
+    // The migrating range must have a live owner that is not the victim.
+    let owner = cluster
+        .coord
+        .borrow()
+        .tablet_for(TABLE, u64::MAX)
+        .expect("tablet still mapped")
+        .owner;
+    assert_ne!(owner, victim);
+    assert!(cluster.coord.borrow().lineage_deps().is_empty());
+
+    // Every record is readable somewhere.
+    verify_all_readable(&mut cluster, KEYS);
+
+    // Every durably acknowledged write survived: the lineage guarantee.
+    let confirmed = cluster.client_stats[0].borrow().confirmed_writes.clone();
+    assert!(!confirmed.is_empty());
+    let mut surviving_checked = 0;
+    for (rank, version) in &confirmed {
+        let key = primary_key(*rank, 30);
+        let (_, current) = cluster
+            .read_direct(TABLE, &key)
+            .unwrap_or_else(|| panic!("acked write to rank {rank} lost in the crash"));
+        assert!(
+            current >= *version,
+            "rank {rank}: version regressed to {current} (acked {version})"
+        );
+        surviving_checked += 1;
+    }
+    (surviving_checked, owner)
+}
+
+#[test]
+fn target_crash_reverts_to_source_with_lineage_merge() {
+    let (checked, owner) = run_crash_case(ServerId(1));
+    assert!(checked > 50, "only {checked} confirmed writes to check");
+    // Ownership reverted to the source (§3.4).
+    assert_eq!(owner, ServerId(0));
+}
+
+#[test]
+fn source_crash_recovers_onto_target() {
+    let (checked, owner) = run_crash_case(ServerId(0));
+    assert!(checked > 50, "only {checked} confirmed writes to check");
+    // The target keeps ownership and fills in from the source's log.
+    assert_eq!(owner, ServerId(1));
+}
