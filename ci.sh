@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run from the repo root:
+#   ./ci.sh
+#
+# Stages:
+#   1. cargo fmt --check      — formatting is canonical
+#   2. cargo clippy -D warnings (all targets) — lint-clean
+#   3. tier-1 verify (ROADMAP.md): release build + test suite
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> full workspace tests"
+cargo test -q --workspace
+
+echo "CI OK"

@@ -68,13 +68,7 @@ impl BackupService {
     ///
     /// Appends must be in order; a mismatched offset is rejected so the
     /// image never has holes (recovery replays it sequentially).
-    pub fn append(
-        &self,
-        owner: ServerId,
-        segment: u64,
-        offset: u32,
-        data: &[u8],
-    ) -> AppendOutcome {
+    pub fn append(&self, owner: ServerId, segment: u64, offset: u32, data: &[u8]) -> AppendOutcome {
         let mut replicas = self.replicas.lock();
         let replica = replicas.entry((owner, segment)).or_default();
         if replica.closed {
@@ -126,7 +120,11 @@ impl BackupService {
 
     /// Total bytes stored on this backup.
     pub fn total_bytes(&self) -> u64 {
-        self.replicas.lock().values().map(|r| r.data.len() as u64).sum()
+        self.replicas
+            .lock()
+            .values()
+            .map(|r| r.data.len() as u64)
+            .sum()
     }
 
     /// Drops all replicas belonging to `owner` (after a successful

@@ -36,8 +36,10 @@ fn run(spread: usize) -> Row {
     // server); the default model's leaner read path is tuned for
     // single-object RPCs, so this experiment carries its own
     // calibration.
-    let mut cost = CostModel::default();
-    cost.read_per_object_ns = 2_300;
+    let cost = CostModel {
+        read_per_object_ns: 2_300,
+        ..CostModel::default()
+    };
     let cfg = ClusterConfig {
         servers: SERVERS,
         workers: 12,

@@ -55,8 +55,10 @@ fn build(setup: Setup, scans_per_sec: f64) -> Cluster {
     // cache misses); that is what makes the indexlet the contended
     // resource this figure studies — the paper's 1i+1t configuration
     // breaks down long before the backing table's dispatch does.
-    let mut cost = CostModel::default();
-    cost.index_lookup_ns = 25_000;
+    let cost = CostModel {
+        index_lookup_ns: 25_000,
+        ..CostModel::default()
+    };
     let cfg = ClusterConfig {
         servers: 4,
         workers: 12,
@@ -99,8 +101,20 @@ fn build(setup: Setup, scans_per_sec: f64) -> Cluster {
             cluster.create_table(
                 TABLE,
                 &[
-                    (HashRange { start: 0, end: mid - 1 }, ServerId(0)),
-                    (HashRange { start: mid, end: u64::MAX }, ServerId(1)),
+                    (
+                        HashRange {
+                            start: 0,
+                            end: mid - 1,
+                        },
+                        ServerId(0),
+                    ),
+                    (
+                        HashRange {
+                            start: mid,
+                            end: u64::MAX,
+                        },
+                        ServerId(1),
+                    ),
                 ],
             );
         }

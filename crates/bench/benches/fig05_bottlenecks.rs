@@ -95,7 +95,10 @@ fn run_variant(name: &str, opts: BaselineOpts) -> (f64, Vec<(u64, f64)>) {
                 .collect()
         })
         .unwrap_or_default();
-    println!("{name:<22} {rate:>8.0} MB/s over {} ms", duration / MILLISECOND);
+    println!(
+        "{name:<22} {rate:>8.0} MB/s over {} ms",
+        duration / MILLISECOND
+    );
     (rate, series)
 }
 

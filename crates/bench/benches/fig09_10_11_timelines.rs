@@ -7,9 +7,7 @@
 //! timeline buckets here are 20 ms where the paper's are 1 s. Rates,
 //! utilizations, and latency distributions are directly comparable.
 
-use rocksteady_bench::{
-    check, mean, print_table1, standard_setup, throughput_rows, upper, TABLE,
-};
+use rocksteady_bench::{check, mean, print_table1, standard_setup, throughput_rows, upper, TABLE};
 use rocksteady_cluster::{Cluster, ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::{fmt_nanos, mb_per_sec};
 use rocksteady_common::{Nanos, ServerId, MILLISECOND, SECOND};
@@ -131,10 +129,7 @@ fn merged_latency(out: &Out, from: Nanos, to: Nanos) -> Vec<(Nanos, u64, u64)> {
         let s = stats.borrow();
         for (at, h) in s.read_latency.iter() {
             if at >= from && at < to && h.count() > 0 {
-                per_bucket
-                    .entry(at)
-                    .or_insert_with(rocksteady_common::Histogram::new)
-                    .merge(h);
+                per_bucket.entry(at).or_default().merge(h);
             }
         }
     }

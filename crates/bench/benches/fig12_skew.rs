@@ -10,7 +10,7 @@
 use rocksteady_bench::{check, mean, print_table1, standard_setup, upper, TABLE};
 use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::zipf::KeyDist;
-use rocksteady_common::{Nanos, ServerId, MILLISECOND, SECOND};
+use rocksteady_common::{Nanos, ServerId, MILLISECOND};
 use rocksteady_workload::YcsbConfig;
 
 const KEYS: u64 = 300_000;

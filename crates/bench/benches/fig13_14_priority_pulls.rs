@@ -77,10 +77,7 @@ fn latency_series(out: &Out) -> Vec<(Nanos, u64, u64)> {
         let s = stats.borrow();
         for (at, h) in s.read_latency.iter() {
             if h.count() > 0 {
-                per_bucket
-                    .entry(at)
-                    .or_insert_with(rocksteady_common::Histogram::new)
-                    .merge(h);
+                per_bucket.entry(at).or_default().merge(h);
             }
         }
     }
@@ -219,7 +216,7 @@ fn main() {
         for stats in &out.cluster.client_stats {
             let s = stats.borrow();
             for (at, b) in s.read_latency.iter() {
-                if at >= MIG_AT && at < MIG_AT + 300 * MILLISECOND {
+                if (MIG_AT..MIG_AT + 300 * MILLISECOND).contains(&at) {
                     h.merge(b);
                 }
             }
@@ -254,7 +251,10 @@ fn main() {
             .sum();
         ok &= check(
             served > 100_000,
-            &format!("{}: clients keep completing operations ({served})", out.name),
+            &format!(
+                "{}: clients keep completing operations ({served})",
+                out.name
+            ),
         );
     }
     std::process::exit(i32::from(!ok));

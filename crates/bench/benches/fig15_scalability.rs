@@ -61,7 +61,9 @@ fn run(side: Side, workers: usize, value_len: usize) -> f64 {
     let finished = cluster
         .run_until_migrated(ServerId(1), 30 * SECOND)
         .expect("migration completes");
-    let bytes = cluster.server_stats[&ServerId(1)].borrow().bytes_migrated_in;
+    let bytes = cluster.server_stats[&ServerId(1)]
+        .borrow()
+        .bytes_migrated_in;
     mb_per_sec(bytes, finished - MILLISECOND)
 }
 
@@ -126,11 +128,17 @@ fn main() {
     // Absolute anchors at 12 workers (the paper's core count).
     ok &= check(
         (3_500.0..=8_000.0).contains(&src128[4]),
-        &format!("source ~5.7 GB/s for 128 B at 12 workers (got {:.1} GB/s)", src128[4] / 1e3),
+        &format!(
+            "source ~5.7 GB/s for 128 B at 12 workers (got {:.1} GB/s)",
+            src128[4] / 1e3
+        ),
     );
     ok &= check(
         (2_000.0..=4_200.0).contains(&tgt128[4]),
-        &format!("target ~3 GB/s for 128 B at 12 workers (got {:.1} GB/s)", tgt128[4] / 1e3),
+        &format!(
+            "target ~3 GB/s for 128 B at 12 workers (got {:.1} GB/s)",
+            tgt128[4] / 1e3
+        ),
     );
     // 1 KB objects: the NIC (not either CPU side) limits migration.
     ok &= check(

@@ -1,0 +1,132 @@
+//! Gather-path throughput: how fast the source side of a Pull can
+//! assemble `Record` batches from the hash table + log (§3.1.1).
+//!
+//! Measures `MasterService::gather_range` over a fully loaded master at
+//! two value sizes (128 B — the paper's YCSB-B object size regime — and
+//! 1 KB), reporting records/s and bytes/s. Results are appended to
+//! `BENCH_micro.json` so before/after deltas of the zero-copy pull path
+//! are machine-checkable.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use rocksteady_common::{HashRange, ScanCursor, TableId};
+use rocksteady_master::{MasterConfig, MasterService, TabletRole, Work};
+
+const T: TableId = TableId(7);
+const KEYS: u64 = 20_000;
+/// Per-pull byte budget, matching the protocol's default Pull sizing.
+const BUDGET: u64 = 20_000;
+
+fn loaded_master(value_len: usize) -> MasterService {
+    let mut m = MasterService::new(MasterConfig {
+        hash_buckets: 1 << 15,
+        hash_stripes: 64,
+        ..MasterConfig::default()
+    });
+    m.add_tablet(T, HashRange::full(), TabletRole::Owner);
+    let value = vec![0xabu8; value_len];
+    for i in 0..KEYS {
+        let key = format!("user{i:012}");
+        m.load_object(T, key.as_bytes(), &value);
+    }
+    m
+}
+
+/// Drives `gather_range` across the whole hash space once, returning the
+/// record and byte totals (used both for the timed loop and to size the
+/// throughput annotation).
+fn gather_all(m: &MasterService) -> (u64, u64) {
+    let mut records = 0u64;
+    let mut bytes = 0u64;
+    let mut work = Work::default();
+    let mut cursor = ScanCursor::default();
+    loop {
+        let (batch, next) = m.gather_range(T, HashRange::full(), cursor, BUDGET, &mut work);
+        records += batch.len() as u64;
+        bytes += batch.iter().map(|r| r.wire_size()).sum::<u64>();
+        match next {
+            Some(c) => cursor = c,
+            None => break,
+        }
+    }
+    (records, bytes)
+}
+
+fn bench_gather(c: &mut Criterion) {
+    for (label, value_len) in [("value128", 128), ("value1k", 1024)] {
+        let m = loaded_master(value_len);
+        let (records, bytes) = gather_all(&m);
+        assert_eq!(records, KEYS, "gather must visit every record");
+
+        let mut g = c.benchmark_group("gather");
+        g.throughput(Throughput::Elements(records));
+        g.bench_function(&format!("{label}/records"), |b| b.iter(|| gather_all(&m)));
+        g.finish();
+
+        let mut g = c.benchmark_group("gather");
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_function(&format!("{label}/bytes"), |b| b.iter(|| gather_all(&m)));
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_gather
+}
+
+/// Seed-commit numbers (copying gather + Vec-of-Vec hash table),
+/// measured on this machine with the same config, kept for the
+/// before/after delta of the zero-copy pull path.
+const SEED_BASELINE: &str = r#"  "seed_baseline": [
+    {"id": "gather/value128/records", "ns_per_iter": 14579257.4, "records_per_sec": 1371812.0},
+    {"id": "gather/value128/bytes", "ns_per_iter": 14949435.9, "bytes_per_sec": 231446860.5},
+    {"id": "gather/value1k/records", "ns_per_iter": 69729524.8, "records_per_sec": 286822.5},
+    {"id": "gather/value1k/bytes", "ns_per_iter": 68747596.8, "bytes_per_sec": 310992689.1}
+  ],
+"#;
+
+fn emit_json() {
+    let results = criterion::take_results();
+    let mut out = String::from("{\n  \"bench\": \"gather_throughput\",\n");
+    out.push_str(SEED_BASELINE);
+    out.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let per_sec = match m.throughput {
+            Some(Throughput::Elements(n)) => n as f64 * m.iters_per_sec(),
+            Some(Throughput::Bytes(n)) => n as f64 * m.iters_per_sec(),
+            None => m.iters_per_sec(),
+        };
+        let unit = match m.throughput {
+            Some(Throughput::Elements(_)) => "records_per_sec",
+            Some(Throughput::Bytes(_)) => "bytes_per_sec",
+            None => "iters_per_sec",
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"{}\": {:.1}}}{}\n",
+            m.id,
+            m.ns_per_iter,
+            unit,
+            per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json");
+    std::fs::write(path, &out).expect("write BENCH_micro.json");
+    println!("wrote {path}");
+}
+
+// A custom main instead of criterion_main! so results can be persisted
+// to BENCH_micro.json after the groups run.
+fn main() {
+    benches();
+    emit_json();
+}

@@ -44,7 +44,15 @@ fn bench_hashtable(c: &mut Criterion) {
     let ht = HashTable::new(1 << 16, 256);
     let t = TableId(1);
     for i in 0..100_000u64 {
-        ht.upsert(t, key_hash(&i.to_le_bytes()), LogRef { segment: i, offset: 0 }, |_| true);
+        ht.upsert(
+            t,
+            key_hash(&i.to_le_bytes()),
+            LogRef {
+                segment: i,
+                offset: 0,
+            },
+            |_| true,
+        );
     }
     g.bench_function("lookup_hit", |b| {
         let mut i = 0u64;

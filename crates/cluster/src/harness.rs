@@ -18,8 +18,7 @@ use rocksteady_server::{ServerConfig, ServerNode};
 use rocksteady_simnet::{Directory, NicConfig, Simulation};
 use rocksteady_workload::stats::client_stats;
 use rocksteady_workload::{
-    ClientStatsHandle, ScanClient, ScanConfig, SpreadClient, SpreadConfig, YcsbClient,
-    YcsbConfig,
+    ClientStatsHandle, ScanClient, ScanConfig, SpreadClient, SpreadConfig, YcsbClient, YcsbConfig,
 };
 
 use crate::control::{ControlActor, ControlEvent};
@@ -149,8 +148,10 @@ impl ClusterBuilder {
         let util: UtilSeriesHandle = Rc::new(RefCell::new(UtilSeries::default()));
 
         // Actor 0: coordinator.
-        let coordinator_actor =
-            sim.add_actor(Box::new(CoordinatorActor::new(Rc::clone(&coord), self.dir.clone())));
+        let coordinator_actor = sim.add_actor(Box::new(CoordinatorActor::new(
+            Rc::clone(&coord),
+            self.dir.clone(),
+        )));
         debug_assert_eq!(coordinator_actor, 0);
 
         // Actors 1..=S: servers, each replicating to the next `replicas`
@@ -348,10 +349,7 @@ impl Cluster {
                 let node = self.node(b);
                 for (id, data) in &images {
                     let outcome = node.backup.append(owner, *id, 0, data);
-                    debug_assert!(matches!(
-                        outcome,
-                        rocksteady_backup::AppendOutcome::Ok
-                    ));
+                    debug_assert!(matches!(outcome, rocksteady_backup::AppendOutcome::Ok));
                 }
             }
         }
@@ -403,11 +401,7 @@ impl Cluster {
     /// Reads a key directly from whichever master currently owns it
     /// (bypassing the simulated network) — verification helper for
     /// integration tests.
-    pub fn read_direct(
-        &mut self,
-        table: TableId,
-        key: &[u8],
-    ) -> Option<(Vec<u8>, u64)> {
+    pub fn read_direct(&mut self, table: TableId, key: &[u8]) -> Option<(Vec<u8>, u64)> {
         let hash = key_hash(key);
         let owner = self.coord.borrow().tablet_for(table, hash)?.owner;
         let node = self.node(owner);
@@ -457,8 +451,16 @@ mod tests {
         let stats = cluster.client_stats[0].borrow();
         let reads = stats.read_latency.merged();
         let writes = stats.write_latency.merged();
-        assert!(reads.count() > 300, "only {} reads completed", reads.count());
-        assert!(writes.count() > 5, "only {} writes completed", writes.count());
+        assert!(
+            reads.count() > 300,
+            "only {} reads completed",
+            reads.count()
+        );
+        assert!(
+            writes.count() > 5,
+            "only {} writes completed",
+            writes.count()
+        );
         assert_eq!(stats.not_found, 0);
         // Calibration anchors (§2): ~6 us reads, ~15 us durable writes.
         let p50r = reads.percentile(0.5);
@@ -496,7 +498,12 @@ mod tests {
 
         // Ownership moved and the lineage dependency was dropped.
         assert_eq!(
-            cluster.coord.borrow().tablet_for(T, u64::MAX).unwrap().owner,
+            cluster
+                .coord
+                .borrow()
+                .tablet_for(T, u64::MAX)
+                .unwrap()
+                .owner,
             ServerId(1)
         );
         assert!(cluster.coord.borrow().lineage_deps().is_empty());
@@ -572,7 +579,12 @@ mod tests {
             }
         }
         assert_eq!(
-            cluster.coord.borrow().tablet_for(T, u64::MAX).unwrap().owner,
+            cluster
+                .coord
+                .borrow()
+                .tablet_for(T, u64::MAX)
+                .unwrap()
+                .owner,
             ServerId(1),
             "baseline never transferred ownership"
         );
@@ -595,7 +607,11 @@ mod tests {
             cluster.load_table(T, 500, 30, 100);
             cluster.seed_backups();
             cluster.run_until(20 * MILLISECOND);
-            let reads = cluster.client_stats[0].borrow().read_latency.merged().count();
+            let reads = cluster.client_stats[0]
+                .borrow()
+                .read_latency
+                .merged()
+                .count();
             (cluster.sim.events_processed(), reads)
         };
         assert_eq!(run(7), run(7));

@@ -46,7 +46,12 @@ impl UtilSeries {
         };
         points
             .iter()
-            .map(|p| (p.at, rocksteady_common::time::mb_per_sec(p.bytes_in, self.interval)))
+            .map(|p| {
+                (
+                    p.at,
+                    rocksteady_common::time::mb_per_sec(p.bytes_in, self.interval),
+                )
+            })
             .collect()
     }
 }

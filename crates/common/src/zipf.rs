@@ -46,8 +46,7 @@ impl Zipfian {
         let zeta_n = zeta(n, theta);
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta =
-            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
         Zipfian {
             n,
             theta,
@@ -67,8 +66,7 @@ impl Zipfian {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let rank =
-            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         rank.min(self.n - 1)
     }
 }
@@ -159,10 +157,8 @@ impl KeySampler {
     pub fn new(n: u64, dist: KeyDist, scrambled: bool) -> Self {
         let inner = match dist {
             KeyDist::Uniform => SamplerImpl::Uniform,
-            KeyDist::Zipfian { theta } if theta == 0.0 => SamplerImpl::Uniform,
-            KeyDist::Zipfian { theta } if theta < 1.0 => {
-                SamplerImpl::Ycsb(Zipfian::new(n, theta))
-            }
+            KeyDist::Zipfian { theta } if theta <= 0.0 => SamplerImpl::Uniform,
+            KeyDist::Zipfian { theta } if theta < 1.0 => SamplerImpl::Ycsb(Zipfian::new(n, theta)),
             KeyDist::Zipfian { theta } => SamplerImpl::Table(TableZipf::new(n, theta)),
         };
         KeySampler {

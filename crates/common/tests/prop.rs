@@ -1,19 +1,26 @@
 //! Property tests for the foundation types: histogram accuracy, range
 //! splitting, and sampler domains.
+//!
+//! Offline note: this environment cannot fetch `proptest`, so these are
+//! seeded randomized property tests driven by the workspace's own
+//! deterministic [`Prng`]. Each test runs many independent cases from
+//! fixed seeds, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use rocksteady_common::rng::Prng;
 use rocksteady_common::zipf::{KeyDist, KeySampler};
 use rocksteady_common::{key_hash, HashRange, Histogram};
 
-proptest! {
-    /// Histogram percentiles track the exact (sorted) percentile within
-    /// the documented 1/64 relative-error bound.
-    #[test]
-    fn histogram_percentiles_within_resolution(
-        mut values in proptest::collection::vec(1u64..10_000_000, 1..500),
-        q in 0.0f64..=1.0,
-    ) {
+const CASES: u64 = 96;
+
+/// Histogram percentiles track the exact (sorted) percentile within the
+/// documented 1/64 relative-error bound.
+#[test]
+fn histogram_percentiles_within_resolution() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(0x1157_0000 + seed);
+        let n = rng.next_range(1, 500) as usize;
+        let mut values: Vec<u64> = (0..n).map(|_| rng.next_range(1, 10_000_000 - 1)).collect();
+        let q = rng.next_f64();
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -24,22 +31,28 @@ proptest! {
         let approx = h.percentile(q) as f64;
         // The estimate is the bucket's upper edge, clamped to observed
         // min/max: it may exceed the exact value by one bucket width.
-        prop_assert!(
+        assert!(
             approx >= exact * (1.0 - 1.0 / 64.0) - 1.0,
-            "approx {approx} far below exact {exact}"
+            "seed {seed}: approx {approx} far below exact {exact}"
         );
-        prop_assert!(
+        assert!(
             approx <= exact * (1.0 + 2.0 / 64.0) + 1.0,
-            "approx {approx} far above exact {exact}"
+            "seed {seed}: approx {approx} far above exact {exact}"
         );
     }
+}
 
-    /// Merging histograms equals recording the union.
-    #[test]
-    fn histogram_merge_is_union(
-        a in proptest::collection::vec(1u64..1_000_000, 0..200),
-        b in proptest::collection::vec(1u64..1_000_000, 0..200),
-    ) {
+/// Merging histograms equals recording the union.
+#[test]
+fn histogram_merge_is_union() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(0x2157_0000 + seed);
+        let gen = |rng: &mut Prng| -> Vec<u64> {
+            let n = rng.next_below(200) as usize;
+            (0..n).map(|_| rng.next_range(1, 1_000_000 - 1)).collect()
+        };
+        let a = gen(&mut rng);
+        let b = gen(&mut rng);
         let mut ha = Histogram::new();
         let mut hb = Histogram::new();
         let mut hu = Histogram::new();
@@ -52,72 +65,99 @@ proptest! {
             hu.record(v);
         }
         ha.merge(&hb);
-        prop_assert_eq!(ha.count(), hu.count());
-        prop_assert_eq!(ha.min(), hu.min());
-        prop_assert_eq!(ha.max(), hu.max());
+        assert_eq!(ha.count(), hu.count());
+        assert_eq!(ha.min(), hu.min());
+        assert_eq!(ha.max(), hu.max());
         for q in [0.0, 0.25, 0.5, 0.9, 0.999, 1.0] {
-            prop_assert_eq!(ha.percentile(q), hu.percentile(q));
+            assert_eq!(ha.percentile(q), hu.percentile(q), "seed {seed}, q {q}");
         }
     }
+}
 
-    /// Range splits cover the whole input range exactly once.
-    #[test]
-    fn split_is_a_partition(start in any::<u64>(), end in any::<u64>(), n in 1usize..32) {
-        let (start, end) = if start <= end { (start, end) } else { (end, start) };
+/// Range splits cover the whole input range exactly once.
+#[test]
+fn split_is_a_partition() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(0x3157_0000 + seed);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        let (start, end) = if a <= b { (a, b) } else { (b, a) };
+        let n = rng.next_range(1, 31) as usize;
         let range = HashRange { start, end };
         let parts = range.split(n);
-        prop_assert_eq!(parts.len(), n);
+        assert_eq!(parts.len(), n);
         let nonempty: Vec<_> = parts.iter().filter(|p| !p.is_empty()).collect();
-        prop_assert_eq!(nonempty.first().map(|p| p.start), Some(start));
-        prop_assert_eq!(nonempty.last().map(|p| p.end), Some(end));
+        assert_eq!(nonempty.first().map(|p| p.start), Some(start));
+        assert_eq!(nonempty.last().map(|p| p.end), Some(end));
         for w in nonempty.windows(2) {
-            prop_assert_eq!(w[0].end.wrapping_add(1), w[1].start, "gap or overlap");
+            assert_eq!(
+                w[0].end.wrapping_add(1),
+                w[1].start,
+                "seed {seed}: gap or overlap"
+            );
         }
         // Width conservation (empty ranges contribute zero).
         let total: u128 = nonempty.iter().map(|p| p.width() as u128).sum();
-        prop_assert_eq!(total, range.width() as u128 + u128::from(range.width() == u64::MAX));
+        assert_eq!(
+            total,
+            range.width() as u128 + u128::from(range.width() == u64::MAX)
+        );
     }
+}
 
-    /// Samplers only produce ranks inside their domain, for every skew
-    /// regime (uniform, YCSB 0<θ<1, exact θ≥1) and scrambling choice.
-    #[test]
-    fn samplers_respect_domain(
-        n in 1u64..5_000,
-        theta in 0.0f64..2.0,
-        scrambled in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+/// Samplers only produce ranks inside their domain, for every skew regime
+/// (uniform, YCSB 0<θ<1, exact θ≥1) and scrambling choice.
+#[test]
+fn samplers_respect_domain() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(0x4157_0000 + seed);
+        let n = rng.next_range(1, 5_000 - 1);
+        let theta = rng.next_f64() * 2.0;
+        let scrambled = rng.next_u64() & 1 == 0;
         let sampler = KeySampler::new(n, KeyDist::Zipfian { theta }, scrambled);
-        let mut rng = Prng::new(seed);
+        let mut sample_rng = Prng::new(rng.next_u64());
         for _ in 0..200 {
-            prop_assert!(sampler.sample(&mut rng) < n);
+            assert!(sampler.sample(&mut sample_rng) < n, "seed {seed}");
         }
     }
+}
 
-    /// The key hash never collides on distinct short keys often enough to
-    /// matter (no collisions across any 500 distinct generated keys).
-    #[test]
-    fn hash_distinct_on_distinct_keys(keys in proptest::collection::hash_set(
-        proptest::collection::vec(any::<u8>(), 1..24),
-        2..500,
-    )) {
+/// The key hash never collides on distinct short keys often enough to
+/// matter (no collisions across any 500 distinct generated keys).
+#[test]
+fn hash_distinct_on_distinct_keys() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(0x5157_0000 + seed);
+        let count = rng.next_range(2, 499) as usize;
+        let mut keys = std::collections::HashSet::new();
+        while keys.len() < count {
+            let len = rng.next_range(1, 23) as usize;
+            let key: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            keys.insert(key);
+        }
         let mut hashes: Vec<u64> = keys.iter().map(|k| key_hash(k)).collect();
         hashes.sort_unstable();
         let before = hashes.len();
         hashes.dedup();
-        prop_assert_eq!(hashes.len(), before, "64-bit hash collided on small set");
+        assert_eq!(
+            hashes.len(),
+            before,
+            "seed {seed}: 64-bit hash collided on small set"
+        );
     }
+}
 
-    /// Identical seeds give identical streams; different seeds diverge.
-    #[test]
-    fn prng_streams(seed in any::<u64>()) {
+/// Identical seeds give identical streams; different seeds diverge.
+#[test]
+fn prng_streams() {
+    for case in 0..CASES {
+        let seed = Prng::new(case).next_u64();
         let mut a = Prng::new(seed);
         let mut b = Prng::new(seed);
         for _ in 0..64 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
         let mut c = Prng::new(seed ^ 1);
         let same = (0..64).filter(|_| a.next_u64() == c.next_u64()).count();
-        prop_assert!(same < 4);
+        assert!(same < 4, "seed {seed}: streams should diverge");
     }
 }

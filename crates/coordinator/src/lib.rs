@@ -119,11 +119,7 @@ impl Coordinator {
         self.tablets.iter().find(|t| t.covers(table, hash))
     }
 
-    fn tablet_mut(
-        &mut self,
-        table: TableId,
-        range: HashRange,
-    ) -> Option<&mut TabletDescriptor> {
+    fn tablet_mut(&mut self, table: TableId, range: HashRange) -> Option<&mut TabletDescriptor> {
         self.tablets
             .iter_mut()
             .find(|t| t.table == table && t.range == range)
@@ -394,7 +390,10 @@ mod tests {
 
         assert!(c.migration_complete(T, upper, S1, S2));
         assert!(c.lineage_deps().is_empty());
-        assert_eq!(c.tablet_for(T, u64::MAX).unwrap().state, TabletState::Normal);
+        assert_eq!(
+            c.tablet_for(T, u64::MAX).unwrap().state,
+            TabletState::Normal
+        );
     }
 
     #[test]
@@ -453,7 +452,10 @@ mod tests {
         let plan = c.handle_crash(S1);
         assert_eq!(plan.len(), 4);
         let masters: Vec<ServerId> = plan.iter().map(|a| a.recovery_master).collect();
-        assert!(masters.contains(&S2) && masters.contains(&S3), "{masters:?}");
+        assert!(
+            masters.contains(&S2) && masters.contains(&S3),
+            "{masters:?}"
+        );
         for a in &plan {
             assert!(!a.merge);
             assert_eq!(a.from_segment, 0);

@@ -354,7 +354,12 @@ mod tests {
         for i in 0..300u64 {
             let key = format!("user{i:06}");
             let (value, _) = tgt
-                .read(T, key_hash(key.as_bytes()), Some(key.as_bytes()), &mut Work::default())
+                .read(
+                    T,
+                    key_hash(key.as_bytes()),
+                    Some(key.as_bytes()),
+                    &mut Work::default(),
+                )
                 .unwrap();
             assert_eq!(&value[..], &[7u8; 100]);
         }

@@ -172,7 +172,11 @@ impl MigrationManager {
                 let empty = range.is_empty();
                 Partition {
                     range,
-                    cursor: if empty { None } else { Some(ScanCursor::default()) },
+                    cursor: if empty {
+                        None
+                    } else {
+                        Some(ScanCursor::default())
+                    },
                     in_flight: false,
                     ready: None,
                     replays_running: 0,
@@ -340,11 +344,7 @@ impl MigrationManager {
                 }));
                 continue;
             }
-            let Some(i) = self
-                .partitions
-                .iter()
-                .position(|p| p.ready.is_some())
-            else {
+            let Some(i) = self.partitions.iter().position(|p| p.ready.is_some()) else {
                 break;
             };
             let p = &mut self.partitions[i];
@@ -471,7 +471,11 @@ mod tests {
         m.poll(0);
         m.on_pull_response(0, vec![rec(1), rec(2)], None, 200);
         let actions = m.poll(4);
-        assert_eq!(actions.len(), 1, "no Finished while replay runs: {actions:?}");
+        assert_eq!(
+            actions.len(),
+            1,
+            "no Finished while replay runs: {actions:?}"
+        );
         assert!(matches!(actions[0], Action::Replay(_)));
         assert!(m.poll(4).is_empty());
         m.on_replay_done(Some(0));
@@ -544,7 +548,11 @@ mod tests {
         let mut m = running_manager(1);
         m.poll(0);
         m.on_pull_response(0, vec![rec(1)], None, 100);
-        assert_eq!(m.on_read_miss(77), MissOutcome::Wait, "replay still pending");
+        assert_eq!(
+            m.on_read_miss(77),
+            MissOutcome::Wait,
+            "replay still pending"
+        );
         let _ = m.poll(1);
         m.on_replay_done(Some(0));
         let _ = m.poll(1); // emits Finished

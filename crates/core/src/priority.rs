@@ -191,7 +191,11 @@ mod tests {
         // Source only has hash 7; 8 was deleted.
         b.on_response(vec![7]);
         assert_eq!(b.on_miss(8), MissOutcome::NotFound);
-        assert_eq!(b.on_miss(7), MissOutcome::Wait, "7 may simply be racing replay");
+        assert_eq!(
+            b.on_miss(7),
+            MissOutcome::Wait,
+            "7 may simply be racing replay"
+        );
         assert_eq!(b.served(), 1);
         assert_eq!(b.absent_count(), 1);
     }

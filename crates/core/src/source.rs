@@ -41,8 +41,7 @@ pub fn handle_pull(
     budget_bytes: u32,
 ) -> (Vec<Record>, Option<ScanCursor>, Work) {
     let mut work = Work::default();
-    let (records, next) =
-        master.gather_range(table, range, cursor, budget_bytes as u64, &mut work);
+    let (records, next) = master.gather_range(table, range, cursor, budget_bytes as u64, &mut work);
     (records, next, work)
 }
 
@@ -84,7 +83,9 @@ mod tests {
         assert!(ceiling > 10);
         // Clients are now turned away.
         let mut w = Work::default();
-        let err = m.read(T, key_hash(b"user000001"), None, &mut w).unwrap_err();
+        let err = m
+            .read(T, key_hash(b"user000001"), None, &mut w)
+            .unwrap_err();
         assert_eq!(err, rocksteady_master::OpError::UnknownTablet);
         // A second prepare with a wrong range fails.
         assert!(handle_prepare(&mut m, T, HashRange { start: 0, end: 9 }, ServerId(2)).is_none());
@@ -97,8 +98,7 @@ mod tests {
         for range in HashRange::full().split(8) {
             let mut cursor = ScanCursor::default();
             loop {
-                let (records, next, work) =
-                    handle_pull(&m, T, range, cursor, 2_000);
+                let (records, next, work) = handle_pull(&m, T, range, cursor, 2_000);
                 assert!(work.probes > 0 || records.is_empty());
                 for r in records {
                     assert!(range.contains(r.key_hash), "leak across partitions");

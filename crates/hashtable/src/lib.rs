@@ -16,9 +16,26 @@
 //!   number of probes is reported to the caller so the simulator can
 //!   charge the cache-miss cost §4.5 measures.
 //!
+//! # Layout
+//!
+//! Buckets are RAMCloud-style fixed arrays of [`SLOTS_PER_BUCKET`] inline
+//! slots stored in one flat allocation per lock stripe — no per-bucket
+//! heap indirection on the hot path. Each slot is guarded by a 16-bit
+//! *partial hash* (the low 16 bits of the key hash; bucket placement uses
+//! the high bits, so the tag stays discriminating within a bucket). The
+//! tag array sits at the front of the bucket, so a lookup touches only
+//! the bucket's first cache line unless a tag matches; only then is the
+//! full slot compared. A **probe** is such a full-slot examination — tag
+//! rejections are not probes, which is exactly the cost the tags remove
+//! from the §4.5 model. Buckets that overflow their inline slots chain
+//! into a per-bucket spill vector (pathological collision patterns only;
+//! removals promote spilled entries back inline).
+//!
 //! The table is striped-locked and thread-safe; buckets within one stripe
 //! share a lock, and stripes cover contiguous bucket ranges so disjoint
-//! hash-space partitions touch disjoint locks.
+//! hash-space partitions touch disjoint locks. Stripes are capped at
+//! [`MAX_BUCKETS_PER_STRIPE`] buckets so the run a `scan_range` holds a
+//! read lock over stays cache-resident.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -27,6 +44,15 @@ use rocksteady_common::{KeyHash, TableId};
 use rocksteady_logstore::LogRef;
 
 pub use rocksteady_common::range::{HashRange, ScanCursor as Cursor};
+
+/// Inline slots per bucket, mirroring RAMCloud's eight-entry cache-line
+/// buckets.
+pub const SLOTS_PER_BUCKET: usize = 8;
+
+/// Upper bound on buckets per lock stripe: 128 buckets × ~320 B keeps the
+/// run scanned under one read lock around the size of an L2 way, so a
+/// Pull's scan stays cache-resident while it holds the lock.
+pub const MAX_BUCKETS_PER_STRIPE: usize = 128;
 
 /// One entry: a key (identified by table + hash) and where it lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,12 +80,70 @@ pub enum Upsert {
 pub struct Probed<T> {
     /// Operation result.
     pub value: T,
-    /// Number of slots examined.
+    /// Number of slots examined (full comparisons after the partial-hash
+    /// tag admitted the slot; tag rejections cost no probe).
     pub probes: u32,
 }
 
+/// The 16-bit partial hash stored next to each occupied slot. Bucket
+/// indexing consumes high bits, so the low bits stay independent.
+#[inline]
+fn tag_of(hash: KeyHash) -> u16 {
+    hash as u16
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    table: TableId(0),
+    hash: 0,
+    log_ref: LogRef {
+        segment: 0,
+        offset: 0,
+    },
+};
+
+/// A fixed eight-slot bucket. Field order puts the tag array and
+/// occupancy bitmap first so the filtering state shares the bucket's
+/// leading cache line.
+#[repr(C, align(64))]
+#[derive(Clone)]
+struct Bucket {
+    /// Partial hashes of occupied slots (stale values where unoccupied).
+    tags: [u16; SLOTS_PER_BUCKET],
+    /// Bitmap of occupied inline slots.
+    occupied: u8,
+    /// Inline entries; valid only where `occupied` has the bit set.
+    slots: [Slot; SLOTS_PER_BUCKET],
+    /// Spill chain for buckets with more than eight colliding entries.
+    overflow: Vec<Slot>,
+}
+
+impl Bucket {
+    const fn new() -> Self {
+        Bucket {
+            tags: [0; SLOTS_PER_BUCKET],
+            occupied: 0,
+            slots: [EMPTY_SLOT; SLOTS_PER_BUCKET],
+            overflow: Vec::new(),
+        }
+    }
+
+    /// Visits every occupied entry (inline then overflow).
+    fn for_each(&self, mut f: impl FnMut(&Slot)) {
+        let mut occ = self.occupied;
+        while occ != 0 {
+            let i = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            f(&self.slots[i]);
+        }
+        for slot in &self.overflow {
+            f(slot);
+        }
+    }
+}
+
 struct Stripe {
-    buckets: RwLock<Vec<Vec<Slot>>>,
+    /// All of this stripe's buckets in one flat allocation.
+    buckets: RwLock<Box<[Bucket]>>,
 }
 
 /// The hash table itself.
@@ -74,16 +158,26 @@ pub struct HashTable {
 
 impl HashTable {
     /// Creates a table with at least `min_buckets` buckets (rounded up to
-    /// a power of two) spread over at most `max_stripes` lock stripes.
+    /// a power of two) spread over at least `max_stripes` lock stripes —
+    /// more when needed to keep every stripe within
+    /// [`MAX_BUCKETS_PER_STRIPE`] buckets (cache residency).
     pub fn new(min_buckets: usize, max_stripes: usize) -> Self {
         let bucket_count = min_buckets.next_power_of_two().max(2) as u64;
-        let stripe_count = max_stripes
+        let mut stripe_count = max_stripes
             .next_power_of_two()
             .clamp(1, bucket_count as usize);
+        while bucket_count as usize / stripe_count > MAX_BUCKETS_PER_STRIPE {
+            stripe_count *= 2;
+        }
         let buckets_per_stripe = (bucket_count as usize) / stripe_count;
         let stripes = (0..stripe_count)
             .map(|_| Stripe {
-                buckets: RwLock::new(vec![Vec::new(); buckets_per_stripe]),
+                buckets: RwLock::new(
+                    (0..buckets_per_stripe)
+                        .map(|_| Bucket::new())
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice(),
+                ),
             })
             .collect();
         HashTable {
@@ -136,8 +230,26 @@ impl HashTable {
     ) -> Probed<Option<LogRef>> {
         let (stripe, b) = self.locate(self.bucket_of(hash));
         let buckets = stripe.buckets.read();
+        let bucket = &buckets[b];
+        let tag = tag_of(hash);
         let mut probes = 0;
-        for slot in &buckets[b] {
+        let mut occ = bucket.occupied;
+        while occ != 0 {
+            let i = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            if bucket.tags[i] != tag {
+                continue;
+            }
+            probes += 1;
+            let slot = &bucket.slots[i];
+            if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
+                return Probed {
+                    value: Some(slot.log_ref),
+                    probes,
+                };
+            }
+        }
+        for slot in &bucket.overflow {
             probes += 1;
             if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
                 return Probed {
@@ -166,8 +278,28 @@ impl HashTable {
     ) -> Probed<Upsert> {
         let (stripe, b) = self.locate(self.bucket_of(hash));
         let mut buckets = stripe.buckets.write();
+        let bucket = &mut buckets[b];
+        let tag = tag_of(hash);
         let mut probes = 0;
-        for slot in &mut buckets[b] {
+        let mut occ = bucket.occupied;
+        while occ != 0 {
+            let i = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            if bucket.tags[i] != tag {
+                continue;
+            }
+            probes += 1;
+            let slot = &mut bucket.slots[i];
+            if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
+                let old = slot.log_ref;
+                slot.log_ref = new_ref;
+                return Probed {
+                    value: Upsert::Replaced(old),
+                    probes,
+                };
+            }
+        }
+        for slot in &mut bucket.overflow {
             probes += 1;
             if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
                 let old = slot.log_ref;
@@ -178,11 +310,19 @@ impl HashTable {
                 };
             }
         }
-        buckets[b].push(Slot {
+        let slot = Slot {
             table,
             hash,
             log_ref: new_ref,
-        });
+        };
+        if bucket.occupied != u8::MAX {
+            let i = (!bucket.occupied).trailing_zeros() as usize;
+            bucket.tags[i] = tag;
+            bucket.slots[i] = slot;
+            bucket.occupied |= 1 << i;
+        } else {
+            bucket.overflow.push(slot);
+        }
         self.len.fetch_add(1, Ordering::Relaxed);
         Probed {
             value: Upsert::Inserted,
@@ -200,13 +340,39 @@ impl HashTable {
     ) -> Probed<Option<LogRef>> {
         let (stripe, b) = self.locate(self.bucket_of(hash));
         let mut buckets = stripe.buckets.write();
-        let mut probes = 0;
         let bucket = &mut buckets[b];
-        for i in 0..bucket.len() {
+        let tag = tag_of(hash);
+        let mut probes = 0;
+        let mut occ = bucket.occupied;
+        while occ != 0 {
+            let i = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            if bucket.tags[i] != tag {
+                continue;
+            }
             probes += 1;
-            let slot = bucket[i];
+            let slot = bucket.slots[i];
             if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
-                bucket.swap_remove(i);
+                // Promote a spilled entry into the freed inline slot so the
+                // overflow chain stays empty in the common case.
+                if let Some(spill) = bucket.overflow.pop() {
+                    bucket.tags[i] = tag_of(spill.hash);
+                    bucket.slots[i] = spill;
+                } else {
+                    bucket.occupied &= !(1 << i);
+                }
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                return Probed {
+                    value: Some(slot.log_ref),
+                    probes,
+                };
+            }
+        }
+        for i in 0..bucket.overflow.len() {
+            probes += 1;
+            let slot = bucket.overflow[i];
+            if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
+                bucket.overflow.swap_remove(i);
                 self.len.fetch_sub(1, Ordering::Relaxed);
                 return Probed {
                     value: Some(slot.log_ref),
@@ -224,16 +390,25 @@ impl HashTable {
     ///
     /// The cleaner's relocation path: succeeds only if the slot still
     /// points at `old`, so a racing write that superseded the entry wins.
-    pub fn update_ref(
-        &self,
-        table: TableId,
-        hash: KeyHash,
-        old: LogRef,
-        new: LogRef,
-    ) -> bool {
+    pub fn update_ref(&self, table: TableId, hash: KeyHash, old: LogRef, new: LogRef) -> bool {
         let (stripe, b) = self.locate(self.bucket_of(hash));
         let mut buckets = stripe.buckets.write();
-        for slot in &mut buckets[b] {
+        let bucket = &mut buckets[b];
+        let tag = tag_of(hash);
+        let mut occ = bucket.occupied;
+        while occ != 0 {
+            let i = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            if bucket.tags[i] != tag {
+                continue;
+            }
+            let slot = &mut bucket.slots[i];
+            if slot.table == table && slot.hash == hash && slot.log_ref == old {
+                slot.log_ref = new;
+                return true;
+            }
+        }
+        for slot in &mut bucket.overflow {
             if slot.table == table && slot.hash == hash && slot.log_ref == old {
                 slot.log_ref = new;
                 return true;
@@ -252,10 +427,12 @@ impl HashTable {
     /// (Figure 7), so they weight by bytes.
     ///
     /// Returns the advanced cursor (`None` when the range is exhausted)
-    /// and the number of slots probed. This is the source-side engine of
-    /// bulk Pulls: batches end on bucket boundaries so a resumed pull
-    /// never re-sends or skips entries even though the source keeps no
-    /// state (§3.1.1).
+    /// and the number of slots probed (occupied entries examined). This
+    /// is the source-side engine of bulk Pulls: batches end on bucket
+    /// boundaries so a resumed pull never re-sends or skips entries even
+    /// though the source keeps no state (§3.1.1). The read lock is taken
+    /// once per stripe run — a cache-resident stretch of at most
+    /// [`MAX_BUCKETS_PER_STRIPE`] flat buckets — not once per bucket.
     pub fn scan_range(
         &self,
         table: TableId,
@@ -275,19 +452,22 @@ impl HashTable {
         let mut probes = 0u32;
         let mut accepted = 0u64;
         let mut bucket = first_bucket;
-        while bucket <= last_bucket {
-            let (stripe, b) = self.locate(bucket);
-            let buckets = stripe.buckets.read();
-            for slot in &buckets[b] {
-                probes += 1;
-                if slot.table == table && range.contains(slot.hash) {
-                    accepted += visit(slot);
+        'scan: while bucket <= last_bucket {
+            let stripe_idx = bucket as usize / self.buckets_per_stripe;
+            let stripe_last =
+                (((stripe_idx + 1) * self.buckets_per_stripe - 1) as u64).min(last_bucket);
+            let buckets = self.stripes[stripe_idx].buckets.read();
+            while bucket <= stripe_last {
+                buckets[bucket as usize % self.buckets_per_stripe].for_each(|slot| {
+                    probes += 1;
+                    if slot.table == table && range.contains(slot.hash) {
+                        accepted += visit(slot);
+                    }
+                });
+                bucket += 1;
+                if accepted >= budget {
+                    break 'scan;
                 }
-            }
-            drop(buckets);
-            bucket += 1;
-            if accepted >= budget {
-                break;
             }
         }
         let value = if bucket > last_bucket {
@@ -398,7 +578,10 @@ mod tests {
         let ht = HashTable::new(64, 8);
         ht.upsert(T, 3, r(1, 0), |_| true);
         assert!(ht.update_ref(T, 3, r(1, 0), r(5, 0)));
-        assert!(!ht.update_ref(T, 3, r(1, 0), r(6, 0)), "stale CAS must fail");
+        assert!(
+            !ht.update_ref(T, 3, r(1, 0), r(6, 0)),
+            "stale CAS must fail"
+        );
         assert_eq!(ht.lookup(T, 3, |_| true).value, Some(r(5, 0)));
     }
 
@@ -408,6 +591,62 @@ mod tests {
         assert!(ht.bucket_of(0) <= ht.bucket_of(u64::MAX / 2));
         assert!(ht.bucket_of(u64::MAX / 2) <= ht.bucket_of(u64::MAX));
         assert_eq!(ht.bucket_of(u64::MAX), ht.bucket_count() - 1);
+    }
+
+    /// The partial-hash tags filter full comparisons: keys that share a
+    /// bucket but differ in their low 16 bits never cost a probe against
+    /// each other, while the probe count still reports every admitted
+    /// full-slot examination for the §4.5 cost model.
+    #[test]
+    fn tag_filter_prunes_probes() {
+        let ht = HashTable::new(2, 1); // two buckets: everything below
+                                       // 1<<63 collides into bucket 0
+                                       // Five residents of bucket 0 with distinct low bits (distinct tags).
+        for i in 0..5u64 {
+            ht.upsert(T, i, r(i, 0), |_| true);
+        }
+        // A lookup of hash 3 must examine exactly the one slot whose tag
+        // matches — the other four are rejected by tag alone.
+        let found = ht.lookup(T, 3, |_| true);
+        assert_eq!(found.value, Some(r(3, 0)));
+        assert_eq!(found.probes, 1, "tag filter must prune to one probe");
+        // A miss with a fresh tag examines no slots at all.
+        assert_eq!(ht.lookup(T, 77, |_| true).probes, 0);
+        // Same-tag aliases (low 16 bits equal, high bits differ within the
+        // bucket) are all examined: probes reports genuine comparisons.
+        let alias_a = 1u64 << 20 | 0xbeef;
+        let alias_b = 1u64 << 21 | 0xbeef;
+        ht.upsert(T, alias_a, r(10, 0), |_| true);
+        ht.upsert(T, alias_b, r(11, 0), |_| true);
+        let found = ht.lookup(T, alias_b, |_| true);
+        assert_eq!(found.value, Some(r(11, 0)));
+        assert_eq!(found.probes, 2, "both tag-matching slots are probed");
+    }
+
+    /// More than eight residents of one bucket spill into the overflow
+    /// chain; operations still behave like a map and removals promote
+    /// spilled entries back inline.
+    #[test]
+    fn bucket_overflow_chains() {
+        let ht = HashTable::new(2, 1);
+        // 20 entries, all in bucket 0 (hashes < 1<<63).
+        for i in 0..20u64 {
+            assert_eq!(ht.upsert(T, i, r(i, 0), |_| true).value, Upsert::Inserted);
+        }
+        assert_eq!(ht.len(), 20);
+        for i in 0..20u64 {
+            assert_eq!(ht.lookup(T, i, |_| true).value, Some(r(i, 0)), "key {i}");
+        }
+        // Scans see inline and spilled entries alike.
+        let mut seen = Vec::new();
+        ht.for_each_in_range(T, HashRange::full(), |s| seen.push(s.hash));
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<u64>>());
+        // Remove everything (exercises inline promotion from overflow).
+        for i in 0..20u64 {
+            assert_eq!(ht.remove(T, i, |_| true).value, Some(r(i, 0)), "key {i}");
+        }
+        assert!(ht.is_empty());
     }
 
     #[test]
@@ -508,5 +747,96 @@ mod tests {
         // len and be close to 8000.
         assert_eq!(total, ht.len());
         assert!(total > 7_900, "unexpected collision rate: {total}");
+    }
+
+    #[test]
+    fn concurrent_churn_with_live_scanner() {
+        use std::collections::HashSet;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let ht = Arc::new(HashTable::new(1 << 10, 16));
+        let parts = HashRange::full().split(4);
+        let done = Arc::new(AtomicBool::new(false));
+
+        // A scanner walks the full range in small-budget cursor steps
+        // while writers churn. Each pass must never visit the same hash
+        // twice: a hash lives in exactly one bucket, the budget only
+        // breaks between buckets, and a bucket is visited under one
+        // stripe read lock — concurrent removal (which shuffles slots
+        // within the bucket) must not make the scan double-count.
+        let scanner = {
+            let ht = Arc::clone(&ht);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut passes = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let mut seen = HashSet::new();
+                    let mut cursor = Cursor::default();
+                    loop {
+                        let out = ht.scan_range(T, HashRange::full(), cursor, 64, |s| {
+                            assert!(
+                                seen.insert(s.hash),
+                                "hash {:#x} visited twice in one pass",
+                                s.hash
+                            );
+                            1
+                        });
+                        match out.value {
+                            Some(next) => cursor = next,
+                            None => break,
+                        }
+                    }
+                    passes += 1;
+                }
+                passes
+            })
+        };
+
+        // Writers churn disjoint partitions: insert everything, remove
+        // the odd hashes, overwrite the evens, ending in a known state.
+        let mut writers = Vec::new();
+        for (t, part) in parts.into_iter().enumerate() {
+            let ht = Arc::clone(&ht);
+            writers.push(std::thread::spawn(move || {
+                let width = part.end - part.start;
+                let hash = |i: u64| part.start + (i * 104_729) % width;
+                let mut expect = HashSet::new();
+                for i in 0..2_000u64 {
+                    ht.upsert(T, hash(i), r(t as u64, i as u32), |_| true);
+                    expect.insert(hash(i));
+                }
+                for i in (1..2_000u64).step_by(2) {
+                    // Synthetic hashes can collide; only hashes no even
+                    // index also produced may be removed.
+                    if (0..2_000).step_by(2).all(|j| hash(j) != hash(i)) {
+                        ht.remove(T, hash(i), |_| true);
+                        expect.remove(&hash(i));
+                    }
+                }
+                for i in (0..2_000u64).step_by(2) {
+                    ht.upsert(T, hash(i), r(t as u64, (i + 1) as u32), |_| true);
+                }
+                (part, expect)
+            }));
+        }
+
+        for wtr in writers {
+            let (part, expect) = wtr.join().unwrap();
+            // After this partition's writer finished, a scan of it must
+            // see exactly the surviving hashes: none lost, none
+            // duplicated — even while other partitions are still active.
+            let mut got = HashSet::new();
+            let mut count = 0u64;
+            ht.for_each_in_range(T, part, |s| {
+                got.insert(s.hash);
+                count += 1;
+            });
+            assert_eq!(count as usize, got.len(), "duplicated slot in scan");
+            assert_eq!(got, expect, "lost or phantom slots in partition");
+        }
+        done.store(true, Ordering::Release);
+        let passes = scanner.join().unwrap();
+        assert!(passes > 0, "scanner never completed a pass");
     }
 }

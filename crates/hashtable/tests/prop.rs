@@ -1,14 +1,20 @@
 //! Model-based property tests: the hash table against a `HashMap`, and
 //! partitioned scans against exhaustive enumeration.
+//!
+//! Offline note: this environment cannot fetch `proptest`, so these are
+//! seeded randomized property tests driven by the workspace's own
+//! deterministic [`Prng`]. Each test runs many independent cases from
+//! fixed seeds, so failures reproduce exactly.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use proptest::prelude::*;
+use rocksteady_common::rng::Prng;
 use rocksteady_common::{HashRange, ScanCursor, TableId};
 use rocksteady_hashtable::HashTable;
 use rocksteady_logstore::LogRef;
 
 const T: TableId = TableId(1);
+const CASES: u64 = 96;
 
 fn r(v: u64) -> LogRef {
     LogRef {
@@ -17,63 +23,58 @@ fn r(v: u64) -> LogRef {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Op {
-    Upsert(u64, u64),
-    Remove(u64),
-    Lookup(u64),
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..64, any::<u64>()).prop_map(|(h, v)| Op::Upsert(h, v)),
-        (0u64..64).prop_map(Op::Remove),
-        (0u64..64).prop_map(Op::Lookup),
-    ]
-}
-
-proptest! {
-    /// The table behaves exactly like a `HashMap<hash, LogRef>` under any
-    /// sequence of upserts, removes, and lookups (keys here are unique
-    /// per hash, so the matcher is always `true`).
-    #[test]
-    fn behaves_like_a_map(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+/// The table behaves exactly like a `HashMap<hash, LogRef>` under any
+/// sequence of upserts, removes, and lookups (keys here are unique per
+/// hash, so the matcher is always `true`).
+#[test]
+fn behaves_like_a_map() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(0x6a17_0000 + seed);
+        let ops = rng.next_range(1, 400);
         let ht = HashTable::new(64, 8);
         let mut model: HashMap<u64, LogRef> = HashMap::new();
-        for op in ops {
-            match op {
-                Op::Upsert(h, v) => {
+        for _ in 0..ops {
+            let h = rng.next_below(64);
+            match rng.next_below(3) {
+                0 => {
+                    let v = rng.next_u64();
                     ht.upsert(T, h, r(v), |_| true);
                     model.insert(h, r(v));
                 }
-                Op::Remove(h) => {
+                1 => {
                     let got = ht.remove(T, h, |_| true).value;
-                    prop_assert_eq!(got, model.remove(&h));
+                    assert_eq!(got, model.remove(&h), "seed {seed}: remove({h})");
                 }
-                Op::Lookup(h) => {
+                _ => {
                     let got = ht.lookup(T, h, |_| true).value;
-                    prop_assert_eq!(got, model.get(&h).copied());
+                    assert_eq!(got, model.get(&h).copied(), "seed {seed}: lookup({h})");
                 }
             }
-            prop_assert_eq!(ht.len(), model.len());
+            assert_eq!(ht.len(), model.len(), "seed {seed}: len drift");
         }
     }
+}
 
-    /// A batched scan over any sub-range visits exactly the model's
-    /// entries in that range, once each, for any batch budget.
-    #[test]
-    fn scan_matches_enumeration(
-        hashes in proptest::collection::hash_set(any::<u64>(), 1..200),
-        start in any::<u64>(),
-        end in any::<u64>(),
-        budget in 1u64..50,
-        buckets_pow in 4u32..10,
-    ) {
+/// A batched scan over any sub-range visits exactly the model's entries
+/// in that range, once each, for any batch budget.
+#[test]
+fn scan_matches_enumeration() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(0x7a17_0000 + seed);
+        let count = rng.next_range(1, 200) as usize;
+        let mut hashes = HashSet::new();
+        while hashes.len() < count {
+            hashes.insert(rng.next_u64());
+        }
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        let (start, end) = if a <= b { (a, b) } else { (b, a) };
+        let budget = rng.next_range(1, 49);
+        let buckets_pow = rng.next_range(4, 9) as u32;
+
         let ht = HashTable::new(1 << buckets_pow, 8);
         for &h in &hashes {
             ht.upsert(T, h, r(h), |_| true);
         }
-        let (start, end) = if start <= end { (start, end) } else { (end, start) };
         let range = HashRange { start, end };
         let mut seen = Vec::new();
         let mut cursor = ScanCursor::default();
@@ -84,7 +85,10 @@ proptest! {
             });
             match out.value {
                 Some(next) => {
-                    prop_assert!(next.bucket > cursor.bucket, "cursor must advance");
+                    assert!(
+                        next.bucket > cursor.bucket,
+                        "seed {seed}: cursor must advance"
+                    );
                     cursor = next;
                 }
                 None => break,
@@ -97,17 +101,24 @@ proptest! {
             .filter(|h| range.contains(*h))
             .collect();
         expect.sort_unstable();
-        prop_assert_eq!(seen, expect);
+        assert_eq!(seen, expect, "seed {seed}");
     }
+}
 
-    /// Splitting any range into any number of partitions and scanning
-    /// each partition visits every entry exactly once — the invariant
-    /// Rocksteady's parallel Pulls rest on (§3.1.1).
-    #[test]
-    fn partitioned_scans_are_exhaustive_and_disjoint(
-        hashes in proptest::collection::hash_set(any::<u64>(), 1..200),
-        partitions in 1usize..12,
-    ) {
+/// Splitting any range into any number of partitions and scanning each
+/// partition visits every entry exactly once — the invariant Rocksteady's
+/// parallel Pulls rest on (§3.1.1).
+#[test]
+fn partitioned_scans_are_exhaustive_and_disjoint() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(0x8a17_0000 + seed);
+        let count = rng.next_range(1, 200) as usize;
+        let mut hashes = HashSet::new();
+        while hashes.len() < count {
+            hashes.insert(rng.next_u64());
+        }
+        let partitions = rng.next_range(1, 11) as usize;
+
         let ht = HashTable::new(256, 8);
         for &h in &hashes {
             ht.upsert(T, h, r(h), |_| true);
@@ -119,6 +130,6 @@ proptest! {
         seen.sort_unstable();
         let mut expect: Vec<u64> = hashes.into_iter().collect();
         expect.sort_unstable();
-        prop_assert_eq!(seen, expect);
+        assert_eq!(seen, expect, "seed {seed}");
     }
 }

@@ -210,6 +210,36 @@ impl std::error::Error for ParseError {}
 /// Returns the view and the number of bytes it occupies. Verifies the
 /// checksum — replay paths must never incorporate corrupt records.
 pub fn parse(buf: &[u8]) -> Result<(EntryView<'_>, usize), ParseError> {
+    let (view, total, stored) = parse_header(buf)?;
+    let mut crc = Crc32c::new();
+    crc.update(&buf[..31]);
+    crc.update(&buf[ENTRY_HEADER_BYTES..total]);
+    let computed = crc.finish();
+    if computed != stored {
+        return Err(ParseError::BadChecksum { stored, computed });
+    }
+    Ok((view, total))
+}
+
+/// Parses the entry starting at the beginning of `buf` **without
+/// re-verifying the checksum**.
+///
+/// For reads of a master's *own* committed log memory on the hot pull
+/// path: every entry there was serialized (and checksummed) locally by
+/// [`write_entry`], so recomputing CRC32C over the payload per gather
+/// would only re-prove what the append already established. The wire
+/// checksum a real Pull response pays is charged separately through the
+/// cost model's `checksummed_bytes`. Paths that consume bytes of
+/// *foreign* origin — replay, recovery images, anything off the network —
+/// must keep using [`parse`].
+pub fn parse_trusted(buf: &[u8]) -> Result<(EntryView<'_>, usize), ParseError> {
+    let (view, total, _) = parse_header(buf)?;
+    Ok((view, total))
+}
+
+/// Shared header/payload decoding; returns the view, total length, and
+/// the stored (unverified) checksum.
+fn parse_header(buf: &[u8]) -> Result<(EntryView<'_>, usize, u32), ParseError> {
     if buf.len() < ENTRY_HEADER_BYTES {
         return Err(ParseError::Truncated);
     }
@@ -229,14 +259,6 @@ pub fn parse(buf: &[u8]) -> Result<(EntryView<'_>, usize), ParseError> {
     let key = &buf[ENTRY_HEADER_BYTES..ENTRY_HEADER_BYTES + key_len];
     let value = &buf[ENTRY_HEADER_BYTES + key_len..total];
 
-    let mut crc = Crc32c::new();
-    crc.update(&buf[..31]);
-    crc.update(&buf[ENTRY_HEADER_BYTES..total]);
-    let computed = crc.finish();
-    if computed != stored {
-        return Err(ParseError::BadChecksum { stored, computed });
-    }
-
     Ok((
         EntryView {
             kind,
@@ -247,6 +269,7 @@ pub fn parse(buf: &[u8]) -> Result<(EntryView<'_>, usize), ParseError> {
             value,
         },
         total,
+        stored,
     ))
 }
 

@@ -12,9 +12,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::RwLock;
 
-use crate::entry::{EntryKind, EntryView, OwnedEntry};
+use crate::entry::{self, EntryKind, EntryView, OwnedEntry, ENTRY_HEADER_BYTES};
 use crate::segment::Segment;
 
 /// Configuration for a [`Log`].
@@ -68,7 +69,10 @@ impl std::fmt::Display for LogError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LogError::EntryTooLarge { need, capacity } => {
-                write!(f, "entry of {need} bytes exceeds segment capacity {capacity}")
+                write!(
+                    f,
+                    "entry of {need} bytes exceeds segment capacity {capacity}"
+                )
             }
             LogError::OutOfMemory => write!(f, "log segment budget exhausted"),
         }
@@ -190,10 +194,9 @@ impl Log {
             // Fast path: append into the current head under the read lock.
             {
                 let inner = self.inner.read();
-                if let Some(offset) =
-                    inner
-                        .head
-                        .append(kind, table_id, key_hash, version, key, value)
+                if let Some(offset) = inner
+                    .head
+                    .append(kind, table_id, key_hash, version, key, value)
                 {
                     self.note_append(need);
                     return Ok(LogRef {
@@ -208,7 +211,8 @@ impl Log {
     }
 
     fn note_append(&self, bytes: usize) {
-        self.appended_bytes.fetch_add(bytes as u64, Ordering::AcqRel);
+        self.appended_bytes
+            .fetch_add(bytes as u64, Ordering::AcqRel);
         self.appended_entries.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -265,11 +269,7 @@ impl Log {
     /// The closure form avoids handing out self-referential guards; the
     /// segment `Arc` keeps the bytes alive for the duration of the call
     /// even if the cleaner concurrently retires the segment.
-    pub fn with_entry<T>(
-        &self,
-        r: LogRef,
-        f: impl FnOnce(&EntryView<'_>) -> T,
-    ) -> Option<T> {
+    pub fn with_entry<T>(&self, r: LogRef, f: impl FnOnce(&EntryView<'_>) -> T) -> Option<T> {
         let seg = self.segment(r.segment)?;
         let (view, _) = seg.entry_at(r.offset).ok()?;
         Some(f(&view))
@@ -278,6 +278,21 @@ impl Log {
     /// Copies the entry at `r` out of the log.
     pub fn entry(&self, r: LogRef) -> Option<OwnedEntry> {
         self.with_entry(r, |v| v.to_owned())
+    }
+
+    /// The committed prefix of segment `id` as ref-counted [`Bytes`]
+    /// aliasing the segment's backing buffer (zero-copy; see
+    /// [`Segment::committed_as_bytes`]).
+    pub fn segment_bytes(&self, id: u64) -> Option<Bytes> {
+        Some(self.segment(id)?.committed_as_bytes())
+    }
+
+    /// Opens a zero-copy [`SliceReader`] over this log.
+    pub fn slice_reader(&self) -> SliceReader<'_> {
+        SliceReader {
+            log: self,
+            windows: HashMap::new(),
+        }
     }
 
     /// Declares the entry at `r` (of `bytes` serialized size) dead, for
@@ -353,6 +368,80 @@ impl Log {
             live_bytes: live,
             appended_entries: self.appended_entries.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// A parsed entry whose key and value are ref-counted windows into the
+/// segment's backing memory — the zero-copy currency of the pull path.
+///
+/// Each `Bytes` holds the segment's `Arc`: a Pull response assembled
+/// from these slices keeps its source segments alive until the last
+/// slice drops, even if the cleaner retires them mid-flight.
+#[derive(Debug, Clone)]
+pub struct EntrySlices {
+    /// Entry kind.
+    pub kind: EntryKind,
+    /// Owning table.
+    pub table_id: u64,
+    /// Primary-key hash (stored, not recomputed).
+    pub key_hash: u64,
+    /// Object version.
+    pub version: u64,
+    /// Primary key bytes, aliasing the segment.
+    pub key: Bytes,
+    /// Value bytes, aliasing the segment (empty for tombstones).
+    pub value: Bytes,
+}
+
+/// Batched zero-copy reads: resolves [`LogRef`]s to [`EntrySlices`]
+/// while memoizing one committed-prefix [`Bytes`] window per segment, so
+/// a whole gather batch pays one owner allocation per *segment* and one
+/// refcount bump per *record* — never a per-record key/value copy.
+///
+/// Entries are decoded with [`entry::parse_trusted`]: the reader only
+/// ever walks this master's own committed log memory, whose entries were
+/// checksummed at append time.
+pub struct SliceReader<'a> {
+    log: &'a Log,
+    /// Committed-prefix window per segment id, filled on first touch.
+    windows: HashMap<u64, Bytes>,
+}
+
+impl SliceReader<'_> {
+    /// Resolves `r` to zero-copy slices, or `None` if the segment is gone
+    /// or the offset holds no committed entry.
+    pub fn entry_slices(&mut self, r: LogRef) -> Option<EntrySlices> {
+        if let Some(window) = self.windows.get(&r.segment) {
+            if let Some(e) = Self::decode(window, r.offset) {
+                return Some(e);
+            }
+            // The memoized window may predate an append into the open
+            // head segment that this ref points at; fall through and
+            // re-window before concluding the entry doesn't exist.
+        }
+        let window = self.log.segment_bytes(r.segment)?;
+        self.windows.insert(r.segment, window.clone());
+        Self::decode(&window, r.offset)
+    }
+
+    fn decode(window: &Bytes, offset: u32) -> Option<EntrySlices> {
+        let buf = window.as_slice();
+        let off = offset as usize;
+        if off >= buf.len() {
+            return None;
+        }
+        let (view, _) = entry::parse_trusted(&buf[off..]).ok()?;
+        let key_start = off + ENTRY_HEADER_BYTES;
+        let value_start = key_start + view.key.len();
+        let value_end = value_start + view.value.len();
+        Some(EntrySlices {
+            kind: view.kind,
+            table_id: view.table_id,
+            key_hash: view.key_hash,
+            version: view.version,
+            key: window.slice(key_start..value_start),
+            value: window.slice(value_start..value_end),
+        })
     }
 }
 

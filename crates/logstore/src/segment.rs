@@ -15,10 +15,28 @@
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
 use crate::entry::{self, EntryKind, EntryView, ParseError};
+
+/// `Bytes` owner exposing a segment's committed prefix.
+///
+/// The length is captured at construction: `committed` only grows, so the
+/// captured prefix is immutable for the owner's whole lifetime, which is
+/// what `Bytes` requires of its backing storage.
+struct CommittedWindow {
+    segment: Arc<Segment>,
+    len: usize,
+}
+
+impl AsRef<[u8]> for CommittedWindow {
+    fn as_ref(&self) -> &[u8] {
+        &self.segment.committed_bytes()[..self.len]
+    }
+}
 
 /// A fixed-capacity, append-only byte region holding serialized entries.
 pub struct Segment {
@@ -190,8 +208,7 @@ impl Segment {
         // (bounds-checked above), no reader dereferences bytes at or above
         // `committed` (== offset), and no other writer exists while we
         // hold `append_lock`; hence this mutable slice is unaliased.
-        let buf =
-            unsafe { std::slice::from_raw_parts_mut(self.base.add(offset), len) };
+        let buf = unsafe { std::slice::from_raw_parts_mut(self.base.add(offset), len) };
         fill(buf);
         self.live_bytes.fetch_add(len as u64, Ordering::Relaxed);
         self.entries.fetch_add(1, Ordering::Relaxed);
@@ -207,6 +224,21 @@ impl Segment {
         // written before the corresponding release store and are never
         // mutated again.
         unsafe { std::slice::from_raw_parts(self.base, len) }
+    }
+
+    /// All published bytes as ref-counted [`Bytes`] aliasing this
+    /// segment's backing buffer — zero-copy.
+    ///
+    /// The returned `Bytes` (and every window `slice`d out of it) holds
+    /// this segment's `Arc`, so the memory stays valid even if the owning
+    /// log drops the segment (cleaner relocation, migration teardown)
+    /// while slices are still in flight. Slicing is a refcount bump, not
+    /// an allocation, so a whole Pull response can alias one window.
+    pub fn committed_as_bytes(self: &Arc<Self>) -> Bytes {
+        Bytes::from_owner(CommittedWindow {
+            segment: Arc::clone(self),
+            len: self.committed(),
+        })
     }
 
     /// Parses the entry starting at `offset`.
@@ -374,7 +406,8 @@ mod tests {
     #[test]
     fn append_raw_roundtrip() {
         let src = Segment::new(1, 4096);
-        src.append(EntryKind::Object, 3, 5, 7, b"kk", b"vv").unwrap();
+        src.append(EntryKind::Object, 3, 5, 7, b"kk", b"vv")
+            .unwrap();
         let dst = Segment::new(2, 4096);
         dst.append_raw(src.committed_bytes()).unwrap();
         let (view, _) = dst.entry_at(0).unwrap();

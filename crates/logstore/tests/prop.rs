@@ -1,132 +1,162 @@
 //! Property-based tests for the log-structured storage substrate.
+//!
+//! Offline note: this environment cannot fetch `proptest`, so these are
+//! seeded randomized property tests driven by the workspace's own
+//! deterministic [`Prng`]. Each test runs many independent cases from
+//! fixed seeds, so failures reproduce exactly.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rocksteady_common::rng::Prng;
 use rocksteady_logstore::entry::{parse, serialized_len, write_entry, ParseError};
-use rocksteady_logstore::{Cleaner, EntryKind, Log, LogConfig, LogRef, Relocation, Relocator, SideLog};
+use rocksteady_logstore::{
+    Cleaner, EntryKind, Log, LogConfig, LogRef, Relocation, Relocator, SideLog,
+};
 
-proptest! {
-    /// Any entry serializes and parses back bit-identically.
-    #[test]
-    fn entry_roundtrip(
-        kind in prop_oneof![Just(EntryKind::Object), Just(EntryKind::Tombstone)],
-        table in any::<u64>(),
-        hash in any::<u64>(),
-        version in any::<u64>(),
-        key in proptest::collection::vec(any::<u8>(), 0..64),
-        value in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
+const CASES: u64 = 96;
+
+fn rand_bytes(rng: &mut Prng, max_len: u64) -> Vec<u8> {
+    let len = rng.next_below(max_len) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Any entry serializes and parses back bit-identically.
+#[test]
+fn entry_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(0x109_0000 + seed);
+        let kind = if rng.next_u64() & 1 == 0 {
+            EntryKind::Object
+        } else {
+            EntryKind::Tombstone
+        };
+        let (table, hash, version) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
+        let key = rand_bytes(&mut rng, 64);
+        let value = rand_bytes(&mut rng, 512);
         let mut buf = vec![0u8; serialized_len(key.len(), value.len())];
         write_entry(&mut buf, kind, table, hash, version, &key, &value);
         let (view, consumed) = parse(&buf).expect("own serialization parses");
-        prop_assert_eq!(consumed, buf.len());
-        prop_assert_eq!(view.kind, kind);
-        prop_assert_eq!(view.table_id, table);
-        prop_assert_eq!(view.key_hash, hash);
-        prop_assert_eq!(view.version, version);
-        prop_assert_eq!(view.key, &key[..]);
-        prop_assert_eq!(view.value, &value[..]);
+        assert_eq!(consumed, buf.len());
+        assert_eq!(view.kind, kind);
+        assert_eq!(view.table_id, table);
+        assert_eq!(view.key_hash, hash);
+        assert_eq!(view.version, version);
+        assert_eq!(view.key, &key[..]);
+        assert_eq!(view.value, &value[..]);
     }
+}
 
-    /// A single flipped bit anywhere in a serialized entry is detected.
-    #[test]
-    fn entry_bitflip_detected(
-        key in proptest::collection::vec(any::<u8>(), 1..32),
-        value in proptest::collection::vec(any::<u8>(), 0..128),
-        bit in any::<u16>(),
-    ) {
+/// A single flipped bit anywhere in a serialized entry is detected.
+#[test]
+fn entry_bitflip_detected() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(0x209_0000 + seed);
+        let key = {
+            let mut k = rand_bytes(&mut rng, 31);
+            k.push(rng.next_u64() as u8); // at least one byte
+            k
+        };
+        let value = rand_bytes(&mut rng, 128);
         let mut buf = vec![0u8; serialized_len(key.len(), value.len())];
         write_entry(&mut buf, EntryKind::Object, 1, 2, 3, &key, &value);
-        let bit = bit as usize % (buf.len() * 8);
+        let bit = rng.next_below(buf.len() as u64 * 8) as usize;
         buf[bit / 8] ^= 1 << (bit % 8);
-        match parse(&buf) {
-            Err(_) => {}
-            Ok((view, _)) => {
-                // A flip inside the kind byte may map Object->Tombstone
-                // with a checksum mismatch, etc.; any successful parse
-                // would be a silent corruption.
-                prop_assert!(
-                    false,
-                    "bit {bit} flipped silently: parsed kind {:?}",
-                    view.kind
-                );
-            }
+        if let Ok((view, _)) = parse(&buf) {
+            // A flip inside the kind byte may map Object->Tombstone with a
+            // checksum mismatch, etc.; any successful parse would be a
+            // silent corruption.
+            panic!(
+                "seed {seed}: bit {bit} flipped silently: parsed kind {:?}",
+                view.kind
+            );
         }
     }
+}
 
-    /// Parsing never panics on arbitrary bytes (fuzz-style).
-    #[test]
-    fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Parsing never panics on arbitrary bytes (fuzz-style).
+#[test]
+fn parse_never_panics() {
+    for seed in 0..CASES * 4 {
+        let mut rng = Prng::new(0x309_0000 + seed);
+        let bytes = rand_bytes(&mut rng, 256);
         match parse(&bytes) {
             Ok((view, consumed)) => {
-                prop_assert!(consumed <= bytes.len());
-                prop_assert!(view.serialized_len() == consumed);
+                assert!(consumed <= bytes.len());
+                assert!(view.serialized_len() == consumed);
             }
-            Err(ParseError::Truncated | ParseError::BadKind(_) | ParseError::BadChecksum { .. }) => {}
+            Err(
+                ParseError::Truncated | ParseError::BadKind(_) | ParseError::BadChecksum { .. },
+            ) => {}
         }
     }
+}
 
-    /// Every appended entry stays readable at its returned reference, in
-    /// order, across arbitrary segment sizes (head rolls included).
-    #[test]
-    fn log_append_read_consistency(
-        segment_kb in 1usize..8,
-        entries in proptest::collection::vec(
-            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..40)),
-            1..100,
-        ),
-    ) {
+/// Every appended entry stays readable at its returned reference, in
+/// order, across arbitrary segment sizes (head rolls included).
+#[test]
+fn log_append_read_consistency() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(0x409_0000 + seed);
+        let segment_kb = rng.next_range(1, 7) as usize;
+        let n = rng.next_range(1, 99) as usize;
         let log = Log::new(LogConfig {
             segment_bytes: segment_kb * 256,
             max_segments: None,
         });
         let mut refs: Vec<(LogRef, u64, Vec<u8>)> = Vec::new();
-        for (i, (hash, value)) in entries.iter().enumerate() {
+        for i in 0..n {
+            let hash = rng.next_u64();
+            let value = rand_bytes(&mut rng, 40);
             let key = (i as u32).to_le_bytes();
             let r = log
-                .append(EntryKind::Object, 1, *hash, i as u64, &key, value)
+                .append(EntryKind::Object, 1, hash, i as u64, &key, &value)
                 .expect("append");
-            refs.push((r, *hash, value.clone()));
+            refs.push((r, hash, value));
         }
         for (r, hash, value) in &refs {
             let e = log.entry(*r).expect("resolvable");
-            prop_assert_eq!(e.key_hash, *hash);
-            prop_assert_eq!(&e.value, value);
+            assert_eq!(e.key_hash, *hash, "seed {seed}");
+            assert_eq!(&e.value, value, "seed {seed}");
         }
         // Full iteration sees exactly the appended entries in order.
         let mut seen = Vec::new();
         log.for_each_entry(|_, v| seen.push(v.version));
-        prop_assert_eq!(seen, (0..entries.len() as u64).collect::<Vec<_>>());
+        assert_eq!(seen, (0..n as u64).collect::<Vec<_>>(), "seed {seed}");
     }
+}
 
-    /// Side-log appends stay readable through the parent before and
-    /// after commit, regardless of interleaving with main-log appends.
-    #[test]
-    fn sidelog_commit_preserves_entries(
-        ops in proptest::collection::vec((any::<bool>(), any::<u64>()), 1..80),
-    ) {
+/// Side-log appends stay readable through the parent before and after
+/// commit, regardless of interleaving with main-log appends.
+#[test]
+fn sidelog_commit_preserves_entries() {
+    for seed in 0..CASES {
+        let mut rng = Prng::new(0x509_0000 + seed);
+        let ops = rng.next_range(1, 79);
         let log = Arc::new(Log::new(LogConfig {
             segment_bytes: 512,
             max_segments: None,
         }));
         let side = SideLog::new(Arc::clone(&log));
         let mut refs = Vec::new();
-        for (to_side, hash) in &ops {
-            let r = if *to_side {
-                side.append(EntryKind::Object, 1, *hash, 1, b"k", b"v").unwrap()
+        for _ in 0..ops {
+            let to_side = rng.next_u64() & 1 == 0;
+            let hash = rng.next_u64();
+            let r = if to_side {
+                side.append(EntryKind::Object, 1, hash, 1, b"k", b"v")
+                    .unwrap()
             } else {
-                log.append(EntryKind::Object, 1, *hash, 1, b"k", b"v").unwrap()
+                log.append(EntryKind::Object, 1, hash, 1, b"k", b"v")
+                    .unwrap()
             };
-            refs.push((r, *hash));
+            refs.push((r, hash));
         }
         for (r, hash) in &refs {
-            prop_assert_eq!(log.entry(*r).expect("pre-commit").key_hash, *hash);
+            assert_eq!(log.entry(*r).expect("pre-commit").key_hash, *hash);
         }
         side.commit().unwrap();
         for (r, hash) in &refs {
-            prop_assert_eq!(log.entry(*r).expect("post-commit").key_hash, *hash);
+            assert_eq!(log.entry(*r).expect("post-commit").key_hash, *hash);
         }
     }
 }
@@ -154,44 +184,40 @@ impl Relocator for ModelRelocator {
         }
     }
 
-    fn relocated(
-        &mut self,
-        view: &rocksteady_logstore::EntryView<'_>,
-        _old: LogRef,
-        new: LogRef,
-    ) {
+    fn relocated(&mut self, view: &rocksteady_logstore::EntryView<'_>, _old: LogRef, new: LogRef) {
         self.current.insert(view.key_hash, new);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn cleaner_preserves_latest_versions(
-        writes in proptest::collection::vec((0u64..32, any::<u8>()), 1..300),
-        threshold in 0.3f64..1.0,
-    ) {
+#[test]
+fn cleaner_preserves_latest_versions() {
+    for seed in 0..64 {
+        let mut rng = Prng::new(0x609_0000 + seed);
+        let writes = rng.next_range(1, 300);
+        let threshold = 0.3 + rng.next_f64() * 0.7;
         let log = Log::new(LogConfig {
             segment_bytes: 512,
             max_segments: None,
         });
         let mut reloc = ModelRelocator::default();
         let mut latest: HashMap<u64, (u64, u8)> = HashMap::new();
-        for (version, (key, val)) in writes.iter().enumerate() {
+        for version in 0..writes {
+            let key = rng.next_below(32);
+            let val = rng.next_u64() as u8;
             let r = log
                 .append(
                     EntryKind::Object,
                     1,
-                    *key,
-                    version as u64,
+                    key,
+                    version,
                     &key.to_le_bytes(),
-                    &[*val],
+                    &[val],
                 )
                 .unwrap();
-            if let Some(old) = reloc.current.insert(*key, r) {
+            if let Some(old) = reloc.current.insert(key, r) {
                 log.mark_dead(old, 44);
             }
-            latest.insert(*key, (version as u64, *val));
+            latest.insert(key, (version, val));
         }
         let cleaner = Cleaner {
             utilization_threshold: threshold,
@@ -204,9 +230,11 @@ proptest! {
         }
         for (key, (version, val)) in &latest {
             let r = reloc.current[key];
-            let e = log.entry(r).unwrap_or_else(|| panic!("key {key} lost"));
-            prop_assert_eq!(e.version, *version);
-            prop_assert_eq!(e.value, vec![*val]);
+            let e = log
+                .entry(r)
+                .unwrap_or_else(|| panic!("seed {seed}: key {key} lost"));
+            assert_eq!(e.version, *version, "seed {seed}");
+            assert_eq!(e.value, vec![*val], "seed {seed}");
         }
     }
 }

@@ -97,12 +97,7 @@ impl Indexlet {
     /// the number of entries visited (for cost accounting).
     ///
     /// The boolean is true when `limit` truncated the scan.
-    pub fn scan(
-        &self,
-        begin: &[u8],
-        end: &[u8],
-        limit: usize,
-    ) -> (Vec<KeyHash>, bool, u64) {
+    pub fn scan(&self, begin: &[u8], end: &[u8], limit: usize) -> (Vec<KeyHash>, bool, u64) {
         let lo = if begin < self.lo.as_slice() {
             self.lo.as_slice()
         } else {
@@ -241,8 +236,7 @@ mod tests {
 
     #[test]
     fn scan_clamps_to_indexlet_range() {
-        let mut ix =
-            Indexlet::new(TableId(1), IndexId(0), b"h".to_vec(), Some(b"p".to_vec()));
+        let mut ix = Indexlet::new(TableId(1), IndexId(0), b"h".to_vec(), Some(b"p".to_vec()));
         for i in 0..26u8 {
             let k = [b'a' + i];
             if ix.covers(&k) {

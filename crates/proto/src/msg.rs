@@ -7,10 +7,8 @@
 //! time from foreground requests on the source.
 
 use bytes::Bytes;
-use rocksteady_common::{
-    HashRange, KeyHash, Nanos, RpcId, ScanCursor, ServerId, TableId,
-};
 use rocksteady_common::ids::IndexId;
+use rocksteady_common::{HashRange, KeyHash, Nanos, RpcId, ScanCursor, ServerId, TableId};
 
 use crate::record::{batch_wire_size, Record};
 use crate::tablet::TabletDescriptor;
@@ -442,17 +440,11 @@ impl Request {
     /// Payload bytes this request adds on top of the message header.
     pub fn payload_bytes(&self) -> u64 {
         match self {
-            Request::Read { key, .. } | Request::Delete { key, .. } => {
-                key.len() as u64 + 16
-            }
+            Request::Read { key, .. } | Request::Delete { key, .. } => key.len() as u64 + 16,
             Request::Write { key, value, .. } => key.len() as u64 + value.len() as u64 + 16,
-            Request::MultiRead { keys, .. } => {
-                keys.iter().map(|(k, _)| k.len() as u64 + 12).sum()
-            }
+            Request::MultiRead { keys, .. } => keys.iter().map(|(k, _)| k.len() as u64 + 12).sum(),
             Request::MultiReadHash { hashes, .. } => 8 * hashes.len() as u64,
-            Request::IndexScan { begin, end, .. } => {
-                begin.len() as u64 + end.len() as u64 + 16
-            }
+            Request::IndexScan { begin, end, .. } => begin.len() as u64 + end.len() as u64 + 16,
             Request::IndexInsert { sec_key, .. } => sec_key.len() as u64 + 16,
             Request::PriorityPull { hashes, .. } => 8 * hashes.len() as u64,
             Request::PushRecords { records, .. } => batch_wire_size(records),
@@ -474,19 +466,16 @@ impl Response {
     pub fn payload_bytes(&self) -> u64 {
         match self {
             Response::ReadOk { value, .. } => value.len() as u64 + 8,
-            Response::MultiReadOk { values } | Response::MultiReadHashOk { values } => {
-                values
-                    .iter()
-                    .map(|v| v.as_ref().map_or(1, |b| b.len() as u64 + 9))
-                    .sum()
-            }
+            Response::MultiReadOk { values } | Response::MultiReadHashOk { values } => values
+                .iter()
+                .map(|v| v.as_ref().map_or(1, |b| b.len() as u64 + 9))
+                .sum(),
             Response::IndexScanOk { hashes, .. } => 8 * hashes.len() as u64 + 1,
             Response::PullOk { records, .. } => batch_wire_size(records) + 16,
             Response::PriorityPullOk { records } => batch_wire_size(records),
-            Response::SegmentsOk { segments } => segments
-                .iter()
-                .map(|s| s.data.len() as u64 + 12)
-                .sum(),
+            Response::SegmentsOk { segments } => {
+                segments.iter().map(|s| s.data.len() as u64 + 12).sum()
+            }
             Response::TabletMapOk { tablets } => 40 * tablets.len() as u64,
             _ => 16,
         }
@@ -615,10 +604,7 @@ mod tests {
 
     #[test]
     fn envelope_wraps_and_sizes() {
-        let env = Envelope::req(
-            RpcId(9),
-            Request::GetTabletMap,
-        );
+        let env = Envelope::req(RpcId(9), Request::GetTabletMap);
         assert_eq!(env.rpc, RpcId(9));
         assert_eq!(env.wire_size(), MSG_HEADER_BYTES + 32);
         let env = Envelope::resp(RpcId(9), Response::Ok);

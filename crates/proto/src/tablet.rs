@@ -57,7 +57,10 @@ mod tests {
     fn covers_checks_table_and_range() {
         let d = TabletDescriptor {
             table: TableId(3),
-            range: HashRange { start: 100, end: 200 },
+            range: HashRange {
+                start: 100,
+                end: 200,
+            },
             owner: ServerId(1),
             state: TabletState::Normal,
         };

@@ -95,17 +95,25 @@ struct WorkerState {
 /// What an outstanding outbound RPC means to us.
 #[derive(Debug)]
 enum Pending {
-    Pull { partition: usize },
-    PriorityPull { hashes: Vec<KeyHash> },
+    Pull {
+        partition: usize,
+    },
+    PriorityPull {
+        hashes: Vec<KeyHash>,
+    },
     SyncPriorityPull(SyncWait),
     Prepare,
     MigStartAck,
     MigCompleteAck,
     /// A replication chunk; `waiters` lists ack groups to credit.
-    ReplAck { group: Option<u64> },
+    ReplAck {
+        group: Option<u64>,
+    },
     PushRecords,
     BaselineTransferAck,
-    FetchSegments { recovery: u64 },
+    FetchSegments {
+        recovery: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -271,13 +279,7 @@ impl ServerNode {
         ctx.send(dst, env);
     }
 
-    fn respond(
-        &mut self,
-        ctx: &mut Ctx<'_, Envelope>,
-        dst: ActorId,
-        rpc: RpcId,
-        resp: Response,
-    ) {
+    fn respond(&mut self, ctx: &mut Ctx<'_, Envelope>, dst: ActorId, rpc: RpcId, resp: Response) {
         self.send(ctx, dst, Envelope::resp(rpc, resp));
     }
 
@@ -313,13 +315,7 @@ impl ServerNode {
 
     // ---------------------------------------------------- request intake --
 
-    fn on_request(
-        &mut self,
-        ctx: &mut Ctx<'_, Envelope>,
-        src: ActorId,
-        rpc: RpcId,
-        req: Request,
-    ) {
+    fn on_request(&mut self, ctx: &mut Ctx<'_, Envelope>, src: ActorId, rpc: RpcId, req: Request) {
         match req {
             // Control-plane requests are cheap and handled right on the
             // dispatch core.
@@ -525,17 +521,15 @@ impl ServerNode {
             (Pending::SyncPriorityPull(wait), Response::PriorityPullOk { records }) => {
                 self.finish_sync_priority_pull(ctx, wait, records);
             }
-            (Pending::ReplAck { group }, _) => {
-                if let Some(gid) = group {
-                    self.credit_ack_group(ctx, gid);
-                }
+            (Pending::ReplAck { group: Some(gid) }, _) => {
+                self.credit_ack_group(ctx, gid);
             }
-            (Pending::PushRecords, Response::PushRecordsOk) => {
+            (Pending::ReplAck { group: None }, _) => {}
+            (Pending::PushRecords, Response::PushRecordsOk) if self.baseline.is_some() => {
                 // Window of 1: next scan step now that the target acked.
-                if self.baseline.is_some() {
-                    self.queues[Priority::Background as usize].push_back(Task::BaselineStep);
-                }
+                self.queues[Priority::Background as usize].push_back(Task::BaselineStep);
             }
+            (Pending::PushRecords, Response::PushRecordsOk) => {}
             (Pending::BaselineTransferAck, _) => {
                 if let Some(run) = &mut self.baseline {
                     run.mig.on_ownership_transferred(&mut self.master);
@@ -581,8 +575,7 @@ impl ServerNode {
         }
         rec.pending_fetches -= 1;
         if rec.pending_fetches == 0 {
-            self.queues[Priority::Replay as usize]
-                .push_back(Task::RecoveryReplay { recovery });
+            self.queues[Priority::Replay as usize].push_back(Task::RecoveryReplay { recovery });
             self.try_assign(ctx);
         }
     }
@@ -770,8 +763,7 @@ impl ServerNode {
                 }
                 while done < committed {
                     let end = (done + CHUNK).min(committed);
-                    let data =
-                        Bytes::copy_from_slice(&seg.committed_bytes()[done..end]);
+                    let data = Bytes::copy_from_slice(&seg.committed_bytes()[done..end]);
                     let bytes = data.len() as u64;
                     // The replication manager is a serialized ~380 MB/s
                     // resource (§2.3): each chunk occupies it for its
@@ -888,7 +880,14 @@ impl ServerNode {
                     }
                     Err(err) => {
                         return self.read_miss(
-                            ctx, worker, src, rpc, table, key, key_hash, err,
+                            ctx,
+                            worker,
+                            src,
+                            rpc,
+                            table,
+                            key,
+                            key_hash,
+                            err,
                             service + work.service_ns(&m),
                         );
                     }
@@ -1010,16 +1009,14 @@ impl ServerNode {
                 sec_key,
                 primary_hash,
             } => {
-                let resp = match self.master.index_insert(
-                    table,
-                    index,
-                    &sec_key,
-                    primary_hash,
-                    &mut work,
-                ) {
-                    Ok(()) => Response::Ok,
-                    Err(_) => Response::Err(Status::UnknownTablet),
-                };
+                let resp =
+                    match self
+                        .master
+                        .index_insert(table, index, &sec_key, primary_hash, &mut work)
+                    {
+                        Ok(()) => Response::Ok,
+                        Err(_) => Response::Err(Status::UnknownTablet),
+                    };
                 self.defer_send(worker, src, rpc, resp);
                 m.op_fixed_ns + m.index_lookup_ns + work.service_ns(&m)
             }
@@ -1030,8 +1027,13 @@ impl ServerNode {
                 budget_bytes,
             } => {
                 self.stats.borrow_mut().pulls_served += 1;
-                let (records, next, gwork) =
-                    rocksteady::source::handle_pull(&self.master, table, range, cursor, budget_bytes);
+                let (records, next, gwork) = rocksteady::source::handle_pull(
+                    &self.master,
+                    table,
+                    range,
+                    cursor,
+                    budget_bytes,
+                );
                 let mut service = m.pull_fixed_ns;
                 let mut wire = 0;
                 for r in &records {
@@ -1069,17 +1071,13 @@ impl ServerNode {
                 let wire: u64 = records.iter().map(Record::wire_size).sum();
                 self.stats.borrow_mut().bytes_migrated_in += wire;
                 if replay {
-                    let mut replayed = 0u64;
                     for rec in &records {
                         service += m.replay_record_ns(rec.wire_size());
-                        if self
-                            .master
-                            .replay_record(rec, ReplayDest::MainLog, &mut work)
-                        {
-                            replayed += 1;
-                        }
                     }
-                    self.stats.borrow_mut().records_replayed += replayed;
+                    let replayed =
+                        self.master
+                            .replay_batch(&records, ReplayDest::MainLog, &mut work);
+                    self.stats.borrow_mut().records_replayed += replayed as u64;
                 }
                 if replay && rereplicate {
                     self.workers[worker].held = true;
@@ -1148,14 +1146,17 @@ impl ServerNode {
                         // its own single-key PriorityPull.
                         let source_actor = run.source_actor;
                         self.workers[worker].held = true;
-                        let pp = self.alloc_rpc_to(source_actor, Pending::SyncPriorityPull(SyncWait {
-                            worker,
-                            client: src,
-                            client_rpc: rpc,
-                            table,
-                            hash,
-                            key,
-                        }));
+                        let pp = self.alloc_rpc_to(
+                            source_actor,
+                            Pending::SyncPriorityPull(SyncWait {
+                                worker,
+                                client: src,
+                                client_rpc: rpc,
+                                table,
+                                hash,
+                                key,
+                            }),
+                        );
                         self.send(
                             ctx,
                             source_actor,
@@ -1223,14 +1224,13 @@ impl ServerNode {
         let m = self.cfg.cost.clone();
         let mut work = Work::default();
         let mut service = 0;
-        let mut replayed = 0u64;
         for rec in &records {
             service += m.replay_record_ns(rec.wire_size());
-            if self.master.replay_record(rec, ReplayDest::MainLog, &mut work) {
-                replayed += 1;
-            }
         }
-        self.stats.borrow_mut().records_replayed += replayed;
+        let replayed = self
+            .master
+            .replay_batch(&records, ReplayDest::MainLog, &mut work);
+        self.stats.borrow_mut().records_replayed += replayed as u64;
         // The worker was blocked the whole round trip; charge the replay
         // on top.
         self.stats.borrow_mut().worker_busy_ns += service;
@@ -1335,18 +1335,17 @@ impl ServerNode {
             self.sidelogs[worker] = Some(SideLog::new(std::sync::Arc::clone(&self.master.log)));
         }
         let mut service = 0;
-        let mut replayed = 0u64;
         let mut work = Work::default();
-        {
-            let side = self.sidelogs[worker].as_ref().expect("created above");
-            for rec in &batch.records {
-                service += m.replay_record_ns(rec.wire_size());
-                if self.master.replay_record(rec, ReplayDest::Side(side), &mut work) {
-                    replayed += 1;
-                }
-            }
+        for rec in &batch.records {
+            service += m.replay_record_ns(rec.wire_size());
         }
-        self.stats.borrow_mut().records_replayed += replayed;
+        // One replay_batch call = one side-log lock acquisition for the
+        // whole Pull response (tentpole 3).
+        let side = self.sidelogs[worker].as_ref().expect("created above");
+        let replayed = self
+            .master
+            .replay_batch(&batch.records, ReplayDest::Side(side), &mut work);
+        self.stats.borrow_mut().records_replayed += replayed as u64;
         self.workers[worker].replay_partition = Some(batch.partition);
         self.workers[worker]
             .deferred
@@ -1415,7 +1414,9 @@ impl ServerNode {
                 } else {
                     // Lever variants (skip_copy/skip_tx) keep scanning
                     // without waiting on the network.
-                    self.workers[worker].deferred.push(Deferred::BaselineContinue);
+                    self.workers[worker]
+                        .deferred
+                        .push(Deferred::BaselineContinue);
                 }
             }
             BaselineAction::TransferOwnership => {
@@ -1423,7 +1424,8 @@ impl ServerNode {
                     table: run.mig.table,
                     range: run.mig.range,
                     source: self.cfg.id,
-                    target: self.dir
+                    target: self
+                        .dir
                         .servers
                         .iter()
                         .find(|(_, a)| **a == run.target_actor)
@@ -1458,6 +1460,7 @@ impl ServerNode {
         let mut replayed = 0u64;
         let mut ids: Vec<u64> = rec.images.keys().copied().collect();
         ids.sort_unstable();
+        let mut batch = Vec::new();
         for id in ids {
             let data = &rec.images[&id];
             let mut offset = 0usize;
@@ -1479,16 +1482,14 @@ impl ServerNode {
                         tombstone: view.kind == rocksteady_logstore::EntryKind::Tombstone,
                     };
                     service += m.replay_record_ns(record.wire_size());
-                    if self
-                        .master
-                        .replay_record(&record, ReplayDest::MainLog, &mut work)
-                    {
-                        replayed += 1;
-                    }
+                    batch.push(record);
                 }
                 offset += len;
             }
         }
+        replayed += self
+            .master
+            .replay_batch(&batch, ReplayDest::MainLog, &mut work) as u64;
         service += work.scanned_entries * m.log_scan_per_entry_ns;
         self.stats.borrow_mut().recovery_replayed += replayed;
         // The replay raised the version floor above everything the dead
@@ -1501,7 +1502,9 @@ impl ServerNode {
             Envelope::resp(rpc, Response::RecoverTabletOk { replayed }),
         ));
         // Recovered data must become durable.
-        self.workers[worker].deferred.push(Deferred::ShipLog { wait: None });
+        self.workers[worker]
+            .deferred
+            .push(Deferred::ShipLog { wait: None });
         service
     }
 
@@ -1515,8 +1518,7 @@ impl ServerNode {
                 // victim segment's entries.
                 m.copy_ns(stats.bytes_relocated)
                     + m.checksum_ns(stats.bytes_relocated)
-                    + (stats.entries_relocated + stats.entries_dropped)
-                        * m.log_scan_per_entry_ns
+                    + (stats.entries_relocated + stats.entries_dropped) * m.log_scan_per_entry_ns
                     + m.op_fixed_ns
             }
             None => m.op_fixed_ns,

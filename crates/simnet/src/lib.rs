@@ -404,7 +404,12 @@ mod tests {
             if let Event::Message { src, payload } = event {
                 self.log.borrow_mut().push((ctx.now(), src));
                 if self.reply {
-                    ctx.send(src, Ping { bytes: payload.bytes });
+                    ctx.send(
+                        src,
+                        Ping {
+                            bytes: payload.bytes,
+                        },
+                    );
                 }
             }
         }
@@ -491,10 +496,7 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let responses = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulation::new(nic(), 1);
-        let echo = sim.add_actor(Box::new(Echo {
-            log,
-            reply: true,
-        }));
+        let echo = sim.add_actor(Box::new(Echo { log, reply: true }));
         sim.add_actor(Box::new(Blaster {
             dst: echo,
             n: 1,

@@ -61,7 +61,10 @@ impl ClientCore {
         }
         let rpc = self.alloc_rpc();
         self.map_rpc = Some(rpc);
-        ctx.send(self.dir.coordinator, Envelope::req(rpc, Request::GetTabletMap));
+        ctx.send(
+            self.dir.coordinator,
+            Envelope::req(rpc, Request::GetTabletMap),
+        );
         Some(rpc)
     }
 

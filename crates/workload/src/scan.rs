@@ -10,9 +10,9 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
+use rocksteady_common::ids::IndexId;
 use rocksteady_common::rng::Prng;
 use rocksteady_common::zipf::{KeyDist, KeySampler};
-use rocksteady_common::ids::IndexId;
 use rocksteady_common::{KeyHash, Nanos, RpcId, ServerId, TableId};
 use rocksteady_proto::{Body, Envelope, Request, Response};
 use rocksteady_simnet::{Actor, Ctx, Directory, Event};
@@ -62,10 +62,7 @@ enum Phase {
     /// Waiting for the indexlet's hash list.
     Lookup,
     /// Waiting for `remaining` multi-get responses.
-    Fetch {
-        remaining: u32,
-        objects: u64,
-    },
+    Fetch { remaining: u32, objects: u64 },
 }
 
 #[derive(Debug)]
@@ -112,8 +109,7 @@ impl ScanClient {
             .indexlets
             .iter()
             .find(|(lo, hi, _)| {
-                begin >= lo.as_slice()
-                    && hi.as_ref().map_or(true, |h| begin < h.as_slice())
+                begin >= lo.as_slice() && hi.as_ref().is_none_or(|h| begin < h.as_slice())
             })
             .map(|(_, _, owner)| *owner)
     }

@@ -249,7 +249,8 @@ impl YcsbClient {
                     // target's dispatch with retry traffic.
                     op.retries += 1;
                     let factor = 1u64 << op.retries.min(7);
-                    let delay = (after.saturating_mul(factor) / 2).min(4 * rocksteady_common::MILLISECOND);
+                    let delay =
+                        (after.saturating_mul(factor) / 2).min(4 * rocksteady_common::MILLISECOND);
                     ctx.timer(delay, (op_id << 8) | TOK_RETRY);
                 }
             }

@@ -65,7 +65,10 @@ fn main() {
     cluster.seed_backups();
     cluster.split_tablet(table, mid);
 
-    println!("migrating upper half to {}; killing it mid-migration...", ServerId(1));
+    println!(
+        "migrating upper half to {}; killing it mid-migration...",
+        ServerId(1)
+    );
     cluster.run_until(2 * SECOND);
 
     let owner = cluster
@@ -79,7 +82,9 @@ fn main() {
          lineage deps: {}",
         cluster.coord.borrow().lineage_deps().len()
     );
-    let replayed = cluster.server_stats[&ServerId(0)].borrow().recovery_replayed;
+    let replayed = cluster.server_stats[&ServerId(0)]
+        .borrow()
+        .recovery_replayed;
     println!("lineage merge replayed {replayed} records from the dead target's log tail");
 
     // The contract: every record present, every acknowledged write
@@ -95,15 +100,11 @@ fn main() {
     let mut checked = 0;
     for (rank, version) in &confirmed {
         let key = primary_key(*rank, 30);
-        let (_, current) = cluster
-            .read_direct(table, &key)
-            .expect("acked write lost");
+        let (_, current) = cluster.read_direct(table, &key).expect("acked write lost");
         assert!(current >= *version, "acked write regressed");
         checked += 1;
     }
-    println!(
-        "verified {keys} records and all {checked} acknowledged writes survived"
-    );
+    println!("verified {keys} records and all {checked} acknowledged writes survived");
 
     let stats = cluster.client_stats[0].borrow();
     let reads = stats.read_latency.merged();

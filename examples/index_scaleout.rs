@@ -32,8 +32,10 @@ fn run(indexlets: usize, scans_per_sec: f64) -> (f64, u64, u64) {
     // Index lookups dominate: a SLIK-style B-tree descent costs several
     // microseconds, which is what makes the indexlet the bottleneck and
     // splitting it worthwhile (Figure 4).
-    let mut cost = rocksteady_common::CostModel::default();
-    cost.index_lookup_ns = 4_000;
+    let cost = rocksteady_common::CostModel {
+        index_lookup_ns: 4_000,
+        ..Default::default()
+    };
     let mut builder = ClusterBuilder::new(ClusterConfig {
         servers: 3,
         workers: 4,

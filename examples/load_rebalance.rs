@@ -12,14 +12,10 @@
 
 use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::fmt_nanos;
-use rocksteady_common::{HashRange, ServerId, TableId, Histogram, MILLISECOND, SECOND};
+use rocksteady_common::{HashRange, Histogram, ServerId, TableId, MILLISECOND, SECOND};
 use rocksteady_workload::YcsbConfig;
 
-fn window(
-    stats: &rocksteady_workload::ClientStats,
-    from: u64,
-    to: u64,
-) -> (f64, Histogram) {
+fn window(stats: &rocksteady_workload::ClientStats, from: u64, to: u64) -> (f64, Histogram) {
     let mut hist = Histogram::new();
     let mut ops = 0u64;
     for (at, slot) in stats.read_latency.iter() {

@@ -93,7 +93,10 @@ fn main() {
             moved += 1;
         }
     }
-    println!("verified all {keys} records; {moved} now live on {}", ServerId(1));
+    println!(
+        "verified all {keys} records; {moved} now live on {}",
+        ServerId(1)
+    );
 
     let stats = cluster.client_stats[0].borrow();
     let reads = stats.read_latency.merged();

@@ -109,7 +109,11 @@ fn skip_copy_lever_identifies_but_moves_nothing() {
         },
         false,
     );
-    assert!(moved.is_empty(), "skip_copy shipped {} records", moved.len());
+    assert!(
+        moved.is_empty(),
+        "skip_copy shipped {} records",
+        moved.len()
+    );
 }
 
 #[test]
@@ -127,5 +131,9 @@ fn skip_replay_lever_transmits_but_target_stores_nothing() {
         },
         false,
     );
-    assert!(moved.is_empty(), "skip_replay stored {} records", moved.len());
+    assert!(
+        moved.is_empty(),
+        "skip_replay stored {} records",
+        moved.len()
+    );
 }

@@ -38,12 +38,14 @@ pub fn standard_setup(cluster: &mut Cluster, keys: u64) {
 }
 
 /// Convenience builder with the standard config.
+#[allow(dead_code)] // not every test binary uses every helper
 pub fn builder() -> ClusterBuilder {
     ClusterBuilder::new(test_config())
 }
 
 /// Verifies that every one of `keys` records is readable through its
 /// current owner; returns how many live in the upper (migrated) half.
+#[allow(dead_code)] // not every test binary uses every helper
 pub fn verify_all_readable(cluster: &mut Cluster, keys: u64) -> u64 {
     let mut upper_count = 0;
     for rank in 0..keys {

@@ -7,7 +7,7 @@
 
 mod common;
 
-use common::{builder, standard_setup, upper, verify_all_readable, MID, TABLE};
+use common::{builder, standard_setup, upper, verify_all_readable, TABLE};
 use rocksteady_cluster::ControlCmd;
 use rocksteady_common::{key_hash, ServerId, MILLISECOND, SECOND};
 use rocksteady_master::{OpError, TabletRole, Work};
@@ -88,7 +88,10 @@ fn migration_under_writes_preserves_every_record_and_update() {
         .expect("an upper-half key exists");
     let node = cluster.node(ServerId(0));
     let hash = key_hash(&sample);
-    match node.master.read(TABLE, hash, Some(&sample), &mut Work::default()) {
+    match node
+        .master
+        .read(TABLE, hash, Some(&sample), &mut Work::default())
+    {
         Err(OpError::UnknownTablet) => {}
         other => panic!("source should refuse migrated keys, got {other:?}"),
     }
@@ -96,7 +99,10 @@ fn migration_under_writes_preserves_every_record_and_update() {
     // 5. The target is a plain owner afterwards.
     let target = cluster.node(ServerId(1));
     assert_eq!(
-        target.master.tablet_covering(TABLE, u64::MAX).map(|t| t.role),
+        target
+            .master
+            .tablet_covering(TABLE, u64::MAX)
+            .map(|t| t.role),
         Some(TabletRole::Owner)
     );
 }

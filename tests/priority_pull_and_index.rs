@@ -126,7 +126,7 @@ fn index_scans_span_split_indexlets_and_tablets() {
                 upper_ix.insert(&sec, hash);
             }
         }
-        assert!(lower.len() > 0 && upper_ix.len() > 0);
+        assert!(!lower.is_empty() && !upper_ix.is_empty());
         cluster.node(ServerId(1)).master.add_indexlet(lower);
         cluster.node(ServerId(2)).master.add_indexlet(upper_ix);
     }
@@ -134,7 +134,11 @@ fn index_scans_span_split_indexlets_and_tablets() {
     cluster.run_until(100 * MILLISECOND);
     let stats = cluster.client_stats[0].borrow();
     let scans = stats.read_latency.merged();
-    assert!(scans.count() > 500, "only {} scans completed", scans.count());
+    assert!(
+        scans.count() > 500,
+        "only {} scans completed",
+        scans.count()
+    );
     // Each 4-record scan fetches ~4 objects (edge scans may truncate).
     let objects = stats.objects.merged().count();
     assert!(

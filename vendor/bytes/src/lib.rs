@@ -1,0 +1,371 @@
+//! A minimal, offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the real crate's `Bytes` API this workspace
+//! uses, with identical semantics: a `Bytes` is a cheaply cloneable,
+//! sliceable view into ref-counted immutable memory. Cloning and slicing
+//! never copy payload bytes — they bump a reference count and adjust an
+//! `(offset, len)` window.
+//!
+//! The one deliberate extension beyond parity is that [`Bytes::from_owner`]
+//! (stabilized in real `bytes` 1.9) is the *primary* constructor here:
+//! Rocksteady's zero-copy pull path wraps whole log segments as owners and
+//! hands out `Bytes` windows into them, so a pull response aliases the
+//! source log until the RPC is serialized.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable slice of memory.
+pub struct Bytes {
+    data: Data,
+    offset: usize,
+    len: usize,
+}
+
+#[derive(Clone)]
+enum Data {
+    /// Borrowed from static storage; no refcount needed.
+    Static(&'static [u8]),
+    /// Shared ownership of an arbitrary byte container. The owner's
+    /// `as_ref()` must be stable: same base address and at least the same
+    /// length for the lifetime of the `Arc` (true for `Vec<u8>` and for
+    /// append-only log segments whose committed prefix only grows).
+    Owned(Arc<dyn AsRef<[u8]> + Send + Sync>),
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub const fn new() -> Self {
+        Bytes {
+            data: Data::Static(&[]),
+            offset: 0,
+            len: 0,
+        }
+    }
+
+    /// Creates a `Bytes` borrowing a static slice (no allocation).
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Data::Static(bytes),
+            offset: 0,
+            len: bytes.len(),
+        }
+    }
+
+    /// Copies `data` into a fresh ref-counted allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Wraps an existing byte container without copying it. The returned
+    /// `Bytes` (and everything sliced from it) keeps `owner` alive.
+    ///
+    /// This is the zero-copy entry point: wrapping an `Arc<Segment>`-like
+    /// owner lets callers hand out windows into memory they do not copy.
+    pub fn from_owner<O>(owner: O) -> Self
+    where
+        O: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let len = owner.as_ref().len();
+        Bytes {
+            data: Data::Owned(Arc::new(owner)),
+            offset: 0,
+            len,
+        }
+    }
+
+    /// Number of bytes in this view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether this view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a new `Bytes` windowing `range` of this one. No bytes are
+    /// copied; the result shares the same owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice range {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            data: self.data.clone(),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// The bytes of this view as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        let backing: &[u8] = match &self.data {
+            Data::Static(s) => s,
+            Data::Owned(o) => (**o).as_ref(),
+        };
+        &backing[self.offset..self.offset + self.len]
+    }
+
+    /// Copies this view into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Clone for Bytes {
+    fn clone(&self) -> Self {
+        Bytes {
+            data: self.data.clone(),
+            offset: self.offset,
+            len: self.len,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            data: Data::Owned(Arc::new(v)),
+            offset: 0,
+            len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Bytes::from_static(b"hello");
+        let b = Bytes::copy_from_slice(b"hello");
+        let c = Bytes::from(b"hello".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a, b"hello");
+        assert_eq!(&a[..], b"hello");
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn slicing_is_windowed_not_copied() {
+        let base = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let mid = base.slice(8..24);
+        assert_eq!(mid.len(), 16);
+        assert_eq!(mid[0], 8);
+        let inner = mid.slice(4..8);
+        assert_eq!(&inner[..], &[12, 13, 14, 15]);
+        // Full-range and open-ended forms.
+        assert_eq!(base.slice(..), base);
+        assert_eq!(base.slice(30..).len(), 2);
+        assert_eq!(base.slice(..=1).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from_static(b"abc").slice(1..5);
+    }
+
+    #[test]
+    fn from_owner_keeps_owner_alive() {
+        struct Tracked {
+            data: Vec<u8>,
+            dropped: Arc<AtomicBool>,
+        }
+        impl AsRef<[u8]> for Tracked {
+            fn as_ref(&self) -> &[u8] {
+                &self.data
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.dropped.store(true, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(AtomicBool::new(false));
+        let b = Bytes::from_owner(Tracked {
+            data: vec![1, 2, 3, 4],
+            dropped: Arc::clone(&dropped),
+        });
+        let s = b.slice(1..3);
+        drop(b);
+        // The slice still holds the owner.
+        assert!(!dropped.load(Ordering::SeqCst));
+        assert_eq!(&s[..], &[2, 3]);
+        drop(s);
+        assert!(dropped.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::copy_from_slice(b"shared");
+        let b = a.clone();
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn hash_and_ord_follow_slice_semantics() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Bytes::from_static(b"k"));
+        assert!(set.contains(&Bytes::copy_from_slice(b"k")));
+        assert!(Bytes::from_static(b"a") < Bytes::from_static(b"b"));
+    }
+}

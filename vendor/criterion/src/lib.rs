@@ -1,0 +1,359 @@
+//! A minimal, offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use — groups,
+//! throughput annotation, `iter`/`iter_batched`, the `criterion_group!` /
+//! `criterion_main!` macros — with straightforward wall-clock sampling:
+//! each benchmark warms up, then takes `sample_size` timed samples and
+//! reports the median ns/iteration plus derived throughput. Results are
+//! also retrievable programmatically ([`take_results`]) so bench mains
+//! can persist machine-readable output (e.g. `BENCH_micro.json`).
+
+use std::cell::RefCell;
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use hint::black_box;
+
+/// Throughput annotation for a benchmark group: how much work one
+/// iteration represents.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; the stand-in times each routine
+/// call individually, so the variants behave identically.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Work per iteration, if the group declared throughput.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the median sample.
+    pub fn iters_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_iter
+    }
+
+    /// Bytes per second, when the group declared byte throughput.
+    pub fn bytes_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Bytes(b)) => Some(b as f64 * self.iters_per_sec()),
+            _ => None,
+        }
+    }
+}
+
+thread_local! {
+    static RESULTS: RefCell<Vec<Measurement>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Drains the measurements recorded so far on this thread (bench mains
+/// run single-threaded through `criterion_main!`).
+pub fn take_results() -> Vec<Measurement> {
+    RESULTS.with(|r| r.borrow_mut().drain(..).collect())
+}
+
+fn record(m: Measurement) {
+    RESULTS.with(|r| r.borrow_mut().push(m));
+}
+
+/// Benchmark driver configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// No-op for CLI compatibility with real criterion.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let cfg = BenchConfig {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        run_bench(name.to_string(), None, cfg, f);
+        self
+    }
+}
+
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work one iteration of subsequent benchmarks performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group (accepted for API
+    /// compatibility; applies to the whole run).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let cfg = BenchConfig {
+            sample_size: self.criterion.sample_size,
+            measurement_time: self.criterion.measurement_time,
+            warm_up_time: self.criterion.warm_up_time,
+        };
+        run_bench(format!("{}/{name}", self.name), self.throughput, cfg, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(
+    id: String,
+    throughput: Option<Throughput>,
+    cfg: BenchConfig,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up pass: run the body repeatedly until the budget elapses.
+    let warm_deadline = Instant::now() + cfg.warm_up_time;
+    let mut b = Bencher {
+        mode: Mode::Run,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    while Instant::now() < warm_deadline {
+        f(&mut b);
+        if b.iters == 0 {
+            break; // body never iterated; nothing to warm
+        }
+    }
+
+    // Timed samples.
+    let mut samples: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    let per_sample = cfg.measurement_time / cfg.sample_size as u32;
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            mode: Mode::Run,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        let deadline = Instant::now() + per_sample;
+        loop {
+            f(&mut b);
+            if b.iters == 0 || Instant::now() >= deadline {
+                break;
+            }
+        }
+        if b.iters > 0 {
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ns = if samples.is_empty() {
+        f64::NAN
+    } else {
+        samples[samples.len() / 2]
+    };
+    let m = Measurement {
+        id,
+        ns_per_iter: ns,
+        throughput,
+    };
+    match m.bytes_per_sec() {
+        Some(bps) => println!(
+            "{:<44} {:>12.1} ns/iter {:>10.1} MB/s",
+            m.id,
+            m.ns_per_iter,
+            bps / 1e6
+        ),
+        None => println!("{:<44} {:>12.1} ns/iter", m.id, m.ns_per_iter),
+    }
+    record(m);
+}
+
+enum Mode {
+    Run,
+}
+
+/// Passed to benchmark closures; times the measured routine.
+pub struct Bencher {
+    #[allow(dead_code)]
+    mode: Mode,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Amortize clock reads over a small batch.
+        const BATCH: u64 = 16;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        hint::black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring real criterion's two
+/// accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1000));
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut x = 0u64;
+                for i in 0..100 {
+                    x = x.wrapping_add(black_box(i));
+                }
+                x
+            })
+        });
+        g.finish();
+        let results = take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].ns_per_iter > 0.0);
+        assert!(results[0].bytes_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        let results = take_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, "batched");
+    }
+}
