@@ -6,6 +6,7 @@
 #   1. cargo fmt --check      — formatting is canonical
 #   2. cargo clippy -D warnings (all targets) — lint-clean
 #   3. tier-1 verify (ROADMAP.md): release build + test suite
+#   4. examples smoke: quickstart (+ exported trace JSON), crash_recovery
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -23,5 +24,17 @@ cargo test -q
 
 echo "==> full workspace tests"
 cargo test -q --workspace
+
+echo "==> examples: quickstart (exports a trace)"
+rm -f target/quickstart-trace.json
+cargo run --release --example quickstart
+
+echo "==> trace smoke: target/quickstart-trace.json"
+test -s target/quickstart-trace.json
+grep -q '"traceEvents"' target/quickstart-trace.json
+grep -q '"name":"migration"' target/quickstart-trace.json
+
+echo "==> examples: crash_recovery"
+cargo run --release --example crash_recovery
 
 echo "CI OK"

@@ -16,6 +16,7 @@ use rocksteady_proto::Envelope;
 use rocksteady_server::stats::{stats_handle, StatsHandle};
 use rocksteady_server::{ServerConfig, ServerNode};
 use rocksteady_simnet::{Directory, NicConfig, Simulation};
+use rocksteady_trace::Tracer;
 use rocksteady_workload::stats::client_stats;
 use rocksteady_workload::{
     ClientStatsHandle, ScanClient, ScanConfig, SpreadClient, SpreadConfig, YcsbClient, YcsbConfig,
@@ -55,6 +56,11 @@ pub struct ClusterConfig {
     /// Per-server worker-count overrides (defaults to `workers`); used by
     /// experiments that size the source and target differently (Fig 15).
     pub workers_by_server: Vec<(ServerId, usize)>,
+    /// Arm the deterministic trace layer: servers and clients record
+    /// RPC/migration spans into one shared buffer, exportable as
+    /// chrome://tracing JSON. Off by default — a disarmed tracer costs
+    /// one branch per would-be event.
+    pub tracing: bool,
 }
 
 impl Default for ClusterConfig {
@@ -73,6 +79,7 @@ impl Default for ClusterConfig {
             seed: 42,
             cleaner_interval: None,
             workers_by_server: Vec::new(),
+            tracing: false,
         }
     }
 }
@@ -146,6 +153,11 @@ impl ClusterBuilder {
         let mut sim = Simulation::new(cfg.nic, cfg.seed);
         let coord: CoordHandle = Rc::new(RefCell::new(Coordinator::new()));
         let util: UtilSeriesHandle = Rc::new(RefCell::new(UtilSeries::default()));
+        let trace = if cfg.tracing {
+            Tracer::armed()
+        } else {
+            Tracer::off()
+        };
 
         // Actor 0: coordinator.
         let coordinator_actor = sim.add_actor(Box::new(CoordinatorActor::new(
@@ -196,6 +208,7 @@ impl ClusterBuilder {
                 server_cfg,
                 self.dir.clone(),
                 stats,
+                trace.clone(),
             )));
             debug_assert_eq!(actor, 1 + i);
         }
@@ -227,7 +240,9 @@ impl ClusterBuilder {
             match spec {
                 ClientSpec::Ycsb(mut c) => {
                     c.seed ^= derived;
-                    sim.add_actor(Box::new(YcsbClient::new(c, stats)));
+                    sim.add_actor(Box::new(
+                        YcsbClient::new(c, stats).with_trace(trace.clone()),
+                    ));
                 }
                 ClientSpec::Spread(mut c) => {
                     c.seed ^= derived;
@@ -248,6 +263,7 @@ impl ClusterBuilder {
             client_stats: client_stats_handles,
             util,
             backups_of,
+            trace,
             cfg,
         }
     }
@@ -270,6 +286,8 @@ pub struct Cluster {
     pub util: UtilSeriesHandle,
     /// Backup ring: which servers hold each master's replicas.
     pub backups_of: HashMap<ServerId, Vec<ServerId>>,
+    /// The shared trace buffer (disarmed unless `cfg.tracing`).
+    pub trace: Tracer,
     /// The configuration the cluster was built with.
     pub cfg: ClusterConfig,
 }
@@ -384,18 +402,45 @@ impl Cluster {
         self.server_stats[&target].borrow().migration_finished_at
     }
 
+    /// Whether the current migration on `target` was abandoned (source
+    /// died, or a recovery plan superseded the run) without finishing.
+    pub fn migration_abandoned(&self, target: ServerId) -> Option<Nanos> {
+        let s = self.server_stats[&target].borrow();
+        match (s.migration_started_at, s.migration_abandoned_at) {
+            (Some(start), Some(at)) if at >= start && s.migration_finished_at.is_none() => Some(at),
+            _ => None,
+        }
+    }
+
     /// Runs until the migration targeting `target` finishes or `deadline`
-    /// passes; returns the finish time if it completed.
+    /// passes; returns the finish time if it completed. Returns `None`
+    /// as soon as the run is abandoned rather than spinning to the
+    /// deadline.
     pub fn run_until_migrated(&mut self, target: ServerId, deadline: Nanos) -> Option<Nanos> {
         let step = self.cfg.sample_interval.max(1_000_000);
         while self.now() < deadline {
             if let Some(t) = self.migration_finished(target) {
                 return Some(t);
             }
+            if self.migration_abandoned(target).is_some() {
+                return None;
+            }
             let next = (self.now() + step).min(deadline);
             self.run_until(next);
         }
         self.migration_finished(target)
+    }
+
+    /// Toggles trace recording (no-op when the cluster was built with
+    /// `tracing: false`). Lets benches record only a window of interest.
+    pub fn set_tracing(&self, on: bool) {
+        self.trace.set_recording(on);
+    }
+
+    /// Exports everything recorded so far as chrome://tracing JSON.
+    /// Byte-identical across same-seed runs.
+    pub fn export_trace_json(&self) -> String {
+        self.trace.export_chrome_json()
     }
 
     /// Reads a key directly from whichever master currently owns it

@@ -31,4 +31,4 @@ pub use hist::{Histogram, TimeSeries};
 pub use ids::{key_hash, IndexId, KeyHash, RpcId, ServerId, TableId};
 pub use range::{HashRange, ScanCursor};
 pub use time::{Nanos, MICROSECOND, MILLISECOND, SECOND};
-pub use wire::WireSized;
+pub use wire::{SimMessage, WireSized};

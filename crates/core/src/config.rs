@@ -45,3 +45,40 @@ impl Default for MigrationConfig {
         }
     }
 }
+
+/// Why a server is asking the client to come back later. Each cause
+/// maps to a distinct base hint; keeping the mapping here (rather than
+/// scattered through the server) is what guarantees every retry path
+/// hints consistently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryCause {
+    /// Read missed a not-yet-migrated record and a PriorityPull is on
+    /// its way: "retry after the time when the target expects it will
+    /// have the value" (§3) — one PriorityPull round trip.
+    MissPriorityPull,
+    /// Read missed but PriorityPulls are disabled (Figure 9b/10b): the
+    /// record only arrives with the bulk pulls, so the hint is
+    /// correspondingly longer.
+    MissBulkOnly,
+    /// The range is mid crash-recovery; replaying the replicated log
+    /// takes several pull round trips.
+    Recovering,
+    /// A peer the operation depended on just died; back off while the
+    /// coordinator's recovery plan lands.
+    SourceFailover,
+}
+
+impl MigrationConfig {
+    /// Base retry hint for `cause`, before jitter. The server draws
+    /// jitter uniformly in `[0, base/2)` and sends `base + jitter`, so
+    /// the hint lands in `[base, 1.5·base)` — synchronized clients
+    /// spread out without doubling the documented mean.
+    pub fn retry_base(&self, cause: RetryCause) -> Nanos {
+        match cause {
+            RetryCause::MissPriorityPull => self.retry_after_ns,
+            RetryCause::MissBulkOnly => self.retry_after_ns * 20,
+            RetryCause::Recovering => self.retry_after_ns * 4,
+            RetryCause::SourceFailover => self.retry_after_ns,
+        }
+    }
+}

@@ -86,6 +86,19 @@ pub enum MigrationPhase {
     Done,
 }
 
+impl MigrationPhase {
+    /// Trace-span label for the phase that *ends* when this one begins
+    /// (the server emits a phase span at each transition).
+    pub fn name(self) -> &'static str {
+        match self {
+            MigrationPhase::Preparing => "mig:preparing",
+            MigrationPhase::Registering => "mig:prepare",
+            MigrationPhase::Running => "mig:ownership-flip",
+            MigrationPhase::Done => "mig:run",
+        }
+    }
+}
+
 /// Running statistics for one migration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MigrationStats {

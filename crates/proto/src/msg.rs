@@ -437,6 +437,35 @@ impl Request {
         }
     }
 
+    /// Short static name, used as the trace-span label for this request.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Read { .. } => "read",
+            Request::Write { .. } => "write",
+            Request::Delete { .. } => "delete",
+            Request::MultiRead { .. } => "multiread",
+            Request::MultiReadHash { .. } => "multiread-hash",
+            Request::IndexScan { .. } => "index-scan",
+            Request::IndexInsert { .. } => "index-insert",
+            Request::MigrateTablet { .. } => "migrate-tablet",
+            Request::PrepareMigration { .. } => "prepare-migration",
+            Request::Pull { .. } => "pull",
+            Request::PriorityPull { .. } => "priority-pull",
+            Request::MigrateTabletBaseline { .. } => "migrate-baseline",
+            Request::PushRecords { .. } => "push-records",
+            Request::ReplicateAppend { .. } => "replicate-append",
+            Request::ReplicateClose { .. } => "replicate-close",
+            Request::FetchSegments { .. } => "fetch-segments",
+            Request::GetTabletMap => "get-tablet-map",
+            Request::MigrationStarting { .. } => "migration-starting",
+            Request::MigrationComplete { .. } => "migration-complete",
+            Request::BaselineOwnershipTransfer { .. } => "baseline-transfer",
+            Request::ReportCrash { .. } => "report-crash",
+            Request::NotifyServerDown { .. } => "notify-server-down",
+            Request::RecoverTablet { .. } => "recover-tablet",
+        }
+    }
+
     /// Payload bytes this request adds on top of the message header.
     pub fn payload_bytes(&self) -> u64 {
         match self {
@@ -503,6 +532,10 @@ pub struct Envelope {
     pub rpc: RpcId,
     /// The message body.
     pub body: Body,
+    /// Virtual time the sender's NIC accepted this message; stamped by
+    /// the simulation kernel (0 until sent). Receivers subtract it from
+    /// the arrival time to measure the network segment of an RPC.
+    pub sent_at: Nanos,
 }
 
 impl Envelope {
@@ -511,6 +544,7 @@ impl Envelope {
         Envelope {
             rpc,
             body: Body::Req(request),
+            sent_at: 0,
         }
     }
 
@@ -519,6 +553,7 @@ impl Envelope {
         Envelope {
             rpc,
             body: Body::Resp(response),
+            sent_at: 0,
         }
     }
 
@@ -534,6 +569,12 @@ impl Envelope {
 impl rocksteady_common::WireSized for Envelope {
     fn wire_size(&self) -> u64 {
         Envelope::wire_size(self)
+    }
+}
+
+impl rocksteady_common::SimMessage for Envelope {
+    fn stamp_sent(&mut self, now: Nanos) {
+        self.sent_at = now;
     }
 }
 

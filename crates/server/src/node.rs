@@ -19,14 +19,16 @@ use std::collections::{HashMap, VecDeque};
 use bytes::Bytes;
 use rocksteady::{
     Action, BaselineAction, BaselineMigration, MigrationManager, MissOutcome, ReplayBatch,
+    RetryCause,
 };
 use rocksteady_backup::BackupService;
-use rocksteady_common::{KeyHash, Nanos, RpcId, TableId};
+use rocksteady_common::{KeyHash, Nanos, RpcId, ServerId, TableId};
 use rocksteady_logstore::SideLog;
 use rocksteady_master::{MasterService, OpError, ReplayDest, TabletRole, Work};
 use rocksteady_proto::msg::{BaselineOpts, SegmentImage};
 use rocksteady_proto::{Body, Envelope, Priority, Record, Request, Response, Status};
 use rocksteady_simnet::{Actor, ActorId, Ctx, Event};
+use rocksteady_trace::Tracer;
 
 use crate::stats::StatsHandle;
 use crate::{Directory, ServerConfig};
@@ -36,6 +38,21 @@ const KIND_DISPATCH: u64 = 1;
 const KIND_WORKER_DONE: u64 = 2;
 const KIND_DEFERRED_SEND: u64 = 3;
 const KIND_CLEANER: u64 = 4;
+
+// Trace lanes (`tid` within this server's `pid`). Lanes are chosen so
+// spans sharing one never partially overlap: worker cores run one task
+// at a time, each pull partition has one Pull in flight, PriorityPull
+// batches are serialized by the batcher, and migration phases tile.
+/// RPC decomposition instants (no spans, so no nesting constraint).
+const LANE_RPC: u64 = 0;
+/// Worker core `w` records service/hold spans on lane `1 + w`.
+const LANE_WORKER_BASE: u64 = 1;
+/// Migration phase spans and the whole-migration span.
+const LANE_MIGRATION: u64 = 100;
+/// PriorityPull batch round trips.
+const LANE_PRIORITY_PULL: u64 = 101;
+/// Pull round trips for partition `p` land on `LANE_PULL_BASE + p`.
+const LANE_PULL_BASE: u64 = 110;
 
 fn token(kind: u64, payload: u64) -> u64 {
     (payload << 8) | kind
@@ -90,6 +107,9 @@ struct WorkerState {
     deferred: Vec<Deferred>,
     /// The replay partition this worker is processing, if any.
     replay_partition: Option<Option<usize>>,
+    /// Open trace span for the task on this core: (label, start).
+    /// `Some` only while tracing is armed.
+    trace_op: Option<(&'static str, Nanos)>,
 }
 
 /// What an outstanding outbound RPC means to us.
@@ -156,6 +176,38 @@ struct RecoveryRun {
     coordinator_rpc: (ActorId, RpcId),
     pending_fetches: u32,
     images: HashMap<u64, Bytes>,
+    /// Whose log we are recovering, and from which segment on — kept so
+    /// a fetch to a dead backup can be re-issued elsewhere.
+    crashed: ServerId,
+    from_segment: u64,
+    /// The coordinator's backup list for `crashed`.
+    backups: Vec<ServerId>,
+    /// Backups that died while we were fetching from them.
+    failed_backups: Vec<ServerId>,
+}
+
+/// Per-RPC latency decomposition, recorded only while tracing is on.
+/// Keyed by `(src, rpc)`; finalized (and emitted) when the response is
+/// handed to the NIC.
+#[derive(Debug)]
+struct RpcSpan {
+    name: &'static str,
+    /// When the requester's NIC accepted the request (stamped by the
+    /// simnet kernel into `Envelope::sent_at`).
+    sent_at: Nanos,
+    /// When the request entered our rx queue.
+    arrived: Nanos,
+    /// When a worker started servicing it (0 until assigned).
+    assigned: Nanos,
+    /// Predicted end of worker service (assignment + service time).
+    service_end: Nanos,
+}
+
+/// Wall-clock anchors of the in-progress migration's trace spans.
+#[derive(Debug)]
+struct MigTrace {
+    started: Nanos,
+    phase_start: Nanos,
 }
 
 /// One simulated RAMCloud server (master + backup + dispatch/workers).
@@ -170,7 +222,7 @@ pub struct ServerNode {
     stats: StatsHandle,
 
     // Dispatch.
-    rx_queue: VecDeque<(ActorId, Envelope)>,
+    rx_queue: VecDeque<(ActorId, Nanos, Envelope)>,
     dispatch_busy_until: Nanos,
     dispatch_scheduled: bool,
     /// Cost accumulated while handling the current dispatch event.
@@ -205,12 +257,23 @@ pub struct ServerNode {
     /// In-flight crash recoveries, keyed by the coordinator's RPC id
     /// (several tablets may recover onto this master concurrently).
     recoveries: HashMap<u64, RecoveryRun>,
+
+    // Tracing (zero-cost when disarmed: every site is gated on one
+    // `Option` discriminant check).
+    trace: Tracer,
+    rpc_spans: HashMap<(ActorId, u64), RpcSpan>,
+    mig_trace: Option<MigTrace>,
+    /// Outstanding Pull rpc → (send time, partition), for pull spans.
+    pull_span_start: HashMap<u64, (Nanos, usize)>,
+    /// Outstanding PriorityPull rpc → (send time, batch size).
+    pp_span_start: HashMap<u64, (Nanos, u64)>,
 }
 
 impl ServerNode {
     /// Creates a server; `dir` provides actor wiring, `stats` is shared
-    /// with the harness.
-    pub fn new(cfg: ServerConfig, dir: Directory, stats: StatsHandle) -> Self {
+    /// with the harness and `trace` with the trace exporter (pass
+    /// [`Tracer::off`] to compile the tracing paths down to one branch).
+    pub fn new(cfg: ServerConfig, dir: Directory, stats: StatsHandle, trace: Tracer) -> Self {
         let workers = (0..cfg.workers).map(|_| WorkerState::default()).collect();
         let master = MasterService::new(cfg.master.clone());
         let backup = BackupService::new(cfg.id);
@@ -239,6 +302,11 @@ impl ServerNode {
             sidelogs: (0..cfg.workers).map(|_| None).collect(),
             baseline: None,
             recoveries: HashMap::new(),
+            trace,
+            rpc_spans: HashMap::new(),
+            mig_trace: None,
+            pull_span_start: HashMap::new(),
+            pp_span_start: HashMap::new(),
             cfg,
         }
     }
@@ -280,7 +348,68 @@ impl ServerNode {
     }
 
     fn respond(&mut self, ctx: &mut Ctx<'_, Envelope>, dst: ActorId, rpc: RpcId, resp: Response) {
+        if self.trace.is_on() {
+            self.finalize_rpc_span(ctx.now(), ctx.self_id(), dst, rpc);
+        }
         self.send(ctx, dst, Envelope::resp(rpc, resp));
+    }
+
+    /// Emits the per-RPC latency-decomposition instant when a response
+    /// is handed to the NIC. The four server-side segments telescope:
+    /// `net_in + queue + service + hold = resp_sent − sent_at`, so a
+    /// client that stamps issue/complete times can account for every
+    /// nanosecond of its observed latency.
+    fn finalize_rpc_span(&mut self, now: Nanos, self_id: ActorId, dst: ActorId, rpc: RpcId) {
+        let Some(span) = self.rpc_spans.remove(&(dst, rpc.0)) else {
+            return; // control-plane RPC or tracing armed mid-flight
+        };
+        if span.assigned == 0 {
+            return; // never serviced (answered straight from dispatch)
+        }
+        // A hold can be cut short by a failover arriving mid-service;
+        // saturate rather than underflow in that corner.
+        let service_end = span.service_end.min(now);
+        self.trace.instant(
+            span.name,
+            "rpc",
+            self_id as u64,
+            LANE_RPC,
+            now,
+            vec![
+                ("src", dst as u64),
+                ("rpc", rpc.0),
+                ("sent_at", span.sent_at),
+                ("arrived", span.arrived),
+                ("assigned", span.assigned),
+                ("service_end", service_end),
+                ("resp_sent", now),
+                ("net_in", span.arrived - span.sent_at),
+                ("queue", span.assigned - span.arrived),
+                ("service", service_end - span.assigned),
+                ("hold", now - service_end),
+            ],
+        );
+    }
+
+    /// The one place retry hints are computed (satellite: previously
+    /// each miss path rolled its own, with jitter in `[0, base)` —
+    /// doubling the documented mean hint — while recovery paths sent
+    /// none at all). Base comes from [`MigrationConfig::retry_base`];
+    /// jitter is uniform in `[0, base/2)` so the hint lands in
+    /// `[base, 1.5·base)`.
+    fn retry_hint(&mut self, ctx: &mut Ctx<'_, Envelope>, cause: RetryCause) -> Response {
+        let base = self.cfg.migration.retry_base(cause);
+        let after = base + ctx.rng.next_below((base / 2).max(1));
+        let sent = {
+            let mut s = self.stats.borrow_mut();
+            s.retry_hints_sent += 1;
+            s.retry_hints_sent
+        };
+        if self.trace.is_on() {
+            self.trace
+                .counter("retry-hints", ctx.self_id() as u64, ctx.now(), sent);
+        }
+        Response::Err(Status::Retry { after })
     }
 
     // ------------------------------------------------- dispatch machinery --
@@ -296,12 +425,13 @@ impl ServerNode {
 
     fn on_dispatch_timer(&mut self, ctx: &mut Ctx<'_, Envelope>) {
         self.dispatch_scheduled = false;
-        let Some((src, env)) = self.rx_queue.pop_front() else {
+        let Some((src, arrived, env)) = self.rx_queue.pop_front() else {
             return;
         };
         self.dispatch_charge = self.cfg.cost.dispatch_per_msg_ns;
+        let sent_at = env.sent_at;
         match env.body {
-            Body::Req(req) => self.on_request(ctx, src, env.rpc, req),
+            Body::Req(req) => self.on_request(ctx, src, env.rpc, req, arrived, sent_at),
             Body::Resp(resp) => self.on_response(ctx, env.rpc, resp),
         }
         self.try_assign(ctx);
@@ -315,7 +445,15 @@ impl ServerNode {
 
     // ---------------------------------------------------- request intake --
 
-    fn on_request(&mut self, ctx: &mut Ctx<'_, Envelope>, src: ActorId, rpc: RpcId, req: Request) {
+    fn on_request(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        src: ActorId,
+        rpc: RpcId,
+        req: Request,
+        arrived: Nanos,
+        sent_at: Nanos,
+    ) {
         match req {
             // Control-plane requests are cheap and handled right on the
             // dispatch core.
@@ -358,7 +496,18 @@ impl ServerNode {
                 );
                 let source_actor = self.dir.actor_of(source);
                 let first = mgr.begin();
-                self.stats.borrow_mut().migration_started_at = Some(ctx.now());
+                {
+                    let mut s = self.stats.borrow_mut();
+                    s.migration_started_at = Some(ctx.now());
+                    s.migration_finished_at = None;
+                    s.migration_abandoned_at = None;
+                }
+                if self.trace.is_on() {
+                    self.mig_trace = Some(MigTrace {
+                        started: ctx.now(),
+                        phase_start: ctx.now(),
+                    });
+                }
                 self.migration = Some(MigrationRun {
                     mgr,
                     source_actor,
@@ -412,11 +561,14 @@ impl ServerNode {
                     {
                         self.master.add_tablet(table, range, TabletRole::Recovering);
                     }
-                    // A migration we were running for this range is moot.
-                    if let Some(run) = &self.migration {
-                        if run.mgr.table == table && run.mgr.range == range {
-                            self.migration = None;
-                        }
+                    // A migration we were running for this range is moot:
+                    // the coordinator's recovery plan supersedes it.
+                    if self
+                        .migration
+                        .as_ref()
+                        .is_some_and(|run| run.mgr.table == table && run.mgr.range == range)
+                    {
+                        self.abandon_migration(ctx, "mig:abandoned-superseded");
                     }
                 } else {
                     self.master.add_tablet(table, range, TabletRole::Recovering);
@@ -447,6 +599,10 @@ impl ServerNode {
                         coordinator_rpc: (src, rpc),
                         pending_fetches: pending,
                         images: HashMap::new(),
+                        crashed,
+                        from_segment,
+                        backups,
+                        failed_backups: Vec::new(),
                     },
                 );
                 if pending == 0 {
@@ -460,6 +616,18 @@ impl ServerNode {
             }
             // Everything else runs on a worker.
             other => {
+                if self.trace.is_on() {
+                    self.rpc_spans.insert(
+                        (src, rpc.0),
+                        RpcSpan {
+                            name: other.name(),
+                            sent_at,
+                            arrived,
+                            assigned: 0,
+                            service_end: 0,
+                        },
+                    );
+                }
                 let priority = other.priority();
                 self.queues[priority as usize].push_back(Task::Rpc {
                     src,
@@ -480,18 +648,27 @@ impl ServerNode {
         match (pending, resp) {
             (Pending::Prepare, Response::PrepareMigrationOk { version_ceiling }) => {
                 self.master.raise_version_floor(version_ceiling);
-                if let Some(run) = &mut self.migration {
-                    let action = run.mgr.on_prepared();
+                let prepared = match &mut self.migration {
+                    Some(run) => Some((run.mgr.on_prepared(), run.mgr.phase().name())),
+                    None => None,
+                };
+                if let Some((action, label)) = prepared {
+                    self.mig_phase_span(ctx.now(), ctx.self_id(), label);
                     self.run_migration_actions(ctx, vec![action]);
                 }
             }
             (Pending::MigStartAck, Response::Ok) => {
                 let mut actions = Vec::new();
+                let mut registered = None;
                 if let Some(run) = &mut self.migration {
                     run.mgr.on_registered();
+                    registered = Some(run.mgr.phase().name());
                     if let Some((client, client_rpc)) = run.client.take() {
                         self.respond(ctx, client, client_rpc, Response::MigrateTabletOk);
                     }
+                }
+                if let Some(label) = registered {
+                    self.mig_phase_span(ctx.now(), ctx.self_id(), label);
                 }
                 actions.extend(self.poll_migration());
                 self.run_migration_actions(ctx, actions);
@@ -503,6 +680,17 @@ impl ServerNode {
                     let mut s = self.stats.borrow_mut();
                     s.bytes_migrated_in += wire;
                 }
+                if let Some((t0, part)) = self.pull_span_start.remove(&rpc.0) {
+                    self.trace.span(
+                        "mig:pull",
+                        "migration",
+                        ctx.self_id() as u64,
+                        LANE_PULL_BASE + part as u64,
+                        t0,
+                        ctx.now() - t0,
+                        vec![("records", records.len() as u64), ("bytes", wire)],
+                    );
+                }
                 if let Some(run) = &mut self.migration {
                     run.mgr.on_pull_response(partition, records, next, wire);
                 }
@@ -512,6 +700,17 @@ impl ServerNode {
             (Pending::PriorityPull { hashes }, Response::PriorityPullOk { records }) => {
                 let wire: u64 = records.iter().map(Record::wire_size).sum();
                 self.stats.borrow_mut().bytes_migrated_in += wire;
+                if let Some((t0, batch)) = self.pp_span_start.remove(&rpc.0) {
+                    self.trace.span(
+                        "mig:priority-pull",
+                        "migration",
+                        ctx.self_id() as u64,
+                        LANE_PRIORITY_PULL,
+                        t0,
+                        ctx.now() - t0,
+                        vec![("hashes", batch), ("records", records.len() as u64)],
+                    );
+                }
                 if let Some(run) = &mut self.migration {
                     run.mgr.on_priority_pull_response(&hashes, records);
                 }
@@ -544,14 +743,8 @@ impl ServerNode {
             // rather than wedging (e.g. source died mid-migration; the
             // coordinator's crash handling takes over).
             (Pending::SyncPriorityPull(wait), _) => {
-                self.respond(
-                    ctx,
-                    wait.client,
-                    wait.client_rpc,
-                    Response::Err(Status::Retry {
-                        after: self.cfg.migration.retry_after_ns,
-                    }),
-                );
+                let resp = self.retry_hint(ctx, RetryCause::SourceFailover);
+                self.respond(ctx, wait.client, wait.client_rpc, resp);
                 self.release_worker(ctx, wait.worker);
             }
             _ => {}
@@ -678,22 +871,59 @@ impl ServerNode {
     fn run_task(&mut self, ctx: &mut Ctx<'_, Envelope>, worker: usize, task: Task) {
         debug_assert!(!self.workers[worker].busy);
         self.workers[worker].busy = true;
+        let span_key = if self.trace.is_on() {
+            match &task {
+                Task::Rpc { src, rpc, req } => Some((req.name(), Some((*src, rpc.0)))),
+                Task::BaselineStep => Some(("baseline-step", None)),
+                Task::RecoveryReplay { .. } => Some(("recovery-replay", None)),
+                Task::CleanerPass => Some(("cleaner", None)),
+            }
+        } else {
+            None
+        };
         let service_ns = match task {
             Task::Rpc { src, rpc, req } => self.exec_rpc(ctx, worker, src, rpc, req),
             Task::BaselineStep => self.exec_baseline_step(ctx, worker),
             Task::RecoveryReplay { recovery } => self.exec_recovery_replay(worker, recovery),
             Task::CleanerPass => self.exec_cleaner_pass(),
         };
+        if let Some((label, rpc_key)) = span_key {
+            self.workers[worker].trace_op = Some((label, ctx.now()));
+            if let Some(key) = rpc_key {
+                if let Some(span) = self.rpc_spans.get_mut(&key) {
+                    span.assigned = ctx.now();
+                    span.service_end = ctx.now() + service_ns;
+                }
+            }
+        }
         self.stats.borrow_mut().worker_busy_ns += service_ns;
         ctx.timer(service_ns, token(KIND_WORKER_DONE, worker as u64));
     }
 
     fn on_worker_done(&mut self, ctx: &mut Ctx<'_, Envelope>, worker: usize) {
+        if let Some((label, since)) = self.workers[worker].trace_op.take() {
+            self.trace.span(
+                label,
+                "worker",
+                ctx.self_id() as u64,
+                LANE_WORKER_BASE + worker as u64,
+                since,
+                ctx.now() - since,
+                vec![],
+            );
+        }
         let deferred = std::mem::take(&mut self.workers[worker].deferred);
         let mut migration_event = false;
         for d in deferred {
             match d {
-                Deferred::Send(dst, env) => self.send(ctx, dst, env),
+                Deferred::Send(dst, env) => {
+                    if self.trace.is_on() {
+                        if let Body::Resp(_) = env.body {
+                            self.finalize_rpc_span(ctx.now(), ctx.self_id(), dst, env.rpc);
+                        }
+                    }
+                    self.send(ctx, dst, env);
+                }
                 Deferred::ReplayDone(partition) => {
                     if let Some(run) = &mut self.migration {
                         run.mgr.on_replay_done(partition);
@@ -722,13 +952,35 @@ impl ServerNode {
     }
 
     fn release_worker(&mut self, ctx: &mut Ctx<'_, Envelope>, worker: usize) {
-        let w = &mut self.workers[worker];
-        if w.held {
-            // The core sat blocked from service end until now; that wait
-            // is busy time (a stalled worker serves nobody, §4.4).
-            let waited = ctx.now().saturating_sub(w.hold_since);
-            w.held = false;
+        let hold = {
+            let w = &mut self.workers[worker];
+            if w.held {
+                // The core sat blocked from service end until now; that
+                // wait is busy time (a stalled worker serves nobody,
+                // §4.4).
+                let waited = ctx.now().saturating_sub(w.hold_since);
+                w.held = false;
+                Some((w.hold_since, waited))
+            } else {
+                None
+            }
+        };
+        if let Some((since, waited)) = hold {
             self.stats.borrow_mut().worker_busy_ns += waited;
+            // Only span the hold if the service span has already closed
+            // (a failover can release a core mid-service, before
+            // `hold_since` was ever stamped).
+            if self.trace.is_on() && self.workers[worker].trace_op.is_none() && since > 0 {
+                self.trace.span(
+                    "hold",
+                    "worker",
+                    ctx.self_id() as u64,
+                    LANE_WORKER_BASE + worker as u64,
+                    since,
+                    waited,
+                    vec![],
+                );
+            }
         }
         self.workers[worker].busy = false;
         self.try_assign(ctx);
@@ -946,8 +1198,8 @@ impl ServerNode {
                         self.defer_send(worker, src, rpc, Response::Err(Status::UnknownTablet));
                     }
                     Err(OpError::Recovering) => {
-                        let after = self.cfg.migration.retry_after_ns * 4;
-                        self.defer_send(worker, src, rpc, Response::Err(Status::Retry { after }));
+                        let resp = self.retry_hint(ctx, RetryCause::Recovering);
+                        self.defer_send(worker, src, rpc, resp);
                     }
                     Err(_) => {
                         self.defer_send(worker, src, rpc, Response::Err(Status::NotFound));
@@ -972,8 +1224,8 @@ impl ServerNode {
                         self.defer_send(worker, src, rpc, Response::Err(Status::UnknownTablet));
                     }
                     Err(OpError::Recovering) => {
-                        let after = self.cfg.migration.retry_after_ns * 4;
-                        self.defer_send(worker, src, rpc, Response::Err(Status::Retry { after }));
+                        let resp = self.retry_hint(ctx, RetryCause::Recovering);
+                        self.defer_send(worker, src, rpc, resp);
                     }
                     Err(_) => {
                         self.defer_send(worker, src, rpc, Response::Err(Status::NotFound));
@@ -1182,15 +1434,27 @@ impl ServerNode {
                         // that is one PP round trip; without them the
                         // record only arrives with the bulk pulls, so the
                         // hint is correspondingly longer.
-                        let base = if self.cfg.migration.priority_pulls {
-                            self.cfg.migration.retry_after_ns
+                        let cause = if self.cfg.migration.priority_pulls {
+                            RetryCause::MissPriorityPull
                         } else {
-                            self.cfg.migration.retry_after_ns * 20
+                            RetryCause::MissBulkOnly
                         };
-                        let jitter = ctx.rng.next_below(base.max(1));
-                        Response::Err(Status::Retry {
-                            after: base + jitter,
-                        })
+                        if self.migration.is_some() && self.cfg.migration.priority_pulls {
+                            let n = {
+                                let mut s = self.stats.borrow_mut();
+                                s.priority_pull_deferrals += 1;
+                                s.priority_pull_deferrals
+                            };
+                            if self.trace.is_on() {
+                                self.trace.counter(
+                                    "pp-deferrals",
+                                    ctx.self_id() as u64,
+                                    ctx.now(),
+                                    n,
+                                );
+                            }
+                        }
+                        self.retry_hint(ctx, cause)
                     }
                     MissOutcome::NotFound => Response::Err(Status::NotFound),
                 };
@@ -1204,8 +1468,8 @@ impl ServerNode {
                 service
             }
             OpError::Recovering => {
-                let after = self.cfg.migration.retry_after_ns * 4;
-                self.defer_send(worker, src, rpc, Response::Err(Status::Retry { after }));
+                let resp = self.retry_hint(ctx, RetryCause::Recovering);
+                self.defer_send(worker, src, rpc, resp);
                 service
             }
             _ => {
@@ -1299,6 +1563,9 @@ impl ServerNode {
                     if let Some(r) = &mut self.migration {
                         r.pull_rpcs.insert(rpc, partition);
                     }
+                    if self.trace.is_on() {
+                        self.pull_span_start.insert(rpc.0, (ctx.now(), partition));
+                    }
                     self.send(ctx, dst, Envelope::req(rpc, req));
                 }
                 Action::SendPriorityPull { hashes } => {
@@ -1307,7 +1574,11 @@ impl ServerNode {
                         hashes: hashes.clone(),
                     };
                     let dst = run.source_actor;
+                    let batch = hashes.len() as u64;
                     let rpc = self.alloc_rpc_to(dst, Pending::PriorityPull { hashes });
+                    if self.trace.is_on() {
+                        self.pp_span_start.insert(rpc.0, (ctx.now(), batch));
+                    }
                     self.send(ctx, dst, Envelope::req(rpc, req));
                 }
                 Action::Replay(batch) => {
@@ -1317,6 +1588,9 @@ impl ServerNode {
                     };
                     self.workers[worker].busy = true;
                     let service = self.exec_replay(worker, batch);
+                    if self.trace.is_on() {
+                        self.workers[worker].trace_op = Some(("mig:replay", ctx.now()));
+                    }
                     self.stats.borrow_mut().worker_busy_ns += service;
                     ctx.timer(service, token(KIND_WORKER_DONE, worker as u64));
                 }
@@ -1353,14 +1627,88 @@ impl ServerNode {
         service.max(1)
     }
 
+    /// Emits the span for the migration phase that just ended and
+    /// re-anchors the next one. No-op unless tracing was armed when the
+    /// migration began.
+    fn mig_phase_span(&mut self, now: Nanos, self_id: ActorId, label: &'static str) {
+        if let Some(mt) = &mut self.mig_trace {
+            self.trace.span(
+                label,
+                "migration",
+                self_id as u64,
+                LANE_MIGRATION,
+                mt.phase_start,
+                now - mt.phase_start,
+                vec![],
+            );
+            mt.phase_start = now;
+        }
+    }
+
+    /// Drops the in-progress migration run: the source died or a
+    /// recovery plan superseded it (§3.4). Previously this silently set
+    /// `self.migration = None`, leaving `stats.migration_started_at`
+    /// dangling — `Cluster::run_until_migrated` would spin to its
+    /// deadline. Now the abandonment is stamped, counted, traced, and
+    /// the side logs are committed (their records were already replayed
+    /// into the hash table, and a *later* migration's finish must not
+    /// sweep up this run's stale segments).
+    fn abandon_migration(&mut self, ctx: &mut Ctx<'_, Envelope>, reason: &'static str) {
+        let Some(mut run) = self.migration.take() else {
+            return;
+        };
+        for slot in &mut self.sidelogs {
+            if let Some(side) = slot.take() {
+                side.commit().expect("side log commit");
+            }
+        }
+        // If the migration never registered, its requester is still
+        // waiting on MigrateTablet — tell it to try again later.
+        if let Some((client, client_rpc)) = run.client.take() {
+            let resp = self.retry_hint(ctx, RetryCause::SourceFailover);
+            self.respond(ctx, client, client_rpc, resp);
+        }
+        let now = ctx.now();
+        let abandoned = {
+            let mut s = self.stats.borrow_mut();
+            s.migration_abandoned_at = Some(now);
+            s.migrations_abandoned += 1;
+            s.migrations_abandoned
+        };
+        if self.trace.is_on() {
+            let pid = ctx.self_id() as u64;
+            self.trace
+                .instant(reason, "migration", pid, LANE_MIGRATION, now, vec![]);
+            if let Some(mt) = self.mig_trace.take() {
+                self.trace.span(
+                    "migration",
+                    "migration",
+                    pid,
+                    LANE_MIGRATION,
+                    mt.started,
+                    now - mt.started,
+                    vec![("abandoned", 1)],
+                );
+            }
+            self.trace
+                .counter("migrations-abandoned", pid, now, abandoned);
+        }
+        self.mig_trace = None;
+        self.pull_span_start.clear();
+        self.pp_span_start.clear();
+    }
+
     fn finish_migration(&mut self, ctx: &mut Ctx<'_, Envelope>) {
         let Some(run) = self.migration.take() else {
             return;
         };
+        self.mig_phase_span(ctx.now(), ctx.self_id(), run.mgr.phase().name());
         // Commit every worker's side log into the main log (§3.1.3).
+        let mut committed_sidelogs = 0u64;
         for slot in &mut self.sidelogs {
             if let Some(side) = slot.take() {
                 side.commit().expect("side log commit");
+                committed_sidelogs += 1;
             }
         }
         // Lazy re-replication (§3.4): the committed side segments are now
@@ -1381,6 +1729,36 @@ impl ServerNode {
         let rpc = self.alloc_rpc_to(dst, Pending::MigCompleteAck);
         self.send(ctx, dst, Envelope::req(rpc, req));
         self.stats.borrow_mut().migration_finished_at = Some(ctx.now());
+        if let Some(mt) = self.mig_trace.take() {
+            let now = ctx.now();
+            let pid = ctx.self_id() as u64;
+            let stats = &run.mgr.stats;
+            self.trace.span(
+                "mig:commit",
+                "migration",
+                pid,
+                LANE_MIGRATION,
+                now,
+                0,
+                vec![("sidelogs", committed_sidelogs)],
+            );
+            self.trace.span(
+                "migration",
+                "migration",
+                pid,
+                LANE_MIGRATION,
+                mt.started,
+                now - mt.started,
+                vec![
+                    ("pulls_sent", stats.pulls_sent),
+                    ("pull_records", stats.pull_records),
+                    ("priority_pulls_sent", stats.priority_pulls_sent),
+                    ("priority_records", stats.priority_records),
+                ],
+            );
+        }
+        self.pull_span_start.clear();
+        self.pp_span_start.clear();
     }
 
     // ---------------------------------------------------------- baseline --
@@ -1552,23 +1930,20 @@ impl ServerNode {
                 Pending::ReplAck { group: Some(g) } => self.credit_ack_group(ctx, g),
                 Pending::ReplAck { group: None } => {}
                 Pending::SyncPriorityPull(wait) => {
-                    let after = self.cfg.migration.retry_after_ns;
-                    self.respond(
-                        ctx,
-                        wait.client,
-                        wait.client_rpc,
-                        Response::Err(Status::Retry { after }),
-                    );
+                    let resp = self.retry_hint(ctx, RetryCause::SourceFailover);
+                    self.respond(ctx, wait.client, wait.client_rpc, resp);
                     self.release_worker(ctx, wait.worker);
                 }
                 Pending::Pull { .. }
                 | Pending::PriorityPull { .. }
                 | Pending::Prepare
                 | Pending::MigStartAck => {
-                    if let Some(run) = &self.migration {
-                        if run.source_actor == dead {
-                            self.migration = None;
-                        }
+                    if self
+                        .migration
+                        .as_ref()
+                        .is_some_and(|run| run.source_actor == dead)
+                    {
+                        self.abandon_migration(ctx, "mig:abandoned-source-died");
                     }
                 }
                 Pending::PushRecords | Pending::BaselineTransferAck => {
@@ -1579,10 +1954,98 @@ impl ServerNode {
                     }
                 }
                 Pending::FetchSegments { recovery } => {
-                    // Treat as an empty fetch.
-                    self.on_segments(ctx, recovery, Vec::new());
+                    self.on_fetch_failed(ctx, recovery, server);
                 }
                 Pending::MigCompleteAck => {}
+            }
+        }
+        // A migration whose source died is dead even if no RPC to it was
+        // in flight at this instant (e.g. every pull was mid-replay).
+        if self
+            .migration
+            .as_ref()
+            .is_some_and(|run| run.source_actor == dead)
+        {
+            self.abandon_migration(ctx, "mig:abandoned-source-died");
+        }
+    }
+
+    /// A backup died while we were fetching the crashed master's
+    /// segments from it. Previously this was silently treated as an
+    /// empty fetch, losing whatever only that fetch would have returned
+    /// without a trace; now we re-issue the fetch against a surviving
+    /// backup, and only when none remain do we record an irrecoverable
+    /// gap.
+    fn on_fetch_failed(&mut self, ctx: &mut Ctx<'_, Envelope>, recovery: u64, dead: ServerId) {
+        let next = {
+            let Some(rec) = self.recoveries.get_mut(&recovery) else {
+                return;
+            };
+            if !rec.failed_backups.contains(&dead) {
+                rec.failed_backups.push(dead);
+            }
+            rec.backups
+                .iter()
+                .copied()
+                .find(|b| !rec.failed_backups.contains(b))
+                .map(|b| (b, rec.crashed, rec.from_segment))
+        };
+        match next {
+            Some((backup, crashed, from_segment)) => {
+                let n = {
+                    let mut s = self.stats.borrow_mut();
+                    s.recovery_fetch_failovers += 1;
+                    s.recovery_fetch_failovers
+                };
+                if self.trace.is_on() {
+                    self.trace.instant(
+                        "recovery:fetch-failover",
+                        "recovery",
+                        ctx.self_id() as u64,
+                        LANE_RPC,
+                        ctx.now(),
+                        vec![("backup", backup.0 as u64), ("failovers", n)],
+                    );
+                }
+                let dst = self.dir.actor_of(backup);
+                let id = self.alloc_rpc_to(dst, Pending::FetchSegments { recovery });
+                self.send(
+                    ctx,
+                    dst,
+                    Envelope::req(
+                        id,
+                        Request::FetchSegments {
+                            owner: crashed,
+                            min_segment: from_segment,
+                        },
+                    ),
+                );
+            }
+            None => {
+                let n = {
+                    let mut s = self.stats.borrow_mut();
+                    s.recovery_fetch_gaps += 1;
+                    s.recovery_fetch_gaps
+                };
+                if self.trace.is_on() {
+                    self.trace.instant(
+                        "recovery:gap",
+                        "recovery",
+                        ctx.self_id() as u64,
+                        LANE_RPC,
+                        ctx.now(),
+                        vec![("gaps", n)],
+                    );
+                }
+                let Some(rec) = self.recoveries.get_mut(&recovery) else {
+                    return;
+                };
+                rec.pending_fetches = rec.pending_fetches.saturating_sub(1);
+                if rec.pending_fetches == 0 {
+                    self.queues[Priority::Replay as usize]
+                        .push_back(Task::RecoveryReplay { recovery });
+                    self.try_assign(ctx);
+                }
             }
         }
     }
@@ -1608,7 +2071,7 @@ impl Actor<Envelope> for ServerNode {
     fn on_event(&mut self, ctx: &mut Ctx<'_, Envelope>, event: Event<Envelope>) {
         match event {
             Event::Message { src, payload } => {
-                self.rx_queue.push_back((src, payload));
+                self.rx_queue.push_back((src, ctx.now(), payload));
                 self.ensure_dispatch(ctx);
             }
             Event::Timer { token: tok } => match tok & 0xff {

@@ -37,6 +37,23 @@ pub struct NodeStats {
     pub migration_started_at: Option<Nanos>,
     /// Virtual time that migration finished, if it has.
     pub migration_finished_at: Option<Nanos>,
+    /// Virtual time the current/last migration was abandoned (source
+    /// died or a recovery plan superseded the run), if it was. Reset
+    /// when a new migration starts.
+    pub migration_abandoned_at: Option<Nanos>,
+    /// Migration runs abandoned on this node (§3.4 crash paths).
+    pub migrations_abandoned: u64,
+    /// `Retry { after }` hints sent to clients (read misses, recovering
+    /// ranges, failovers).
+    pub retry_hints_sent: u64,
+    /// Client reads deferred behind a PriorityPull during migration.
+    pub priority_pull_deferrals: u64,
+    /// Recovery segment fetches re-sent to a surviving backup after the
+    /// first backup died.
+    pub recovery_fetch_failovers: u64,
+    /// Recovery segment fetches with no surviving backup left — data
+    /// that could not be recovered from any replica.
+    pub recovery_fetch_gaps: u64,
     /// Entries replayed by crash recovery.
     pub recovery_replayed: u64,
     /// Segments reclaimed by the log cleaner.

@@ -25,7 +25,7 @@ use std::collections::BinaryHeap;
 use rocksteady_common::rng::Prng;
 use rocksteady_common::Nanos;
 
-pub use rocksteady_common::wire::WireSized;
+pub use rocksteady_common::wire::{SimMessage, WireSized};
 
 /// Identifies an actor within one simulation.
 pub type ActorId = usize;
@@ -183,7 +183,7 @@ struct Slot<M> {
 }
 
 /// The simulation: actors, the event heap, and the clock.
-pub struct Simulation<M: WireSized> {
+pub struct Simulation<M: SimMessage> {
     now: Nanos,
     seq: u64,
     heap: BinaryHeap<Reverse<Queued<M>>>,
@@ -195,7 +195,7 @@ pub struct Simulation<M: WireSized> {
     actions: Vec<Action<M>>,
 }
 
-impl<M: WireSized> Simulation<M> {
+impl<M: SimMessage> Simulation<M> {
     /// Creates an empty simulation.
     pub fn new(nic: NicConfig, seed: u64) -> Self {
         Simulation {
@@ -276,7 +276,11 @@ impl<M: WireSized> Simulation<M> {
         let actions = std::mem::take(&mut self.actions);
         for action in actions {
             match action {
-                Action::Send { dst, payload } => {
+                Action::Send { dst, mut payload } => {
+                    // Stamp the virtual send time before the NIC charges
+                    // serialization: receivers use it to split network
+                    // time out of end-to-end latency (trace layer).
+                    payload.stamp_sent(self.now);
                     let bytes = payload.wire_size();
                     let wire = (bytes as f64 / self.nic.bytes_per_ns).round() as Nanos;
                     let depart = self.now.max(self.slots[src].nic_free) + wire;
@@ -388,6 +392,8 @@ mod tests {
             self.bytes
         }
     }
+
+    impl SimMessage for Ping {}
 
     /// Replies to every message; logs delivery times.
     struct Echo {

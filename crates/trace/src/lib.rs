@@ -1,0 +1,484 @@
+//! Deterministic tracing and metrics under the virtual clock.
+//!
+//! The paper argues entirely through timelines and latency
+//! decompositions (Figs 9–14); this crate is the observability layer
+//! those figures need. Actors record three event kinds into one shared
+//! buffer:
+//!
+//! - **spans** (`ph: "X"`): an interval `[ts, ts+dur]` on a `(pid,
+//!   tid)` lane — an RPC's worker-service time, one migration phase,
+//!   one Pull round trip;
+//! - **instants** (`ph: "i"`): a point event carrying structured args —
+//!   e.g. the per-RPC latency decomposition stamped when the response
+//!   leaves the server;
+//! - **counters** (`ph: "C"`): a monotonic value sampled whenever it
+//!   changes — retry hints sent, priority-pull deferrals, abandoned
+//!   migrations.
+//!
+//! Determinism rules (see DESIGN.md):
+//!
+//! 1. every timestamp is virtual time — two runs with the same seed
+//!    produce *byte-identical* exports;
+//! 2. events are appended at their **completion** time, so buffer order
+//!    is completion order and `ts + dur` is non-decreasing;
+//! 3. spans sharing a `(pid, tid)` lane must nest properly (lanes are
+//!    chosen so this holds by construction: one lane per worker core,
+//!    per pull partition, per migration);
+//! 4. arg values are integers only — no floats, no formatting
+//!    ambiguity.
+//!
+//! Zero-cost-off guarantee: [`Tracer`] is an `Option` around the shared
+//! buffer. A disabled tracer is `None`; every record call is a branch
+//! on that discriminant and nothing else — no allocation, no clock
+//! reads, no arg construction (callers must guard arg-building with
+//! [`Tracer::is_on`]).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rocksteady_common::{Histogram, Nanos};
+
+/// Chrome trace-event phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Complete event (`"X"`): an interval with a duration.
+    Span,
+    /// Instant event (`"i"`): a point in time with args.
+    Instant,
+    /// Counter sample (`"C"`): a monotonic value.
+    Counter,
+}
+
+/// One recorded event. All names are `&'static str` so recording never
+/// allocates for labels and exports are trivially deterministic.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (chrome `name`).
+    pub name: &'static str,
+    /// Category (chrome `cat`), used for filtering.
+    pub cat: &'static str,
+    /// Event kind.
+    pub ph: Phase,
+    /// Start time (virtual nanoseconds).
+    pub ts: Nanos,
+    /// Duration (0 for instants and counters).
+    pub dur: Nanos,
+    /// Process lane: the actor id.
+    pub pid: u64,
+    /// Thread lane within the actor (worker core, partition, ...).
+    pub tid: u64,
+    /// Structured integer arguments, in recording order.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+impl TraceEvent {
+    /// Looks up an argument by name.
+    pub fn arg(&self, name: &str) -> Option<u64> {
+        self.args.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+}
+
+/// The shared event buffer behind an enabled [`Tracer`].
+#[derive(Debug, Default)]
+pub struct TraceBuf {
+    events: Vec<TraceEvent>,
+    /// Recording gate: an armed tracer can be muted for warm-up windows
+    /// without giving up the buffer (benches trace only the migration
+    /// window this way).
+    recording: bool,
+}
+
+/// Validation result: what a well-formed trace contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events.
+    pub events: usize,
+    /// Span events among them.
+    pub spans: usize,
+}
+
+/// Shared, clonable handle to the trace buffer. `Tracer::off()` is the
+/// zero-cost disabled state; cloning an armed tracer shares the buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer(Option<Rc<RefCell<TraceBuf>>>);
+
+impl Tracer {
+    /// A permanently disabled tracer: every call is a no-op branch.
+    pub fn off() -> Self {
+        Tracer(None)
+    }
+
+    /// An armed tracer with a fresh buffer, recording immediately.
+    pub fn armed() -> Self {
+        Tracer(Some(Rc::new(RefCell::new(TraceBuf {
+            events: Vec::new(),
+            recording: true,
+        }))))
+    }
+
+    /// Whether events would currently be recorded. Callers building
+    /// args should guard on this so a muted/disabled tracer costs one
+    /// branch.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        match &self.0 {
+            Some(buf) => buf.borrow().recording,
+            None => false,
+        }
+    }
+
+    /// Mutes or resumes recording on an armed tracer (no-op when off).
+    pub fn set_recording(&self, on: bool) {
+        if let Some(buf) = &self.0 {
+            buf.borrow_mut().recording = on;
+        }
+    }
+
+    #[inline]
+    fn push(&self, ev: TraceEvent) {
+        if let Some(buf) = &self.0 {
+            let mut buf = buf.borrow_mut();
+            if buf.recording {
+                buf.events.push(ev);
+            }
+        }
+    }
+
+    /// Records a completed span `[ts, ts+dur]`. Call at completion time
+    /// (`now == ts + dur`) so the buffer stays completion-ordered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        pid: u64,
+        tid: u64,
+        ts: Nanos,
+        dur: Nanos,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        self.push(TraceEvent {
+            name,
+            cat,
+            ph: Phase::Span,
+            ts,
+            dur,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Records an instant event at `ts` (the current virtual time).
+    pub fn instant(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        pid: u64,
+        tid: u64,
+        ts: Nanos,
+        args: Vec<(&'static str, u64)>,
+    ) {
+        self.push(TraceEvent {
+            name,
+            cat,
+            ph: Phase::Instant,
+            ts,
+            dur: 0,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Records a counter sample: `name` has `value` as of `ts`.
+    pub fn counter(&self, name: &'static str, pid: u64, ts: Nanos, value: u64) {
+        self.push(TraceEvent {
+            name,
+            cat: "counter",
+            ph: Phase::Counter,
+            ts,
+            dur: 0,
+            pid,
+            tid: 0,
+            args: vec![("value", value)],
+        });
+    }
+
+    /// Read access to the recorded events (an empty slice when the
+    /// tracer is disabled).
+    pub fn with_events<R>(&self, f: impl FnOnce(&[TraceEvent]) -> R) -> R {
+        match &self.0 {
+            Some(buf) => f(&buf.borrow().events),
+            None => f(&[]),
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.with_events(<[TraceEvent]>::len)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Histogram of the durations of all spans named `name`.
+    pub fn span_histogram(&self, name: &str) -> Histogram {
+        self.with_events(|events| {
+            let mut h = Histogram::new();
+            for ev in events {
+                if ev.ph == Phase::Span && ev.name == name {
+                    h.record(ev.dur);
+                }
+            }
+            h
+        })
+    }
+
+    /// Histogram of argument `arg` across all instants named `name`.
+    pub fn instant_arg_histogram(&self, name: &str, arg: &str) -> Histogram {
+        self.with_events(|events| {
+            let mut h = Histogram::new();
+            for ev in events {
+                if ev.ph == Phase::Instant && ev.name == name {
+                    if let Some(v) = ev.arg(arg) {
+                        h.record(v);
+                    }
+                }
+            }
+            h
+        })
+    }
+
+    /// Exports the buffer as chrome://tracing JSON. Timestamps are
+    /// microseconds with exactly three decimal digits (integer math on
+    /// the nanosecond clock), so same-seed runs export byte-identical
+    /// strings.
+    pub fn export_chrome_json(&self) -> String {
+        self.with_events(Self::format_chrome_json)
+    }
+
+    fn format_chrome_json(events: &[TraceEvent]) -> String {
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            out.push_str(ev.name);
+            out.push_str("\",\"cat\":\"");
+            out.push_str(ev.cat);
+            out.push_str("\",\"ph\":\"");
+            out.push_str(match ev.ph {
+                Phase::Span => "X",
+                Phase::Instant => "i",
+                Phase::Counter => "C",
+            });
+            out.push_str("\",\"ts\":");
+            push_us(&mut out, ev.ts);
+            if ev.ph == Phase::Span {
+                out.push_str(",\"dur\":");
+                push_us(&mut out, ev.dur);
+            }
+            if ev.ph == Phase::Instant {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push_str(",\"pid\":");
+            out.push_str(&ev.pid.to_string());
+            out.push_str(",\"tid\":");
+            out.push_str(&ev.tid.to_string());
+            if !ev.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in ev.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(k);
+                    out.push_str("\":");
+                    out.push_str(&v.to_string());
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Validates the trace: non-empty, completion-ordered (monotone
+    /// `ts + dur` in buffer order), and spans properly nested within
+    /// each `(pid, tid)` lane.
+    pub fn validate(&self) -> Result<TraceSummary, String> {
+        self.with_events(Self::check_events)
+    }
+
+    fn check_events(events: &[TraceEvent]) -> Result<TraceSummary, String> {
+        if events.is_empty() {
+            return Err("trace is empty".into());
+        }
+        let mut last_end = 0u64;
+        for (i, ev) in events.iter().enumerate() {
+            let end = ev.ts + ev.dur;
+            if end < last_end {
+                return Err(format!(
+                    "event {i} ({}) completes at {end} before predecessor at {last_end}",
+                    ev.name
+                ));
+            }
+            last_end = end;
+        }
+        // Per-lane nesting: sort spans by (start, -end) and sweep with
+        // an enclosure stack; partial overlap is the only failure.
+        type Lane = Vec<(Nanos, Nanos, &'static str)>;
+        let mut lanes: std::collections::HashMap<(u64, u64), Lane> =
+            std::collections::HashMap::new();
+        let mut spans = 0usize;
+        for ev in events.iter() {
+            if ev.ph == Phase::Span {
+                spans += 1;
+                lanes
+                    .entry((ev.pid, ev.tid))
+                    .or_default()
+                    .push((ev.ts, ev.ts + ev.dur, ev.name));
+            }
+        }
+        for ((pid, tid), mut lane) in lanes {
+            lane.sort_by_key(|a| (a.0, std::cmp::Reverse(a.1)));
+            let mut stack: Vec<(Nanos, Nanos)> = Vec::new();
+            for (start, end, name) in lane {
+                while let Some(&(_, top_end)) = stack.last() {
+                    if top_end <= start {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(&(top_start, top_end)) = stack.last() {
+                    if end > top_end {
+                        return Err(format!(
+                            "span {name} [{start},{end}] on lane ({pid},{tid}) partially \
+                             overlaps [{top_start},{top_end}]"
+                        ));
+                    }
+                }
+                stack.push((start, end));
+            }
+        }
+        Ok(TraceSummary {
+            events: events.len(),
+            spans,
+        })
+    }
+}
+
+/// Appends `ns` as microseconds with three fixed decimals ("12.345").
+fn push_us(out: &mut String, ns: Nanos) {
+    out.push_str(&(ns / 1000).to_string());
+    out.push('.');
+    let frac = ns % 1000;
+    out.push_str(&format!("{frac:03}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_records_nothing() {
+        let t = Tracer::off();
+        assert!(!t.is_on());
+        t.span("a", "c", 1, 1, 0, 10, vec![]);
+        t.instant("b", "c", 1, 0, 5, vec![("x", 1)]);
+        t.counter("n", 1, 5, 3);
+        assert!(t.is_empty());
+        assert!(t.validate().is_err());
+        assert_eq!(
+            t.export_chrome_json(),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+        );
+    }
+
+    #[test]
+    fn armed_tracer_shares_buffer_across_clones() {
+        let t = Tracer::armed();
+        let t2 = t.clone();
+        t.span("a", "c", 1, 1, 0, 10, vec![]);
+        t2.span("b", "c", 2, 1, 10, 5, vec![]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn mute_window_gates_recording() {
+        let t = Tracer::armed();
+        t.set_recording(false);
+        assert!(!t.is_on());
+        t.span("a", "c", 1, 1, 0, 10, vec![]);
+        t.set_recording(true);
+        t.span("b", "c", 1, 1, 10, 10, vec![]);
+        assert_eq!(t.len(), 1);
+        t.with_events(|e| assert_eq!(e[0].name, "b"));
+    }
+
+    #[test]
+    fn export_is_deterministic_and_integer_formatted() {
+        let build = || {
+            let t = Tracer::armed();
+            t.span("rpc", "rpc", 3, 1, 1_234, 5_678, vec![("bytes", 100)]);
+            t.instant("done", "rpc", 3, 0, 6_912, vec![]);
+            t.counter("retries", 3, 6_912, 1);
+            t.export_chrome_json()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("\"ts\":1.234"), "{a}");
+        assert!(a.contains("\"dur\":5.678"), "{a}");
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"ph\":\"i\""));
+        assert!(a.contains("\"ph\":\"C\""));
+        assert!(a.contains("\"args\":{\"bytes\":100}"));
+    }
+
+    #[test]
+    fn validate_accepts_nested_and_tiled_spans() {
+        let t = Tracer::armed();
+        // child [0,4], child [4,10], parent [0,10] pushed at completion.
+        t.span("c1", "m", 1, 9, 0, 4, vec![]);
+        t.span("c2", "m", 1, 9, 4, 6, vec![]);
+        t.span("parent", "m", 1, 9, 0, 10, vec![]);
+        let s = t.validate().expect("valid");
+        assert_eq!(s.spans, 3);
+    }
+
+    #[test]
+    fn validate_rejects_partial_overlap() {
+        let t = Tracer::armed();
+        t.span("a", "m", 1, 1, 0, 6, vec![]);
+        t.span("b", "m", 1, 1, 3, 7, vec![]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_completion_disorder() {
+        let t = Tracer::armed();
+        t.instant("late", "m", 1, 0, 100, vec![]);
+        t.instant("early", "m", 1, 0, 50, vec![]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn histograms_derive_from_events() {
+        let t = Tracer::armed();
+        t.span("pull", "mig", 1, 64, 0, 100, vec![]);
+        t.span("pull", "mig", 1, 64, 100, 300, vec![]);
+        t.instant("rpc", "rpc", 1, 0, 500, vec![("queue", 40)]);
+        let h = t.span_histogram("pull");
+        assert_eq!(h.count(), 2);
+        assert!(h.max() >= 300);
+        let q = t.instant_arg_histogram("rpc", "queue");
+        assert_eq!(q.count(), 1);
+    }
+}

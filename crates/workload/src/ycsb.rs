@@ -16,6 +16,7 @@ use rocksteady_common::zipf::{KeyDist, KeySampler};
 use rocksteady_common::{Nanos, RpcId, TableId};
 use rocksteady_proto::{Body, Envelope, Request, Response, Status};
 use rocksteady_simnet::{Actor, Ctx, Directory, Event};
+use rocksteady_trace::Tracer;
 
 use crate::core::{primary_hash, primary_key, ClientCore};
 use crate::stats::ClientStatsHandle;
@@ -107,6 +108,7 @@ pub struct YcsbClient {
     next_op: u64,
     pending_arrivals: u64,
     value: Bytes,
+    trace: Tracer,
 }
 
 impl YcsbClient {
@@ -126,8 +128,17 @@ impl YcsbClient {
             next_op: 1,
             pending_arrivals: 0,
             value,
+            trace: Tracer::off(),
             cfg,
         }
+    }
+
+    /// Arms trace recording: every completed RPC attempt emits an
+    /// `rpc-client` instant (issue/complete stamps) that pairs with the
+    /// server's `rpc` instant for end-to-end latency decomposition.
+    pub fn with_trace(mut self, trace: Tracer) -> Self {
+        self.trace = trace;
+        self
     }
 
     fn arm_arrival(&mut self, ctx: &mut Ctx<'_, Envelope>) {
@@ -296,6 +307,24 @@ impl Actor<Envelope> for YcsbClient {
                     return;
                 }
                 if let Some(op_id) = self.rpc_to_op.remove(&rpc) {
+                    if self.trace.is_on() {
+                        if let Some(op) = self.ops.get(&op_id) {
+                            let now = ctx.now();
+                            self.trace.instant(
+                                "rpc-client",
+                                "client",
+                                ctx.self_id() as u64,
+                                0,
+                                now,
+                                vec![
+                                    ("rpc", rpc.0),
+                                    ("issued", op.issued),
+                                    ("completed", now),
+                                    ("e2e", now - op.issued),
+                                ],
+                            );
+                        }
+                    }
                     self.on_op_response(ctx, op_id, resp);
                 }
             }

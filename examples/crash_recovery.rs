@@ -86,6 +86,22 @@ fn main() {
         .borrow()
         .recovery_replayed;
     println!("lineage merge replayed {replayed} records from the dead target's log tail");
+    let (hints, failovers, gaps) =
+        cluster
+            .server_stats
+            .values()
+            .fold((0u64, 0u64, 0u64), |(h, f, g), s| {
+                let s = s.borrow();
+                (
+                    h + s.retry_hints_sent,
+                    f + s.recovery_fetch_failovers,
+                    g + s.recovery_fetch_gaps,
+                )
+            });
+    println!(
+        "servers issued {hints} retry hints; segment fetches failed over {failovers} \
+         times ({gaps} irrecoverable gaps)"
+    );
 
     // The contract: every record present, every acknowledged write
     // durable.

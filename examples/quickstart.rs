@@ -24,13 +24,16 @@ fn main() {
     };
 
     // 1. Declare the cluster: 3 servers, 4 worker cores each, 2 backups
-    //    per master, plus one YCSB-B client offering 20k ops/s.
+    //    per master, plus one YCSB-B client offering 20k ops/s. Tracing
+    //    is on: every RPC and migration phase lands in a deterministic
+    //    chrome://tracing timeline.
     let mut builder = ClusterBuilder::new(ClusterConfig {
         servers: 3,
         workers: 4,
         replicas: 2,
         sample_interval: 10 * MILLISECOND,
         series_interval: 100 * MILLISECOND,
+        tracing: true,
         ..ClusterConfig::default()
     });
     let dir = builder.directory();
@@ -98,12 +101,30 @@ fn main() {
         ServerId(1)
     );
 
-    let stats = cluster.client_stats[0].borrow();
-    let reads = stats.read_latency.merged();
+    {
+        let stats = cluster.client_stats[0].borrow();
+        let reads = stats.read_latency.merged();
+        println!(
+            "client saw {} reads: median {} / 99.9th {}",
+            reads.count(),
+            fmt_nanos(reads.percentile(0.5)),
+            fmt_nanos(reads.percentile(0.999)),
+        );
+    }
+
+    // 7. Export the trace. Load it at chrome://tracing (or Perfetto) to
+    //    see per-RPC latency segments and migration phase spans; the
+    //    same seed always produces a byte-identical file.
+    let summary = cluster.trace.validate().expect("trace invariants violated");
+    let json = cluster.export_trace_json();
+    let path = "target/quickstart-trace.json";
+    std::fs::write(path, &json).expect("write trace");
+    let pulls = cluster.trace.span_histogram("mig:pull");
     println!(
-        "client saw {} reads: median {} / 99.9th {}",
-        reads.count(),
-        fmt_nanos(reads.percentile(0.5)),
-        fmt_nanos(reads.percentile(0.999)),
+        "trace: {} events ({} spans) -> {path}; {} bulk pulls, median {}",
+        summary.events,
+        summary.spans,
+        pulls.count(),
+        fmt_nanos(pulls.percentile(0.5)),
     );
 }

@@ -15,8 +15,8 @@
 
 mod common;
 
-use common::{builder, standard_setup, upper, verify_all_readable, TABLE};
-use rocksteady_cluster::ControlCmd;
+use common::{builder, standard_setup, test_config, upper, verify_all_readable, TABLE};
+use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::{ServerId, MILLISECOND, SECOND};
 use rocksteady_workload::core::primary_key;
 use rocksteady_workload::YcsbConfig;
@@ -107,4 +107,83 @@ fn source_crash_recovers_onto_target() {
     assert!(checked > 50, "only {checked} confirmed writes to check");
     // The target keeps ownership and fills in from the source's log.
     assert_eq!(owner, ServerId(1));
+}
+
+/// Killing the source mid-migration must *cleanly abandon* the run on
+/// the target: the abandonment is stamped in stats (so
+/// `run_until_migrated` stops immediately instead of spinning to its
+/// deadline), the coordinator's recovery supersedes the run, and client
+/// reads of the migrating range eventually succeed again.
+#[test]
+fn source_crash_abandons_migration_cleanly() {
+    let cfg = ClusterConfig {
+        tracing: true,
+        ..test_config()
+    };
+    let mut b = ClusterBuilder::new(cfg);
+    let dir = b.directory();
+    let mut ycsb = YcsbConfig::ycsb_b(dir, TABLE, KEYS, 40_000.0);
+    ycsb.read_fraction = 0.9;
+    b.add_ycsb(ycsb);
+    for (at, cmd) in crash_script(ServerId(0), 11 * MILLISECOND) {
+        b.at(at, cmd);
+    }
+    let mut cluster = b.build();
+    standard_setup(&mut cluster, KEYS);
+
+    // The migration must be reported as abandoned, not run to deadline:
+    // the driver loop exits within a couple of sample intervals of the
+    // crash being detected (~12 ms), far before the 2 s deadline.
+    let target = ServerId(1);
+    let finished = cluster.run_until_migrated(target, 2 * SECOND);
+    assert!(
+        finished.is_none(),
+        "migration finished against a dead source"
+    );
+    assert!(
+        cluster.now() < 100 * MILLISECOND,
+        "run_until_migrated spun to {} ns instead of exiting on abandonment",
+        cluster.now()
+    );
+    let abandoned_at = cluster
+        .migration_abandoned(target)
+        .expect("abandonment not stamped");
+    {
+        let s = cluster.server_stats[&target].borrow();
+        assert_eq!(s.migrations_abandoned, 1);
+        assert!(s.migration_started_at.unwrap() < abandoned_at);
+    }
+    // The abandonment left a trace event behind.
+    let abandoned_events = cluster.trace.with_events(|events| {
+        events
+            .iter()
+            .filter(|e| e.name == "mig:abandoned-source-died")
+            .count()
+    });
+    assert!(abandoned_events >= 1, "no abandonment trace event");
+
+    // Let recovery land and clients drain their retries.
+    cluster.run_until(2 * SECOND);
+
+    // Coordinator recovery superseded the run: the target owns the
+    // range via RecoverTablet, and the lineage dependency is gone.
+    let owner = cluster
+        .coord
+        .borrow()
+        .tablet_for(TABLE, u64::MAX)
+        .expect("tablet still mapped")
+        .owner;
+    assert_eq!(owner, target);
+    assert!(cluster.coord.borrow().lineage_deps().is_empty());
+    verify_all_readable(&mut cluster, KEYS);
+
+    // Client reads kept succeeding after the crash (retries resolved).
+    let stats = cluster.client_stats[0].borrow();
+    let reads = stats.read_latency.merged();
+    assert!(
+        reads.count() > 10_000,
+        "only {} reads completed across the crash",
+        reads.count()
+    );
+    assert_eq!(stats.not_found, 0);
 }
