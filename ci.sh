@@ -25,14 +25,33 @@ cargo test -q
 echo "==> full workspace tests"
 cargo test -q --workspace
 
-echo "==> examples: quickstart (exports a trace)"
-rm -f target/quickstart-trace.json
+echo "==> examples: quickstart (exports a trace + metrics)"
+rm -f target/quickstart-trace.json target/quickstart-metrics.json target/quickstart-metrics.prom
 cargo run --release --example quickstart
 
 echo "==> trace smoke: target/quickstart-trace.json"
 test -s target/quickstart-trace.json
 grep -q '"traceEvents"' target/quickstart-trace.json
 grep -q '"name":"migration"' target/quickstart-trace.json
+
+echo "==> metrics smoke: target/quickstart-metrics.{json,prom}"
+test -s target/quickstart-metrics.json
+grep -q '"name":"node_ops_served"' target/quickstart-metrics.json
+grep -q '"name":"client_read_latency_ns"' target/quickstart-metrics.json
+grep -q '"name":"slo_read_sla_ns"' target/quickstart-metrics.json
+test -s target/quickstart-metrics.prom
+grep -q '# TYPE node_ops_served counter' target/quickstart-metrics.prom
+grep -q 'client_read_latency_ns{client="0",quantile="0.999"}' target/quickstart-metrics.prom
+grep -q 'slo_breach_intervals_total' target/quickstart-metrics.prom
+
+echo "==> figure benches export CSV through the shared exporter"
+for fig in fig05_bottlenecks fig09_10_11_timelines fig12_skew fig13_14_priority_pulls; do
+    grep -q 'export_csv(' "crates/bench/benches/${fig}.rs" \
+        || { echo "FAIL: ${fig} does not use bench::export_csv"; exit 1; }
+done
+
+echo "==> metrics crate denies missing docs"
+grep -q '#!\[deny(missing_docs)\]' crates/metrics/src/lib.rs
 
 echo "==> examples: crash_recovery"
 cargo run --release --example crash_recovery

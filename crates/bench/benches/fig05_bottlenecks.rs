@@ -12,7 +12,7 @@
 //! | Skip Tx to Target    | ~710 |
 //! | Skip Copy for Tx     | ~1150 |
 
-use rocksteady_bench::{check, print_table1, standard_setup, TABLE};
+use rocksteady_bench::{check, export_csv, print_table1, standard_setup, TABLE};
 use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::mb_per_sec;
 use rocksteady_common::{HashRange, ServerId, MILLISECOND, SECOND};
@@ -59,7 +59,7 @@ fn run_variant(name: &str, opts: BaselineOpts) -> (f64, Vec<(u64, f64)>) {
     let mut elapsed_end = 0u64;
     for step in 1..=3_000u64 {
         cluster.run_until(step * 10 * MILLISECOND);
-        let out = stats.borrow().bytes_migrated_out;
+        let out = stats.bytes_migrated_out.get();
         if out == last && out > 0 {
             stale += 1;
             if stale >= 10 {
@@ -166,6 +166,29 @@ fn main() {
     for (t_ms, mbps) in full_series.iter().take(30) {
         println!("  t={t_ms:>5} ms  {mbps:>7.0} MB/s");
     }
+
+    export_csv(
+        "fig05_steady_rates",
+        "variant,mb_per_s",
+        &[
+            ("full", full),
+            ("skip_rereplication", no_rerepl),
+            ("skip_replay", no_replay),
+            ("skip_tx", no_tx),
+            ("skip_copy", no_copy),
+        ]
+        .iter()
+        .map(|(v, r)| vec![v.to_string(), format!("{r:.1}")])
+        .collect::<Vec<_>>(),
+    );
+    export_csv(
+        "fig05_rate_over_time_full",
+        "t_ms,mb_per_s",
+        &full_series
+            .iter()
+            .map(|(t, r)| vec![t.to_string(), format!("{r:.1}")])
+            .collect::<Vec<_>>(),
+    );
 
     println!();
     let mut ok = true;

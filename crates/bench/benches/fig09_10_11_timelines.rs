@@ -7,7 +7,10 @@
 //! timeline buckets here are 20 ms where the paper's are 1 s. Rates,
 //! utilizations, and latency distributions are directly comparable.
 
-use rocksteady_bench::{check, mean, print_table1, standard_setup, throughput_rows, upper, TABLE};
+use rocksteady_bench::{
+    check, export_csv, mean, merged_latency_rows, print_table1, standard_setup,
+    total_throughput_rows, upper, TABLE,
+};
 use rocksteady_cluster::{Cluster, ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::{fmt_nanos, mb_per_sec};
 use rocksteady_common::{Nanos, ServerId, MILLISECOND, SECOND};
@@ -85,8 +88,8 @@ fn run(variant: Variant) -> Out {
 
     // Migration window: from start until bytes stop flowing into the
     // target (Rocksteady) / out of the source (baseline).
-    let tgt = cluster.server_stats[&ServerId(1)].borrow().clone();
-    let src = cluster.server_stats[&ServerId(0)].borrow().clone();
+    let tgt = cluster.server_stats[&ServerId(1)].view();
+    let src = cluster.server_stats[&ServerId(0)].view();
     let (bytes, finished) = match variant {
         Variant::SourceRetains => (
             src.bytes_migrated_out,
@@ -110,33 +113,20 @@ fn run(variant: Variant) -> Out {
     }
 }
 
-/// Total completed ops/s across all clients per series bucket.
+/// Total completed ops/s across all clients per series bucket (shared
+/// timeline path — same merge the other figures use).
 fn total_throughput(out: &Out, from: Nanos, to: Nanos) -> Vec<(Nanos, f64)> {
-    let mut acc: std::collections::BTreeMap<Nanos, f64> = Default::default();
-    for stats in &out.cluster.client_stats {
-        for (t, v) in throughput_rows(&stats.borrow(), from, to) {
-            *acc.entry(t).or_default() += v;
-        }
-    }
-    acc.into_iter().collect()
+    total_throughput_rows(&out.cluster, from, to)
 }
 
 /// Per-bucket (median, p999) read latency merged across clients.
 fn merged_latency(out: &Out, from: Nanos, to: Nanos) -> Vec<(Nanos, u64, u64)> {
-    let mut per_bucket: std::collections::BTreeMap<Nanos, rocksteady_common::Histogram> =
-        Default::default();
-    for stats in &out.cluster.client_stats {
-        let s = stats.borrow();
-        for (at, h) in s.read_latency.iter() {
-            if at >= from && at < to && h.count() > 0 {
-                per_bucket.entry(at).or_default().merge(h);
-            }
-        }
-    }
-    per_bucket
-        .into_iter()
-        .map(|(t, h)| (t, h.percentile(0.5), h.percentile(0.999)))
-        .collect()
+    merged_latency_rows(&out.cluster, from, to)
+}
+
+/// `"Rocksteady"` -> `"rocksteady"`, `"No Priority Pulls"` -> `"no_priority_pulls"`.
+fn slug(name: &str) -> String {
+    name.to_ascii_lowercase().replace(' ', "_")
 }
 
 fn main() {
@@ -199,6 +189,42 @@ fn main() {
             println!("  {server}: dispatch {d:.2}, active workers {w:.1}");
         }
         println!();
+
+        // Machine-readable series for re-plotting.
+        let s = slug(out.name);
+        export_csv(
+            &format!("fig09_throughput_{s}"),
+            "t_ns,ops_per_s",
+            &tp.iter()
+                .map(|(t, v)| vec![t.to_string(), format!("{v:.1}")])
+                .collect::<Vec<_>>(),
+        );
+        export_csv(
+            &format!("fig10_latency_{s}"),
+            "t_ns,p50_ns,p999_ns",
+            &lat.iter()
+                .map(|(t, p50, p999)| vec![t.to_string(), p50.to_string(), p999.to_string()])
+                .collect::<Vec<_>>(),
+        );
+        let mut util_rows = Vec::new();
+        for server in [ServerId(0), ServerId(1)] {
+            for p in util.by_server[&server]
+                .iter()
+                .filter(|p| p.at >= from && p.at < to)
+            {
+                util_rows.push(vec![
+                    p.at.to_string(),
+                    server.0.to_string(),
+                    format!("{:.4}", p.dispatch),
+                    format!("{:.4}", p.worker_cores),
+                ]);
+            }
+        }
+        export_csv(
+            &format!("fig11_util_{s}"),
+            "t_ns,server,dispatch,worker_cores",
+            &util_rows,
+        );
     }
 
     // ------------------------------------------------------ shape checks --

@@ -7,7 +7,7 @@
 //! migration start to completion (the eager ownership transfer sheds as
 //! much load as the Pulls add).
 
-use rocksteady_bench::{check, mean, print_table1, standard_setup, upper, TABLE};
+use rocksteady_bench::{check, export_csv, mean, print_table1, standard_setup, upper, TABLE};
 use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::zipf::KeyDist;
 use rocksteady_common::{Nanos, ServerId, MILLISECOND};
@@ -63,8 +63,8 @@ fn run(theta: f64) -> (f64, f64, Vec<(Nanos, f64)>) {
         .map(|p| p.dispatch)
         .collect();
     let finished = cluster.server_stats[&ServerId(1)]
-        .borrow()
         .migration_finished_at
+        .get()
         .unwrap_or(END);
     let during: Vec<f64> = src
         .iter()
@@ -97,8 +97,9 @@ fn main() {
         "theta", "dispatch before", "dispatch during mig", "delta"
     );
     let mut ok = true;
+    let mut series_rows = Vec::new();
     for theta in [0.0, 0.5, 0.99, 1.5] {
-        let (pre, during, _series) = run(theta);
+        let (pre, during, series) = run(theta);
         println!(
             "{:>6} {:>18.2} {:>20.2} {:>+10.2}",
             theta,
@@ -106,6 +107,13 @@ fn main() {
             during,
             during - pre
         );
+        for (t, dispatch) in &series {
+            series_rows.push(vec![
+                theta.to_string(),
+                t.to_string(),
+                format!("{dispatch:.4}"),
+            ]);
+        }
         // The figure's claim: source dispatch stays roughly flat across
         // migration start, at every skew.
         ok &= check(
@@ -113,5 +121,10 @@ fn main() {
             &format!("theta={theta}: source dispatch stays flat across migration start"),
         );
     }
+    export_csv(
+        "fig12_source_dispatch_by_skew",
+        "theta,t_ns,dispatch",
+        &series_rows,
+    );
     std::process::exit(i32::from(!ok));
 }

@@ -12,7 +12,9 @@
 //!   adding median jitter — but answer waiting clients directly, so
 //!   their 99.9th can be lower.
 
-use rocksteady_bench::{check, mean, print_table1, standard_setup, upper, TABLE};
+use rocksteady_bench::{
+    check, export_csv, mean, merged_latency_rows, print_table1, standard_setup, upper, TABLE,
+};
 use rocksteady_cluster::{Cluster, ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::fmt_nanos;
 use rocksteady_common::{Nanos, ServerId, MILLISECOND, SECOND};
@@ -81,20 +83,7 @@ fn run(sync: bool) -> Out {
 }
 
 fn latency_series(out: &Out) -> Vec<(Nanos, u64, u64)> {
-    let mut per_bucket: std::collections::BTreeMap<Nanos, rocksteady_common::Histogram> =
-        Default::default();
-    for stats in &out.cluster.client_stats {
-        let s = stats.borrow();
-        for (at, h) in s.read_latency.iter() {
-            if h.count() > 0 {
-                per_bucket.entry(at).or_default().merge(h);
-            }
-        }
-    }
-    per_bucket
-        .into_iter()
-        .map(|(t, h)| (t, h.percentile(0.5), h.percentile(0.999)))
-        .collect()
+    merged_latency_rows(&out.cluster, 0, Nanos::MAX)
 }
 
 fn target_worker_util(out: &Out, from: Nanos, to: Nanos) -> f64 {
@@ -197,6 +186,30 @@ fn main() {
             fmt_nanos(pp_batch.percentile(0.5)),
         );
         println!();
+
+        // Machine-readable series for re-plotting.
+        let s = if out.name.starts_with("Sync") {
+            "sync_single"
+        } else {
+            "async_batched"
+        };
+        export_csv(
+            &format!("fig13_latency_{s}"),
+            "t_ns,p50_ns,p999_ns",
+            &latency_series(out)
+                .iter()
+                .map(|(t, p50, p999)| vec![t.to_string(), p50.to_string(), p999.to_string()])
+                .collect::<Vec<_>>(),
+        );
+        let util = out.cluster.util.borrow();
+        export_csv(
+            &format!("fig14_target_workers_{s}"),
+            "t_ns,worker_cores",
+            &util.by_server[&ServerId(1)]
+                .iter()
+                .map(|p| vec![p.at.to_string(), format!("{:.4}", p.worker_cores)])
+                .collect::<Vec<_>>(),
+        );
     }
 
     let mut ok = true;
@@ -243,8 +256,8 @@ fn main() {
     );
     let pp = |out: &Out| {
         out.cluster.server_stats[&ServerId(0)]
-            .borrow()
             .priority_pulls_served
+            .get()
     };
     println!(
         "PriorityPull RPCs served by the source: async {} vs sync {}",

@@ -61,9 +61,7 @@ fn run(side: Side, workers: usize, value_len: usize) -> f64 {
     let finished = cluster
         .run_until_migrated(ServerId(1), 30 * SECOND)
         .expect("migration completes");
-    let bytes = cluster.server_stats[&ServerId(1)]
-        .borrow()
-        .bytes_migrated_in;
+    let bytes = cluster.server_stats[&ServerId(1)].bytes_migrated_in.get();
     mb_per_sec(bytes, finished - MILLISECOND)
 }
 

@@ -24,7 +24,8 @@
 
 use rocksteady_cluster::{Cluster, ClusterBuilder, ClusterConfig};
 use rocksteady_common::time::{fmt_nanos, mb_per_sec};
-use rocksteady_common::{CostModel, HashRange, Nanos, ServerId, TableId, MILLISECOND, SECOND};
+use rocksteady_common::{CostModel, HashRange, Nanos, ServerId, TableId, MILLISECOND};
+use rocksteady_metrics::timeline;
 
 /// The table every benchmark uses.
 pub const TABLE: TableId = TableId(1);
@@ -148,16 +149,26 @@ pub fn ns(v: u64) -> String {
 }
 
 /// Per-interval (median, p999) read-latency rows within a window.
+/// Thin wrapper over [`rocksteady_metrics::timeline::latency_timeline`],
+/// the one shared percentile path every figure uses.
 pub fn latency_rows(
     stats: &rocksteady_workload::ClientStats,
     from: Nanos,
     to: Nanos,
 ) -> Vec<(Nanos, u64, u64)> {
-    stats
-        .read_latency
-        .iter()
-        .filter(|(at, h)| *at >= from && *at < to && h.count() > 0)
-        .map(|(at, h)| (at, h.percentile(0.5), h.percentile(0.999)))
+    timeline::latency_timeline(&stats.read_latency, from, to)
+        .into_iter()
+        .map(|p| (p.at, p.p50, p.p999))
+        .collect()
+}
+
+/// Per-bucket (median, p999) read latency merged across all of a
+/// cluster's clients — the exact series Figures 10 and 13 plot.
+pub fn merged_latency_rows(cluster: &Cluster, from: Nanos, to: Nanos) -> Vec<(Nanos, u64, u64)> {
+    let borrows: Vec<_> = cluster.client_stats.iter().map(|s| s.borrow()).collect();
+    timeline::merged_latency_timeline(borrows.iter().map(|s| &s.read_latency), from, to)
+        .into_iter()
+        .map(|p| (p.at, p.p50, p.p999))
         .collect()
 }
 
@@ -167,11 +178,92 @@ pub fn throughput_rows(
     from: Nanos,
     to: Nanos,
 ) -> Vec<(Nanos, f64)> {
-    let per_sec = SECOND as f64 / stats.objects.interval() as f64;
-    stats
-        .objects
-        .iter()
-        .filter(|(at, _)| *at >= from && *at < to)
-        .map(|(at, h)| (at, h.count() as f64 * per_sec))
-        .collect()
+    timeline::throughput_timeline(&stats.objects, from, to)
+}
+
+/// Total completed ops/s per bucket summed across all of a cluster's
+/// clients — the series Figures 9 and 14 plot.
+pub fn total_throughput_rows(cluster: &Cluster, from: Nanos, to: Nanos) -> Vec<(Nanos, f64)> {
+    let borrows: Vec<_> = cluster.client_stats.iter().map(|s| s.borrow()).collect();
+    timeline::merged_throughput_timeline(borrows.iter().map(|s| &s.objects), from, to)
+}
+
+/// Where [`export_csv`] writes figure data: `target/figures/` at the
+/// *workspace* root, regardless of the working directory cargo runs the
+/// bench with (it uses the package directory, not the workspace root).
+pub const FIGURE_DATA_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/figures");
+
+/// Writes one figure's plotted series as CSV under
+/// [`FIGURE_DATA_DIR`]`/<stem>.csv` and returns the path. `header` is a
+/// comma-separated column list; each row must have as many cells as the
+/// header has columns (checked, so a figure can't silently emit ragged
+/// data). Every fig bench exports through here — one command
+/// (`cargo bench --bench figNN_...`) regenerates both the console
+/// report and the machine-readable series.
+pub fn export_csv(stem: &str, header: &str, rows: &[Vec<String>]) -> std::path::PathBuf {
+    let cols = header.split(',').count();
+    let mut out = String::with_capacity(64 * (rows.len() + 1));
+    out.push_str(header);
+    out.push('\n');
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            cols,
+            "export_csv({stem}): row {i} has {} cells, header has {cols}",
+            row.len()
+        );
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    let dir = std::path::Path::new(FIGURE_DATA_DIR);
+    std::fs::create_dir_all(dir).expect("create figure-data dir");
+    // Canonicalize for a readable path (drops the `crates/bench/../..`
+    // the workspace-root anchoring introduces).
+    let dir = dir.canonicalize().expect("canonicalize figure-data dir");
+    let path = dir.join(format!("{stem}.csv"));
+    std::fs::write(&path, out).expect("write figure csv");
+    println!("wrote {}", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_csv_roundtrip() {
+        let rows = vec![
+            vec!["0".to_string(), "42".to_string()],
+            vec!["1000".to_string(), "43".to_string()],
+        ];
+        let path = export_csv("test_export_roundtrip", "t_ns,value", &rows);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "t_ns,value");
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 2, "ragged row: {line}");
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "row 0 has 1 cells")]
+    fn export_csv_rejects_ragged_rows() {
+        export_csv("test_export_ragged", "a,b", &[vec!["only-one".to_string()]]);
+    }
+
+    #[test]
+    fn latency_rows_use_shared_timeline_path() {
+        let mut stats = rocksteady_workload::ClientStats::new(MILLISECOND);
+        stats.record_read(0, 5_000);
+        stats.record_read(10, 6_000);
+        stats.record_read(2 * MILLISECOND, 7_000);
+        let rows = latency_rows(&stats, 0, 10 * MILLISECOND);
+        assert_eq!(rows.len(), 2, "empty intervals are skipped");
+        assert_eq!(rows[0].0, 0);
+        assert!(rows[0].1 >= 4_900 && rows[0].2 >= rows[0].1);
+        let tp = throughput_rows(&stats, 0, 10 * MILLISECOND);
+        assert!(tp.is_empty(), "no objects recorded yet");
+    }
 }

@@ -12,19 +12,21 @@ use rocksteady_common::{
 use rocksteady_coordinator::Coordinator;
 use rocksteady_logstore::LogConfig;
 use rocksteady_master::{MasterConfig, TabletRole};
+use rocksteady_metrics::Registry;
 use rocksteady_proto::Envelope;
-use rocksteady_server::stats::{stats_handle, StatsHandle};
+use rocksteady_server::stats::{registered_stats, StatsHandle};
 use rocksteady_server::{ServerConfig, ServerNode};
 use rocksteady_simnet::{Directory, NicConfig, Simulation};
 use rocksteady_trace::Tracer;
-use rocksteady_workload::stats::client_stats;
+use rocksteady_workload::stats::registered_client_stats;
 use rocksteady_workload::{
     ClientStatsHandle, ScanClient, ScanConfig, SpreadClient, SpreadConfig, YcsbClient, YcsbConfig,
 };
 
 use crate::control::{ControlActor, ControlEvent};
 use crate::coordinator_actor::{CoordHandle, CoordinatorActor};
-use crate::sampler::{SamplerActor, UtilSeries, UtilSeriesHandle};
+use crate::sampler::{SamplerActor, SnapshotLogHandle, UtilSeries, UtilSeriesHandle};
+use crate::slo::{SloHandle, SloMonitor, SloReport};
 
 /// Topology + hardware parameters for one simulated cluster.
 #[derive(Debug, Clone)]
@@ -61,6 +63,15 @@ pub struct ClusterConfig {
     /// chrome://tracing JSON. Off by default — a disarmed tracer costs
     /// one branch per would-be event.
     pub tracing: bool,
+    /// Arm periodic full-registry snapshot capture (one [`rocksteady_metrics::Snapshot`]
+    /// per sampling interval, exportable as JSON/Prometheus series).
+    /// Instruments always record and on-demand exports always work; this
+    /// only gates the per-interval buffer, and the sampler's cadence is
+    /// fixed either way, so arming cannot perturb the event schedule.
+    pub metrics: bool,
+    /// 99.9th-percentile read-latency SLA for the live SLO monitor
+    /// (`None` still runs the monitor but never counts breaches).
+    pub sla: Option<Nanos>,
 }
 
 impl Default for ClusterConfig {
@@ -80,6 +91,8 @@ impl Default for ClusterConfig {
             cleaner_interval: None,
             workers_by_server: Vec::new(),
             tracing: false,
+            metrics: false,
+            sla: None,
         }
     }
 }
@@ -153,6 +166,9 @@ impl ClusterBuilder {
         let mut sim = Simulation::new(cfg.nic, cfg.seed);
         let coord: CoordHandle = Rc::new(RefCell::new(Coordinator::new()));
         let util: UtilSeriesHandle = Rc::new(RefCell::new(UtilSeries::default()));
+        let metrics = Registry::new();
+        let snapshots: SnapshotLogHandle = Rc::new(RefCell::new(Vec::new()));
+        let slo: SloHandle = Rc::new(RefCell::new(SloReport::default()));
         let trace = if cfg.tracing {
             Tracer::armed()
         } else {
@@ -179,7 +195,7 @@ impl ClusterBuilder {
                 .collect();
             let backup_actors = backup_ids.iter().map(|b| self.dir.actor_of(*b)).collect();
             backups_of.insert(id, backup_ids);
-            let stats = stats_handle();
+            let stats = registered_stats(&metrics, id);
             server_stats.insert(id, Rc::clone(&stats));
             let workers = cfg
                 .workers_by_server
@@ -213,15 +229,22 @@ impl ClusterBuilder {
             debug_assert_eq!(actor, 1 + i);
         }
 
-        // Control + sampler.
+        // Control + sampler + SLO monitor. The latter two are always
+        // installed on fixed cadences: config flags change what they
+        // record, never the event schedule.
         sim.add_actor(Box::new(ControlActor::new(self.dir.clone(), self.script)));
         sim.add_actor(Box::new(SamplerActor::new(
             cfg.sample_interval,
-            server_stats
-                .iter()
-                .map(|(id, h)| (*id, Rc::clone(h)))
-                .collect(),
+            metrics.clone(),
+            cfg.metrics,
             Rc::clone(&util),
+            Rc::clone(&snapshots),
+        )));
+        sim.add_actor(Box::new(SloMonitor::new(
+            cfg.sample_interval,
+            metrics.clone(),
+            cfg.sla,
+            Rc::clone(&slo),
         )));
 
         // Clients. Each client's seed is folded together with the
@@ -230,7 +253,7 @@ impl ClusterBuilder {
         // bit-identical.
         let mut client_stats_handles = Vec::new();
         for (idx, spec) in self.clients.into_iter().enumerate() {
-            let stats = client_stats(cfg.series_interval);
+            let stats = registered_client_stats(&metrics, idx, cfg.series_interval);
             client_stats_handles.push(Rc::clone(&stats));
             let derived = cfg
                 .seed
@@ -262,6 +285,9 @@ impl ClusterBuilder {
             server_stats,
             client_stats: client_stats_handles,
             util,
+            metrics,
+            snapshots,
+            slo,
             backups_of,
             trace,
             cfg,
@@ -284,6 +310,13 @@ pub struct Cluster {
     pub client_stats: Vec<ClientStatsHandle>,
     /// Sampled utilization/migration series.
     pub util: UtilSeriesHandle,
+    /// The unified metrics registry (servers, clients, SLO monitor).
+    pub metrics: Registry,
+    /// Per-interval full-registry snapshots (empty unless built with
+    /// `metrics: true`).
+    pub snapshots: SnapshotLogHandle,
+    /// Latest SLO window, updated once per sampling interval.
+    pub slo: SloHandle,
     /// Backup ring: which servers hold each master's replicas.
     pub backups_of: HashMap<ServerId, Vec<ServerId>>,
     /// The shared trace buffer (disarmed unless `cfg.tracing`).
@@ -399,13 +432,13 @@ impl Cluster {
 
     /// Whether the Rocksteady migration on `target` has completed.
     pub fn migration_finished(&self, target: ServerId) -> Option<Nanos> {
-        self.server_stats[&target].borrow().migration_finished_at
+        self.server_stats[&target].migration_finished_at.get()
     }
 
     /// Whether the current migration on `target` was abandoned (source
     /// died, or a recovery plan superseded the run) without finishing.
     pub fn migration_abandoned(&self, target: ServerId) -> Option<Nanos> {
-        let s = self.server_stats[&target].borrow();
+        let s = self.server_stats[&target].view();
         match (s.migration_started_at, s.migration_abandoned_at) {
             (Some(start), Some(at)) if at >= start && s.migration_finished_at.is_none() => Some(at),
             _ => None,
@@ -441,6 +474,39 @@ impl Cluster {
     /// Byte-identical across same-seed runs.
     pub fn export_trace_json(&self) -> String {
         self.trace.export_chrome_json()
+    }
+
+    /// Serializes the full registry (servers, clients, SLO monitor) as
+    /// deterministic JSON at the current virtual time. Byte-identical
+    /// across same-seed runs.
+    pub fn export_metrics_json(&self) -> String {
+        self.metrics.snapshot(self.now()).to_json()
+    }
+
+    /// Serializes the full registry in Prometheus text exposition
+    /// format at the current virtual time.
+    pub fn export_metrics_prometheus(&self) -> String {
+        self.metrics.snapshot(self.now()).to_prometheus()
+    }
+
+    /// The periodic snapshot series captured under `metrics: true`, as
+    /// one JSON array (one element per sampling interval).
+    pub fn export_metrics_series_json(&self) -> String {
+        let snaps = self.snapshots.borrow();
+        let mut out = String::from("[");
+        for (i, s) in snaps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_json());
+        }
+        out.push(']');
+        out
+    }
+
+    /// The latest SLO window (updated once per sampling interval).
+    pub fn slo_report(&self) -> SloReport {
+        *self.slo.borrow()
     }
 
     /// Reads a key directly from whichever master currently owns it
@@ -506,7 +572,7 @@ mod tests {
             "only {} writes completed",
             writes.count()
         );
-        assert_eq!(stats.not_found, 0);
+        assert_eq!(stats.not_found.get(), 0);
         // Calibration anchors (§2): ~6 us reads, ~15 us durable writes.
         let p50r = reads.percentile(0.5);
         let p50w = writes.percentile(0.5);
@@ -568,7 +634,7 @@ mod tests {
         }
         assert!(upper_count > 1_000, "split was not roughly half");
         // The data really moved through pulls.
-        let tgt = cluster.server_stats[&ServerId(1)].borrow();
+        let tgt = cluster.server_stats[&ServerId(1)].view();
         assert!(
             tgt.records_replayed >= upper_count,
             "replayed {} < upper {}",

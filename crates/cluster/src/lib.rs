@@ -16,8 +16,10 @@ pub mod control;
 pub mod coordinator_actor;
 pub mod harness;
 pub mod sampler;
+pub mod slo;
 
 pub use control::{ControlCmd, ControlEvent};
 pub use coordinator_actor::CoordinatorActor;
 pub use harness::{Cluster, ClusterBuilder, ClusterConfig};
-pub use sampler::{UtilPoint, UtilSeries, UtilSeriesHandle};
+pub use sampler::{SnapshotLogHandle, UtilPoint, UtilSeries, UtilSeriesHandle};
+pub use slo::{SloHandle, SloMonitor, SloReport};

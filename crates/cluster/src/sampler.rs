@@ -2,16 +2,21 @@
 //!
 //! Figures 5, 9, 11, 12 and 14 are time series of per-server quantities:
 //! dispatch utilization, active worker cores, and migration MB/s. The
-//! sampler actor differences each server's monotonic counters once per
-//! interval of virtual time.
+//! sampler is a generic scraper over the metrics [`Registry`]: once per
+//! interval of virtual time it differences every `node_*` counter
+//! (through [`DeltaScraper`], which tolerates counter resets and picks
+//! up servers registered mid-run) and derives the per-server
+//! [`UtilPoint`] series the figures plot. When metrics capture is armed
+//! it also appends one full registry snapshot per interval to a shared
+//! buffer for the JSON/Prometheus export path.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use rocksteady_common::{Nanos, ServerId};
+use rocksteady_metrics::{DeltaScraper, Registry, Snapshot};
 use rocksteady_proto::Envelope;
-use rocksteady_server::stats::StatsHandle;
 use rocksteady_simnet::{Actor, Ctx, Event};
 
 /// One sample of one server.
@@ -59,62 +64,86 @@ impl UtilSeries {
 /// Shared handle to the collected series.
 pub type UtilSeriesHandle = Rc<RefCell<UtilSeries>>;
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Snapshot {
-    dispatch_busy_ns: u64,
-    worker_busy_ns: u64,
-    bytes_in: u64,
-    bytes_out: u64,
-}
+/// Shared buffer of periodic full-registry snapshots (empty unless the
+/// cluster was built with `metrics: true`).
+pub type SnapshotLogHandle = Rc<RefCell<Vec<Snapshot>>>;
 
-/// The sampler actor.
+/// The sampler actor: a registry scraper on a fixed virtual-time cadence.
 pub struct SamplerActor {
     interval: Nanos,
-    targets: Vec<(ServerId, StatsHandle)>,
-    last: Vec<Snapshot>,
+    registry: Registry,
+    scraper: DeltaScraper,
+    /// Whether to append full snapshots to `snapshots` each tick. The
+    /// timer cadence is identical either way, so arming capture cannot
+    /// perturb the event schedule.
+    capture: bool,
     out: UtilSeriesHandle,
+    snapshots: SnapshotLogHandle,
 }
 
 impl SamplerActor {
-    /// Creates a sampler over the given servers' stats, writing into
-    /// `out` every `interval` of virtual time.
+    /// Creates a sampler scraping `registry` every `interval` of
+    /// virtual time, deriving utilization into `out` and (when
+    /// `capture`) appending registry snapshots to `snapshots`.
     pub fn new(
         interval: Nanos,
-        targets: Vec<(ServerId, StatsHandle)>,
+        registry: Registry,
+        capture: bool,
         out: UtilSeriesHandle,
+        snapshots: SnapshotLogHandle,
     ) -> Self {
         out.borrow_mut().interval = interval;
-        let last = vec![Snapshot::default(); targets.len()];
         SamplerActor {
             interval,
-            targets,
-            last,
+            registry,
+            scraper: DeltaScraper::default(),
+            capture,
             out,
+            snapshots,
         }
     }
 
     fn sample(&mut self, now: Nanos) {
         let interval_start = now.saturating_sub(self.interval);
-        let mut out = self.out.borrow_mut();
-        for (i, (server, stats)) in self.targets.iter().enumerate() {
-            let s = stats.borrow();
-            let cur = Snapshot {
-                dispatch_busy_ns: s.dispatch_busy_ns,
-                worker_busy_ns: s.worker_busy_ns,
-                bytes_in: s.bytes_migrated_in,
-                bytes_out: s.bytes_migrated_out,
+        #[derive(Default, Clone, Copy)]
+        struct Win {
+            dispatch: u64,
+            worker: u64,
+            bytes_in: u64,
+            bytes_out: u64,
+        }
+        let mut windows: HashMap<ServerId, Win> = HashMap::new();
+        for d in self.scraper.scrape(&self.registry) {
+            let Some(server) = d.label("server").and_then(|v| v.parse().ok()).map(ServerId) else {
+                continue;
             };
-            drop(s);
-            let prev = self.last[i];
-            self.last[i] = cur;
-            let dt = self.interval as f64;
-            out.by_server.entry(*server).or_default().push(UtilPoint {
+            let w = windows.entry(server).or_default();
+            match d.name {
+                "node_dispatch_busy_ns" => w.dispatch = d.delta,
+                "node_worker_busy_ns" => w.worker = d.delta,
+                "node_bytes_migrated_in" => w.bytes_in = d.delta,
+                "node_bytes_migrated_out" => w.bytes_out = d.delta,
+                _ => {}
+            }
+        }
+        let dt = self.interval as f64;
+        let mut out = self.out.borrow_mut();
+        for (server, w) in windows {
+            out.by_server.entry(server).or_default().push(UtilPoint {
                 at: interval_start,
-                dispatch: (cur.dispatch_busy_ns - prev.dispatch_busy_ns) as f64 / dt,
-                worker_cores: (cur.worker_busy_ns - prev.worker_busy_ns) as f64 / dt,
-                bytes_in: cur.bytes_in - prev.bytes_in,
-                bytes_out: cur.bytes_out - prev.bytes_out,
+                // A dispatch core is one core: busy time can briefly
+                // exceed the interval when a charge posted at the tick
+                // boundary lands in the next window, so clamp to [0, 1].
+                dispatch: (w.dispatch as f64 / dt).min(1.0),
+                worker_cores: w.worker as f64 / dt,
+                bytes_in: w.bytes_in,
+                bytes_out: w.bytes_out,
             });
+        }
+        if self.capture {
+            self.snapshots
+                .borrow_mut()
+                .push(self.registry.snapshot(now));
         }
     }
 }
@@ -132,6 +161,110 @@ impl Actor<Envelope> for SamplerActor {
         if let Event::Timer { .. } = event {
             self.sample(ctx.now());
             ctx.timer(self.interval, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocksteady_common::MILLISECOND;
+    use rocksteady_server::stats::registered_stats;
+
+    fn sampler(
+        reg: &Registry,
+        capture: bool,
+    ) -> (SamplerActor, UtilSeriesHandle, SnapshotLogHandle) {
+        let out: UtilSeriesHandle = Rc::new(RefCell::new(UtilSeries::default()));
+        let snaps: SnapshotLogHandle = Rc::new(RefCell::new(Vec::new()));
+        let s = SamplerActor::new(
+            MILLISECOND,
+            reg.clone(),
+            capture,
+            Rc::clone(&out),
+            Rc::clone(&snaps),
+        );
+        (s, out, snaps)
+    }
+
+    /// Intervals with no activity still produce a point (with zero
+    /// deltas) — the figures rely on a gap-free time axis.
+    #[test]
+    fn empty_intervals_sample_as_zero_points() {
+        let reg = Registry::new();
+        let stats = registered_stats(&reg, ServerId(0));
+        let (mut s, out, _) = sampler(&reg, false);
+        stats.dispatch_busy_ns.add(MILLISECOND / 2);
+        s.sample(MILLISECOND);
+        s.sample(2 * MILLISECOND); // nothing happened in this window
+        let util = out.borrow();
+        let points = &util.by_server[&ServerId(0)];
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].at, 0, "points are stamped at interval start");
+        assert!((points[0].dispatch - 0.5).abs() < 1e-9);
+        assert_eq!(points[1].at, MILLISECOND);
+        assert_eq!(points[1].dispatch, 0.0);
+        assert_eq!(points[1].bytes_in, 0);
+        assert_eq!(points[1].bytes_out, 0);
+    }
+
+    /// A server registered after sampling began (a node joining
+    /// mid-run) appears on its next scrape, with its full total as the
+    /// first delta — no underflow against a missing baseline.
+    #[test]
+    fn server_joining_mid_run_is_picked_up() {
+        let reg = Registry::new();
+        let _s0 = registered_stats(&reg, ServerId(0));
+        let (mut s, out, _) = sampler(&reg, false);
+        s.sample(MILLISECOND);
+        assert!(!out.borrow().by_server.contains_key(&ServerId(7)));
+
+        let late = registered_stats(&reg, ServerId(7));
+        late.bytes_migrated_in.add(4_096);
+        s.sample(2 * MILLISECOND);
+        let util = out.borrow();
+        let points = &util.by_server[&ServerId(7)];
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].bytes_in, 4_096);
+    }
+
+    /// Dispatch is one core: a busy charge posted at a tick boundary can
+    /// land in the next window, so the ratio is clamped to [0, 1].
+    /// Worker cores are deliberately not clamped (W cores).
+    #[test]
+    fn dispatch_utilization_is_clamped_to_unit() {
+        let reg = Registry::new();
+        let stats = registered_stats(&reg, ServerId(0));
+        let (mut s, out, _) = sampler(&reg, false);
+        stats.dispatch_busy_ns.add(3 * MILLISECOND);
+        stats.worker_busy_ns.add(4 * MILLISECOND);
+        s.sample(MILLISECOND);
+        let util = out.borrow();
+        let p = util.by_server[&ServerId(0)][0];
+        assert_eq!(p.dispatch, 1.0, "dispatch clamped to one core");
+        assert!((p.worker_cores - 4.0).abs() < 1e-9);
+    }
+
+    /// `capture` gates only the snapshot buffer; the utilization series
+    /// (and hence the event schedule driving it) is identical either way.
+    #[test]
+    fn capture_flag_gates_snapshot_log_only() {
+        for capture in [false, true] {
+            let reg = Registry::new();
+            let stats = registered_stats(&reg, ServerId(0));
+            let (mut s, out, snaps) = sampler(&reg, capture);
+            stats.dispatch_busy_ns.add(MILLISECOND / 4);
+            s.sample(MILLISECOND);
+            s.sample(2 * MILLISECOND);
+            assert_eq!(out.borrow().by_server[&ServerId(0)].len(), 2);
+            let snaps = snaps.borrow();
+            if capture {
+                assert_eq!(snaps.len(), 2);
+                assert_eq!(snaps[0].at, MILLISECOND);
+                assert_eq!(snaps[1].at, 2 * MILLISECOND);
+            } else {
+                assert!(snaps.is_empty(), "disarmed capture buffered snapshots");
+            }
         }
     }
 }

@@ -159,6 +159,42 @@ impl Histogram {
         (self.percentile(0.50), self.percentile(0.999))
     }
 
+    /// Sum of all observations, saturating at `u64::MAX` (exposition
+    /// formats carry 64-bit integers).
+    pub fn sum_saturating(&self) -> u64 {
+        u64::try_from(self.sum).unwrap_or(u64::MAX)
+    }
+
+    /// The observations recorded since `prev` was cloned from this same
+    /// histogram: bucket-wise difference, with min/max rebuilt from the
+    /// surviving buckets' bounds (so percentile clamping stays
+    /// consistent). Buckets where `prev` somehow exceeds `self`
+    /// saturate to zero rather than underflowing.
+    pub fn delta_since(&self, prev: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        let mut first = None;
+        let mut last = None;
+        for (idx, (&a, &b)) in self.counts.iter().zip(&prev.counts).enumerate() {
+            let d = a.saturating_sub(b);
+            if d > 0 {
+                out.counts[idx] = d;
+                out.total += d;
+                first.get_or_insert(idx);
+                last = Some(idx);
+            }
+        }
+        out.sum = self.sum.saturating_sub(prev.sum);
+        if let (Some(first), Some(last)) = (first, last) {
+            out.min = Self::bucket_low(first).max(self.min);
+            out.max = if last >= MAX_INDEX {
+                self.max
+            } else {
+                (Self::bucket_low(last + 1) - 1).min(self.max)
+            };
+        }
+        out
+    }
+
     /// Adds all observations from `other` into `self`.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -362,6 +398,26 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn delta_since_subtracts_buckets() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(5_000);
+        let prev = h.clone();
+        h.record(200);
+        h.record(9_000_000);
+        let d = h.delta_since(&prev);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum_saturating(), 9_000_200);
+        // The delta's percentiles only see the new observations.
+        assert!(d.percentile(0.0) >= 190 && d.percentile(0.0) <= 210);
+        assert!(d.percentile(1.0) >= 8_900_000);
+        // Delta against itself is empty.
+        let z = h.delta_since(&h);
+        assert_eq!(z.count(), 0);
+        assert_eq!(z.percentile(0.999), 0);
     }
 
     #[test]

@@ -400,11 +400,7 @@ impl ServerNode {
     fn retry_hint(&mut self, ctx: &mut Ctx<'_, Envelope>, cause: RetryCause) -> Response {
         let base = self.cfg.migration.retry_base(cause);
         let after = base + ctx.rng.next_below((base / 2).max(1));
-        let sent = {
-            let mut s = self.stats.borrow_mut();
-            s.retry_hints_sent += 1;
-            s.retry_hints_sent
-        };
+        let sent = self.stats.retry_hints_sent.inc();
         if self.trace.is_on() {
             self.trace
                 .counter("retry-hints", ctx.self_id() as u64, ctx.now(), sent);
@@ -438,7 +434,7 @@ impl ServerNode {
         // Account the accumulated dispatch time and chain the next poll.
         let charge = self.dispatch_charge;
         self.dispatch_charge = 0;
-        self.stats.borrow_mut().dispatch_busy_ns += charge;
+        self.stats.dispatch_busy_ns.add(charge);
         self.dispatch_busy_until = ctx.now() + charge;
         self.ensure_dispatch(ctx);
     }
@@ -496,12 +492,7 @@ impl ServerNode {
                 );
                 let source_actor = self.dir.actor_of(source);
                 let first = mgr.begin();
-                {
-                    let mut s = self.stats.borrow_mut();
-                    s.migration_started_at = Some(ctx.now());
-                    s.migration_finished_at = None;
-                    s.migration_abandoned_at = None;
-                }
+                self.stats.begin_migration(ctx.now());
                 if self.trace.is_on() {
                     self.mig_trace = Some(MigTrace {
                         started: ctx.now(),
@@ -533,7 +524,7 @@ impl ServerNode {
                     self.respond(ctx, src, rpc, Response::Err(Status::UnknownTablet));
                     return;
                 };
-                self.stats.borrow_mut().migration_started_at = Some(ctx.now());
+                self.stats.begin_migration(ctx.now());
                 self.baseline = Some(BaselineRun {
                     mig,
                     target_actor: self.dir.actor_of(target),
@@ -676,10 +667,7 @@ impl ServerNode {
             (Pending::MigCompleteAck, _) => {}
             (Pending::Pull { partition }, Response::PullOk { records, next }) => {
                 let wire: u64 = records.iter().map(Record::wire_size).sum();
-                {
-                    let mut s = self.stats.borrow_mut();
-                    s.bytes_migrated_in += wire;
-                }
+                self.stats.bytes_migrated_in.add(wire);
                 if let Some((t0, part)) = self.pull_span_start.remove(&rpc.0) {
                     self.trace.span(
                         "mig:pull",
@@ -699,7 +687,7 @@ impl ServerNode {
             }
             (Pending::PriorityPull { hashes }, Response::PriorityPullOk { records }) => {
                 let wire: u64 = records.iter().map(Record::wire_size).sum();
-                self.stats.borrow_mut().bytes_migrated_in += wire;
+                self.stats.bytes_migrated_in.add(wire);
                 if let Some((t0, batch)) = self.pp_span_start.remove(&rpc.0) {
                     self.trace.span(
                         "mig:priority-pull",
@@ -732,7 +720,7 @@ impl ServerNode {
             (Pending::BaselineTransferAck, _) => {
                 if let Some(run) = &mut self.baseline {
                     run.mig.on_ownership_transferred(&mut self.master);
-                    self.stats.borrow_mut().migration_finished_at = Some(ctx.now());
+                    self.stats.migration_finished_at.set(ctx.now());
                 }
                 self.baseline = None;
             }
@@ -896,7 +884,7 @@ impl ServerNode {
                 }
             }
         }
-        self.stats.borrow_mut().worker_busy_ns += service_ns;
+        self.stats.worker_busy_ns.add(service_ns);
         ctx.timer(service_ns, token(KIND_WORKER_DONE, worker as u64));
     }
 
@@ -966,7 +954,7 @@ impl ServerNode {
             }
         };
         if let Some((since, waited)) = hold {
-            self.stats.borrow_mut().worker_busy_ns += waited;
+            self.stats.worker_busy_ns.add(waited);
             // Only span the hold if the service span has already closed
             // (a failover can release a core mid-service, before
             // `hold_since` was ever stamped).
@@ -1124,7 +1112,7 @@ impl ServerNode {
                 key,
                 key_hash,
             } => {
-                self.stats.borrow_mut().ops_served += 1;
+                self.stats.ops_served.add(1);
                 let service = m.op_fixed_ns + m.read_per_object_ns;
                 match self.master.read(table, key_hash, Some(&key), &mut work) {
                     Ok((value, version)) => {
@@ -1148,7 +1136,7 @@ impl ServerNode {
             }
             Request::MultiRead { table, keys } => {
                 let n = keys.len() as u64;
-                self.stats.borrow_mut().ops_served += n;
+                self.stats.ops_served.add(n);
                 let mut values = Vec::with_capacity(keys.len());
                 for (key, hash) in &keys {
                     values.push(
@@ -1163,7 +1151,7 @@ impl ServerNode {
             }
             Request::MultiReadHash { table, hashes } => {
                 let n = hashes.len() as u64;
-                self.stats.borrow_mut().ops_served += n;
+                self.stats.ops_served.add(n);
                 let mut values = Vec::with_capacity(hashes.len());
                 for hash in &hashes {
                     values.push(
@@ -1182,7 +1170,7 @@ impl ServerNode {
                 key_hash,
                 value,
             } => {
-                self.stats.borrow_mut().ops_served += 1;
+                self.stats.ops_served.add(1);
                 let service = m.op_fixed_ns + m.write_per_object_ns;
                 match self.master.write(table, key_hash, &key, &value, &mut work) {
                     Ok((version, _)) => {
@@ -1212,7 +1200,7 @@ impl ServerNode {
                 key,
                 key_hash,
             } => {
-                self.stats.borrow_mut().ops_served += 1;
+                self.stats.ops_served.add(1);
                 match self.master.delete(table, key_hash, &key, &mut work) {
                     Ok(existed) => {
                         self.workers[worker].held = true;
@@ -1240,7 +1228,7 @@ impl ServerNode {
                 end,
                 limit,
             } => {
-                self.stats.borrow_mut().ops_served += 1;
+                self.stats.ops_served.add(1);
                 let resp = match self.master.index_scan(
                     table,
                     index,
@@ -1278,7 +1266,7 @@ impl ServerNode {
                 cursor,
                 budget_bytes,
             } => {
-                self.stats.borrow_mut().pulls_served += 1;
+                self.stats.pulls_served.add(1);
                 let (records, next, gwork) = rocksteady::source::handle_pull(
                     &self.master,
                     table,
@@ -1292,13 +1280,13 @@ impl ServerNode {
                     service += m.pull_record_ns(r.wire_size());
                     wire += r.wire_size();
                 }
-                self.stats.borrow_mut().bytes_migrated_out += wire;
+                self.stats.bytes_migrated_out.add(wire);
                 let _ = gwork; // per-record costs are covered by pull_record_ns
                 self.defer_send(worker, src, rpc, Response::PullOk { records, next });
                 service
             }
             Request::PriorityPull { table, hashes } => {
-                self.stats.borrow_mut().priority_pulls_served += 1;
+                self.stats.priority_pulls_served.add(1);
                 let (records, _gwork) =
                     rocksteady::source::handle_priority_pull(&self.master, table, &hashes);
                 let mut service = m.priority_pull_fixed_ns;
@@ -1309,7 +1297,7 @@ impl ServerNode {
                         + m.copy_ns(r.wire_size());
                     wire += r.wire_size();
                 }
-                self.stats.borrow_mut().bytes_migrated_out += wire;
+                self.stats.bytes_migrated_out.add(wire);
                 self.defer_send(worker, src, rpc, Response::PriorityPullOk { records });
                 service
             }
@@ -1321,7 +1309,7 @@ impl ServerNode {
             } => {
                 let mut service = m.op_fixed_ns;
                 let wire: u64 = records.iter().map(Record::wire_size).sum();
-                self.stats.borrow_mut().bytes_migrated_in += wire;
+                self.stats.bytes_migrated_in.add(wire);
                 if replay {
                     for rec in &records {
                         service += m.replay_record_ns(rec.wire_size());
@@ -1329,7 +1317,7 @@ impl ServerNode {
                     let replayed =
                         self.master
                             .replay_batch(&records, ReplayDest::MainLog, &mut work);
-                    self.stats.borrow_mut().records_replayed += replayed as u64;
+                    self.stats.records_replayed.add(replayed as u64);
                 }
                 if replay && rereplicate {
                     self.workers[worker].held = true;
@@ -1440,11 +1428,7 @@ impl ServerNode {
                             RetryCause::MissBulkOnly
                         };
                         if self.migration.is_some() && self.cfg.migration.priority_pulls {
-                            let n = {
-                                let mut s = self.stats.borrow_mut();
-                                s.priority_pull_deferrals += 1;
-                                s.priority_pull_deferrals
-                            };
+                            let n = self.stats.priority_pull_deferrals.inc();
                             if self.trace.is_on() {
                                 self.trace.counter(
                                     "pp-deferrals",
@@ -1494,10 +1478,10 @@ impl ServerNode {
         let replayed = self
             .master
             .replay_batch(&records, ReplayDest::MainLog, &mut work);
-        self.stats.borrow_mut().records_replayed += replayed as u64;
+        self.stats.records_replayed.add(replayed as u64);
         // The worker was blocked the whole round trip; charge the replay
         // on top.
-        self.stats.borrow_mut().worker_busy_ns += service;
+        self.stats.worker_busy_ns.add(service);
         let resp = match self
             .master
             .read(wait.table, wait.hash, Some(&wait.key), &mut work)
@@ -1591,7 +1575,7 @@ impl ServerNode {
                     if self.trace.is_on() {
                         self.workers[worker].trace_op = Some(("mig:replay", ctx.now()));
                     }
-                    self.stats.borrow_mut().worker_busy_ns += service;
+                    self.stats.worker_busy_ns.add(service);
                     ctx.timer(service, token(KIND_WORKER_DONE, worker as u64));
                 }
                 Action::Finished => {
@@ -1619,7 +1603,7 @@ impl ServerNode {
         let replayed = self
             .master
             .replay_batch(&batch.records, ReplayDest::Side(side), &mut work);
-        self.stats.borrow_mut().records_replayed += replayed as u64;
+        self.stats.records_replayed.add(replayed as u64);
         self.workers[worker].replay_partition = Some(batch.partition);
         self.workers[worker]
             .deferred
@@ -1669,12 +1653,8 @@ impl ServerNode {
             self.respond(ctx, client, client_rpc, resp);
         }
         let now = ctx.now();
-        let abandoned = {
-            let mut s = self.stats.borrow_mut();
-            s.migration_abandoned_at = Some(now);
-            s.migrations_abandoned += 1;
-            s.migrations_abandoned
-        };
+        self.stats.migration_abandoned_at.set(now);
+        let abandoned = self.stats.migrations_abandoned.inc();
         if self.trace.is_on() {
             let pid = ctx.self_id() as u64;
             self.trace
@@ -1728,7 +1708,7 @@ impl ServerNode {
         let dst = self.dir.coordinator;
         let rpc = self.alloc_rpc_to(dst, Pending::MigCompleteAck);
         self.send(ctx, dst, Envelope::req(rpc, req));
-        self.stats.borrow_mut().migration_finished_at = Some(ctx.now());
+        self.stats.migration_finished_at.set(ctx.now());
         if let Some(mt) = self.mig_trace.take() {
             let now = ctx.now();
             let pid = ctx.self_id() as u64;
@@ -1776,7 +1756,7 @@ impl ServerNode {
                 await_ack,
                 scanned_bytes,
             } => {
-                self.stats.borrow_mut().bytes_migrated_out += scanned_bytes;
+                self.stats.bytes_migrated_out.add(scanned_bytes);
                 if await_ack && !records.is_empty() {
                     let req = Request::PushRecords {
                         table: run.mig.table,
@@ -1869,7 +1849,7 @@ impl ServerNode {
             .master
             .replay_batch(&batch, ReplayDest::MainLog, &mut work) as u64;
         service += work.scanned_entries * m.log_scan_per_entry_ns;
-        self.stats.borrow_mut().recovery_replayed += replayed;
+        self.stats.recovery_replayed.add(replayed);
         // The replay raised the version floor above everything the dead
         // participant acknowledged; clients may come back now.
         self.master
@@ -1891,7 +1871,9 @@ impl ServerNode {
         let cleaner = rocksteady_logstore::Cleaner::default();
         match self.master.clean_once(&cleaner) {
             Some(stats) => {
-                self.stats.borrow_mut().segments_cleaned += stats.segments_cleaned as u64;
+                self.stats
+                    .segments_cleaned
+                    .add(stats.segments_cleaned as u64);
                 // Relocation copies + checksums live bytes and walks the
                 // victim segment's entries.
                 m.copy_ns(stats.bytes_relocated)
@@ -1992,11 +1974,7 @@ impl ServerNode {
         };
         match next {
             Some((backup, crashed, from_segment)) => {
-                let n = {
-                    let mut s = self.stats.borrow_mut();
-                    s.recovery_fetch_failovers += 1;
-                    s.recovery_fetch_failovers
-                };
+                let n = self.stats.recovery_fetch_failovers.inc();
                 if self.trace.is_on() {
                     self.trace.instant(
                         "recovery:fetch-failover",
@@ -2022,11 +2000,7 @@ impl ServerNode {
                 );
             }
             None => {
-                let n = {
-                    let mut s = self.stats.borrow_mut();
-                    s.recovery_fetch_gaps += 1;
-                    s.recovery_fetch_gaps
-                };
+                let n = self.stats.recovery_fetch_gaps.inc();
                 if self.trace.is_on() {
                     self.trace.instant(
                         "recovery:gap",

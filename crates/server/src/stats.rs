@@ -1,71 +1,243 @@
-//! Per-server counters the experiment harness samples.
+//! Per-server instruments the experiment harness samples.
 //!
 //! Figures 3, 11, 12 and 14 plot dispatch/worker *utilization*; the node
-//! accumulates monotonic busy-nanosecond counters and the harness
+//! bumps monotonic busy-nanosecond counters and the harness scraper
 //! differences them per sampling interval. Migration progress counters
 //! feed the rate-over-time plots (Figures 5 and 9).
+//!
+//! Every field is a `rocksteady-metrics` instrument registered under the
+//! `node_*` families with a `server` label, so one registry snapshot
+//! exposes the whole fleet. [`NodeStats`] itself is just the typed
+//! bundle of handles a server holds; [`NodeStats::view`] is the
+//! plain-integer compatibility view tests and examples read.
 
-use std::cell::RefCell;
 use std::rc::Rc;
 
-use rocksteady_common::Nanos;
+use rocksteady_common::{Nanos, ServerId};
+use rocksteady_metrics::{Counter, Registry, Stamp};
 
-/// Monotonic counters for one server. Shared with the harness through
-/// `Rc<RefCell<_>>` so sampling never has to reach into the actor.
+/// Instrument bundle for one server. Cheap to record into (each handle
+/// is one shared cell); shared with the harness through `Rc`.
 #[derive(Debug, Clone, Default)]
 pub struct NodeStats {
     /// Nanoseconds the dispatch core has been busy (poll/classify/tx +
-    /// migration-manager continuations).
-    pub dispatch_busy_ns: u64,
+    /// migration-manager continuations). Family `node_dispatch_busy_ns`.
+    pub dispatch_busy_ns: Counter,
     /// Nanoseconds all worker cores combined have been busy.
-    pub worker_busy_ns: u64,
+    pub worker_busy_ns: Counter,
     /// Client operations served (each object of a multi-op counts once).
-    pub ops_served: u64,
+    pub ops_served: Counter,
     /// Bulk Pull RPCs served (source side).
-    pub pulls_served: u64,
+    pub pulls_served: Counter,
     /// PriorityPull RPCs served (source side).
-    pub priority_pulls_served: u64,
+    pub priority_pulls_served: Counter,
     /// Records replayed into this master (migration target side).
-    pub records_replayed: u64,
+    pub records_replayed: Counter,
     /// Record wire bytes received by migration into this master.
-    pub bytes_migrated_in: u64,
+    pub bytes_migrated_in: Counter,
     /// Record wire bytes sent out by migration from this master (pull
     /// responses + baseline pushes).
-    pub bytes_migrated_out: u64,
-    /// Virtual time the current/last migration started on this node
-    /// (target side), if any.
-    pub migration_started_at: Option<Nanos>,
+    pub bytes_migrated_out: Counter,
+    /// Virtual time the current/last migration started on this node, if
+    /// any. Reset semantics: [`NodeStats::begin_migration`] clears the
+    /// finish/abandon stamps so a second run cannot inherit stale marks.
+    pub migration_started_at: Stamp,
     /// Virtual time that migration finished, if it has.
-    pub migration_finished_at: Option<Nanos>,
+    pub migration_finished_at: Stamp,
     /// Virtual time the current/last migration was abandoned (source
-    /// died or a recovery plan superseded the run), if it was. Reset
-    /// when a new migration starts.
-    pub migration_abandoned_at: Option<Nanos>,
+    /// died or a recovery plan superseded the run), if it was.
+    pub migration_abandoned_at: Stamp,
     /// Migration runs abandoned on this node (§3.4 crash paths).
-    pub migrations_abandoned: u64,
+    pub migrations_abandoned: Counter,
     /// `Retry { after }` hints sent to clients (read misses, recovering
     /// ranges, failovers).
-    pub retry_hints_sent: u64,
+    pub retry_hints_sent: Counter,
     /// Client reads deferred behind a PriorityPull during migration.
-    pub priority_pull_deferrals: u64,
+    pub priority_pull_deferrals: Counter,
     /// Recovery segment fetches re-sent to a surviving backup after the
     /// first backup died.
-    pub recovery_fetch_failovers: u64,
+    pub recovery_fetch_failovers: Counter,
     /// Recovery segment fetches with no surviving backup left — data
     /// that could not be recovered from any replica.
-    pub recovery_fetch_gaps: u64,
+    pub recovery_fetch_gaps: Counter,
     /// Entries replayed by crash recovery.
-    pub recovery_replayed: u64,
+    pub recovery_replayed: Counter,
     /// Segments reclaimed by the log cleaner.
+    pub segments_cleaned: Counter,
+}
+
+impl NodeStats {
+    /// Registers the full `node_*` instrument set for `server` in `reg`
+    /// (label `server="<id>"`). Registering the same server twice
+    /// returns handles to the same cells.
+    pub fn register(reg: &Registry, server: ServerId) -> NodeStats {
+        let l = [("server", server.0.to_string())];
+        NodeStats {
+            dispatch_busy_ns: reg.counter(
+                "node_dispatch_busy_ns",
+                "nanoseconds the dispatch core was busy",
+                &l,
+            ),
+            worker_busy_ns: reg.counter(
+                "node_worker_busy_ns",
+                "nanoseconds all worker cores combined were busy",
+                &l,
+            ),
+            ops_served: reg.counter("node_ops_served", "client operations served", &l),
+            pulls_served: reg.counter("node_pulls_served", "bulk Pull RPCs served", &l),
+            priority_pulls_served: reg.counter(
+                "node_priority_pulls_served",
+                "PriorityPull RPCs served",
+                &l,
+            ),
+            records_replayed: reg.counter(
+                "node_records_replayed",
+                "records replayed into this master by migration",
+                &l,
+            ),
+            bytes_migrated_in: reg.counter(
+                "node_bytes_migrated_in",
+                "record wire bytes received by migration",
+                &l,
+            ),
+            bytes_migrated_out: reg.counter(
+                "node_bytes_migrated_out",
+                "record wire bytes sent out by migration",
+                &l,
+            ),
+            migration_started_at: reg.stamp(
+                "node_migration_started_at_ns",
+                "virtual time the current/last migration started (-1 if never)",
+                &l,
+            ),
+            migration_finished_at: reg.stamp(
+                "node_migration_finished_at_ns",
+                "virtual time the current/last migration finished (-1 if not)",
+                &l,
+            ),
+            migration_abandoned_at: reg.stamp(
+                "node_migration_abandoned_at_ns",
+                "virtual time the current/last migration was abandoned (-1 if not)",
+                &l,
+            ),
+            migrations_abandoned: reg.counter(
+                "node_migrations_abandoned",
+                "migration runs abandoned on this node",
+                &l,
+            ),
+            retry_hints_sent: reg.counter(
+                "node_retry_hints_sent",
+                "Retry{after} hints sent to clients",
+                &l,
+            ),
+            priority_pull_deferrals: reg.counter(
+                "node_priority_pull_deferrals",
+                "client reads deferred behind a PriorityPull",
+                &l,
+            ),
+            recovery_fetch_failovers: reg.counter(
+                "node_recovery_fetch_failovers",
+                "recovery fetches re-sent to a surviving backup",
+                &l,
+            ),
+            recovery_fetch_gaps: reg.counter(
+                "node_recovery_fetch_gaps",
+                "recovery fetches with no surviving backup",
+                &l,
+            ),
+            recovery_replayed: reg.counter(
+                "node_recovery_replayed",
+                "entries replayed by crash recovery",
+                &l,
+            ),
+            segments_cleaned: reg.counter(
+                "node_segments_cleaned",
+                "segments reclaimed by the log cleaner",
+                &l,
+            ),
+        }
+    }
+
+    /// A bundle of detached instruments (recorded but never exported) —
+    /// for unit tests and registry-less construction.
+    pub fn detached() -> NodeStats {
+        NodeStats::default()
+    }
+
+    /// Starts a migration run's accounting: stamps the start and clears
+    /// the finish/abandon stamps. Both the Rocksteady and the baseline
+    /// paths must call this — a second migration on the same node must
+    /// not inherit its predecessor's `finished_at`/`abandoned_at` (the
+    /// harness polls those to decide the *current* run's fate).
+    pub fn begin_migration(&self, now: Nanos) {
+        self.migration_started_at.set(now);
+        self.migration_finished_at.clear();
+        self.migration_abandoned_at.clear();
+    }
+
+    /// Plain-integer view of every instrument, for assertions and
+    /// reports.
+    pub fn view(&self) -> NodeStatsView {
+        NodeStatsView {
+            dispatch_busy_ns: self.dispatch_busy_ns.get(),
+            worker_busy_ns: self.worker_busy_ns.get(),
+            ops_served: self.ops_served.get(),
+            pulls_served: self.pulls_served.get(),
+            priority_pulls_served: self.priority_pulls_served.get(),
+            records_replayed: self.records_replayed.get(),
+            bytes_migrated_in: self.bytes_migrated_in.get(),
+            bytes_migrated_out: self.bytes_migrated_out.get(),
+            migration_started_at: self.migration_started_at.get(),
+            migration_finished_at: self.migration_finished_at.get(),
+            migration_abandoned_at: self.migration_abandoned_at.get(),
+            migrations_abandoned: self.migrations_abandoned.get(),
+            retry_hints_sent: self.retry_hints_sent.get(),
+            priority_pull_deferrals: self.priority_pull_deferrals.get(),
+            recovery_fetch_failovers: self.recovery_fetch_failovers.get(),
+            recovery_fetch_gaps: self.recovery_fetch_gaps.get(),
+            recovery_replayed: self.recovery_replayed.get(),
+            segments_cleaned: self.segments_cleaned.get(),
+        }
+    }
+}
+
+/// Point-in-time integer copy of [`NodeStats`] — the compatibility view
+/// the pre-registry `NodeStats` struct used to be.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on `NodeStats`
+pub struct NodeStatsView {
+    pub dispatch_busy_ns: u64,
+    pub worker_busy_ns: u64,
+    pub ops_served: u64,
+    pub pulls_served: u64,
+    pub priority_pulls_served: u64,
+    pub records_replayed: u64,
+    pub bytes_migrated_in: u64,
+    pub bytes_migrated_out: u64,
+    pub migration_started_at: Option<Nanos>,
+    pub migration_finished_at: Option<Nanos>,
+    pub migration_abandoned_at: Option<Nanos>,
+    pub migrations_abandoned: u64,
+    pub retry_hints_sent: u64,
+    pub priority_pull_deferrals: u64,
+    pub recovery_fetch_failovers: u64,
+    pub recovery_fetch_gaps: u64,
+    pub recovery_replayed: u64,
     pub segments_cleaned: u64,
 }
 
-/// Shared handle to a server's stats.
-pub type StatsHandle = Rc<RefCell<NodeStats>>;
+/// Shared handle to a server's stats. Instruments are interiorly
+/// mutable, so no `RefCell` wrapper is needed.
+pub type StatsHandle = Rc<NodeStats>;
 
-/// Creates a fresh shared stats handle.
+/// Creates a fresh detached stats handle (not exported anywhere).
 pub fn stats_handle() -> StatsHandle {
-    Rc::new(RefCell::new(NodeStats::default()))
+    Rc::new(NodeStats::detached())
+}
+
+/// Creates a stats handle registered in `reg` under `server`'s label.
+pub fn registered_stats(reg: &Registry, server: ServerId) -> StatsHandle {
+    Rc::new(NodeStats::register(reg, server))
 }
 
 #[cfg(test)]
@@ -76,7 +248,30 @@ mod tests {
     fn handle_is_shared() {
         let h = stats_handle();
         let h2 = Rc::clone(&h);
-        h.borrow_mut().ops_served += 3;
-        assert_eq!(h2.borrow().ops_served, 3);
+        h.ops_served.add(3);
+        assert_eq!(h2.ops_served.get(), 3);
+    }
+
+    #[test]
+    fn registered_twice_shares_cells() {
+        let reg = Registry::new();
+        let a = NodeStats::register(&reg, ServerId(2));
+        let b = NodeStats::register(&reg, ServerId(2));
+        a.pulls_served.inc();
+        assert_eq!(b.pulls_served.get(), 1);
+        assert_eq!(reg.validate().unwrap().instruments, 18);
+    }
+
+    #[test]
+    fn begin_migration_clears_stale_stamps() {
+        let s = NodeStats::detached();
+        s.begin_migration(10);
+        s.migration_finished_at.set(50);
+        // Second run: stale finish/abandon marks must not survive.
+        s.begin_migration(100);
+        let v = s.view();
+        assert_eq!(v.migration_started_at, Some(100));
+        assert_eq!(v.migration_finished_at, None);
+        assert_eq!(v.migration_abandoned_at, None);
     }
 }

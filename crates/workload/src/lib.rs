@@ -30,5 +30,5 @@ pub mod ycsb;
 pub use crate::core::ClientCore;
 pub use scan::{ScanClient, ScanConfig};
 pub use spread::{SpreadClient, SpreadConfig};
-pub use stats::{client_stats, ClientStats, ClientStatsHandle};
+pub use stats::{client_stats, registered_client_stats, ClientStats, ClientStatsHandle};
 pub use ycsb::{YcsbClient, YcsbConfig};

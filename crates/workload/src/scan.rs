@@ -212,7 +212,7 @@ impl ScanClient {
             return;
         };
         let mut s = self.stats.borrow_mut();
-        s.read_latency.record(ctx.now(), ctx.now() - op.started);
+        s.record_read(ctx.now(), ctx.now() - op.started);
         for _ in 0..objects {
             s.objects.record(ctx.now(), 1);
         }

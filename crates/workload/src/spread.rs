@@ -163,7 +163,7 @@ impl Actor<Envelope> for SpreadClient {
         if finished {
             let op = self.ops.remove(&op_id).expect("checked");
             let mut s = self.stats.borrow_mut();
-            s.read_latency.record(ctx.now(), ctx.now() - op.started);
+            s.record_read(ctx.now(), ctx.now() - op.started);
             for _ in 0..op.objects {
                 s.objects.record(ctx.now(), 1);
             }

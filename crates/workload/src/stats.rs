@@ -1,9 +1,18 @@
 //! Client-side measurement: latency series and counters.
+//!
+//! Latencies are recorded twice on purpose: into per-interval
+//! [`TimeSeries`] buckets (the timeline figures need per-interval
+//! percentiles) and into cumulative registry histograms under the
+//! `client_*` families (the SLO monitor windows those with
+//! `delta_since`, and the exporter publishes them). Event counters are
+//! `rocksteady-metrics` counters so one registry snapshot covers
+//! servers and clients alike.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use rocksteady_common::{Nanos, TimeSeries, SECOND};
+use rocksteady_metrics::{Counter, Histo, Registry};
 
 /// Per-client measurements, shared with the harness.
 #[derive(Debug)]
@@ -15,14 +24,18 @@ pub struct ClientStats {
     /// Objects successfully read/written per interval (multigets count
     /// each object, matching the paper's "objects read per second").
     pub objects: TimeSeries,
+    /// Cumulative read-latency histogram (family `client_read_latency_ns`).
+    pub read_hist: Histo,
+    /// Cumulative write-latency histogram (family `client_write_latency_ns`).
+    pub write_hist: Histo,
     /// Operations that ended in `NotFound`.
-    pub not_found: u64,
+    pub not_found: Counter,
     /// `Retry` responses received (reads racing migration, §3.3).
-    pub retries: u64,
+    pub retries: Counter,
     /// Map refreshes triggered by `UnknownTablet`.
-    pub map_refreshes: u64,
+    pub map_refreshes: Counter,
     /// RPCs that timed out and were re-issued.
-    pub timeouts: u64,
+    pub timeouts: Counter,
     /// Durably acknowledged writes as `(key rank, version)` — the
     /// ground truth crash tests check against: an acked write must
     /// survive any subsequent failure (§3.4).
@@ -30,19 +43,64 @@ pub struct ClientStats {
 }
 
 impl ClientStats {
-    /// Creates stats with the given timeline interval (1 s of virtual
-    /// time by default in the harness).
+    /// Creates detached stats (not exported) with the given timeline
+    /// interval (1 s of virtual time by default in the harness).
     pub fn new(interval: Nanos) -> Self {
         ClientStats {
             read_latency: TimeSeries::new(interval),
             write_latency: TimeSeries::new(interval),
             objects: TimeSeries::new(interval),
-            not_found: 0,
-            retries: 0,
-            map_refreshes: 0,
-            timeouts: 0,
+            read_hist: Histo::default(),
+            write_hist: Histo::default(),
+            not_found: Counter::default(),
+            retries: Counter::default(),
+            map_refreshes: Counter::default(),
+            timeouts: Counter::default(),
             confirmed_writes: Vec::new(),
         }
+    }
+
+    /// Creates stats whose histograms and counters are registered in
+    /// `reg` under the `client_*` families with a `client="<idx>"`
+    /// label.
+    pub fn register(reg: &Registry, idx: usize, interval: Nanos) -> Self {
+        let l = [("client", idx.to_string())];
+        ClientStats {
+            read_latency: TimeSeries::new(interval),
+            write_latency: TimeSeries::new(interval),
+            objects: TimeSeries::new(interval),
+            read_hist: reg.histogram("client_read_latency_ns", "client-observed read latency", &l),
+            write_hist: reg.histogram(
+                "client_write_latency_ns",
+                "client-observed write latency",
+                &l,
+            ),
+            not_found: reg.counter("client_not_found", "operations that ended in NotFound", &l),
+            retries: reg.counter("client_retries", "Retry responses received", &l),
+            map_refreshes: reg.counter(
+                "client_map_refreshes",
+                "map refreshes triggered by UnknownTablet",
+                &l,
+            ),
+            timeouts: reg.counter(
+                "client_timeouts",
+                "RPCs that timed out and were re-issued",
+                &l,
+            ),
+            confirmed_writes: Vec::new(),
+        }
+    }
+
+    /// Records one completed read: timeline bucket + cumulative histogram.
+    pub fn record_read(&mut self, now: Nanos, latency: Nanos) {
+        self.read_latency.record(now, latency);
+        self.read_hist.record(latency);
+    }
+
+    /// Records one completed write: timeline bucket + cumulative histogram.
+    pub fn record_write(&mut self, now: Nanos, latency: Nanos) {
+        self.write_latency.record(now, latency);
+        self.write_hist.record(latency);
     }
 }
 
@@ -55,7 +113,12 @@ impl Default for ClientStats {
 /// Shared handle to a client's stats.
 pub type ClientStatsHandle = Rc<RefCell<ClientStats>>;
 
-/// Creates a fresh shared stats handle with the given series interval.
+/// Creates a fresh detached stats handle with the given series interval.
 pub fn client_stats(interval: Nanos) -> ClientStatsHandle {
     Rc::new(RefCell::new(ClientStats::new(interval)))
+}
+
+/// Creates a stats handle registered in `reg` as client `idx`.
+pub fn registered_client_stats(reg: &Registry, idx: usize, interval: Nanos) -> ClientStatsHandle {
+    Rc::new(RefCell::new(ClientStats::register(reg, idx, interval)))
 }

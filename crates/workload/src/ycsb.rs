@@ -220,13 +220,13 @@ impl YcsbClient {
         let latency = ctx.now() - op.started;
         let mut s = self.stats.borrow_mut();
         match op.kind {
-            OpKind::Read => s.read_latency.record(ctx.now(), latency),
-            OpKind::Write => s.write_latency.record(ctx.now(), latency),
+            OpKind::Read => s.record_read(ctx.now(), latency),
+            OpKind::Write => s.record_write(ctx.now(), latency),
         }
         if found {
             s.objects.record(ctx.now(), 1);
         } else {
-            s.not_found += 1;
+            s.not_found.inc();
         }
         drop(s);
         self.drain_arrivals(ctx);
@@ -248,7 +248,7 @@ impl YcsbClient {
             }
             Response::Err(Status::NotFound) => self.complete(ctx, op_id, false),
             Response::Err(Status::Retry { after }) => {
-                self.stats.borrow_mut().retries += 1;
+                self.stats.borrow_mut().retries.inc();
                 if let Some(op) = self.ops.get_mut(&op_id) {
                     if let Some(rpc) = op.rpc.take() {
                         self.rpc_to_op.remove(&rpc);
@@ -266,7 +266,7 @@ impl YcsbClient {
                 }
             }
             Response::Err(Status::UnknownTablet) => {
-                self.stats.borrow_mut().map_refreshes += 1;
+                self.stats.borrow_mut().map_refreshes.inc();
                 if let Some(op) = self.ops.get_mut(&op_id) {
                     if let Some(rpc) = op.rpc.take() {
                         self.rpc_to_op.remove(&rpc);
@@ -347,7 +347,7 @@ impl Actor<Envelope> for YcsbClient {
                         None => false,
                     };
                     if timed_out {
-                        self.stats.borrow_mut().timeouts += 1;
+                        self.stats.borrow_mut().timeouts.inc();
                         if let Some(op) = self.ops.get_mut(&op_id) {
                             if let Some(rpc) = op.rpc.take() {
                                 self.rpc_to_op.remove(&rpc);

@@ -82,20 +82,17 @@ fn main() {
          lineage deps: {}",
         cluster.coord.borrow().lineage_deps().len()
     );
-    let replayed = cluster.server_stats[&ServerId(0)]
-        .borrow()
-        .recovery_replayed;
+    let replayed = cluster.server_stats[&ServerId(0)].recovery_replayed.get();
     println!("lineage merge replayed {replayed} records from the dead target's log tail");
     let (hints, failovers, gaps) =
         cluster
             .server_stats
             .values()
             .fold((0u64, 0u64, 0u64), |(h, f, g), s| {
-                let s = s.borrow();
                 (
-                    h + s.retry_hints_sent,
-                    f + s.recovery_fetch_failovers,
-                    g + s.recovery_fetch_gaps,
+                    h + s.retry_hints_sent.get(),
+                    f + s.recovery_fetch_failovers.get(),
+                    g + s.recovery_fetch_gaps.get(),
                 )
             });
     println!(
@@ -128,7 +125,7 @@ fn main() {
         "client view across the crash: {} reads, median {}, {} timeouts, {} retries",
         reads.count(),
         fmt_nanos(reads.percentile(0.5)),
-        stats.timeouts,
-        stats.retries,
+        stats.timeouts.get(),
+        stats.retries.get(),
     );
 }

@@ -69,8 +69,8 @@ fn main() {
     cluster.run_until(3 * SECOND);
 
     let finished = cluster.server_stats[&ServerId(1)]
-        .borrow()
-        .migration_finished_at;
+        .migration_finished_at
+        .get();
     let stats = cluster.client_stats[0].borrow();
     // Before: [0.2s, 1.0s); after: the second after migration completed.
     let (tp_before, lat_before) = window(&stats, 200 * MILLISECOND, SECOND);
@@ -98,8 +98,8 @@ fn main() {
         Some(t) => println!(
             "\nmigration completed at t={} ({} retries, {} map refreshes — zero downtime)",
             fmt_nanos(t),
-            stats.retries,
-            stats.map_refreshes
+            stats.retries.get(),
+            stats.map_refreshes.get()
         ),
         None => println!("\nmigration still running at the end of the window"),
     }

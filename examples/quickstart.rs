@@ -34,6 +34,8 @@ fn main() {
         sample_interval: 10 * MILLISECOND,
         series_interval: 100 * MILLISECOND,
         tracing: true,
+        metrics: true,
+        sla: Some(300_000), // p99.9 reads under 300 us
         ..ClusterConfig::default()
     });
     let dir = builder.directory();
@@ -69,10 +71,10 @@ fn main() {
 
     // 5. Inspect what happened.
     let started = cluster.server_stats[&ServerId(1)]
-        .borrow()
         .migration_started_at
+        .get()
         .unwrap();
-    let tgt = cluster.server_stats[&ServerId(1)].borrow().clone();
+    let tgt = cluster.server_stats[&ServerId(1)].view();
     println!(
         "migration took {} and moved {:.1} MB ({} records replayed)",
         fmt_nanos(finished - started),
@@ -126,5 +128,30 @@ fn main() {
         summary.spans,
         pulls.count(),
         fmt_nanos(pulls.percentile(0.5)),
+    );
+
+    // 8. Export the unified metrics registry: every server counter,
+    //    client histogram, and SLO gauge, as deterministic JSON and
+    //    Prometheus text. Same seed, byte-identical files.
+    let metrics = cluster
+        .metrics
+        .validate()
+        .expect("metrics invariants violated");
+    let json_path = "target/quickstart-metrics.json";
+    let prom_path = "target/quickstart-metrics.prom";
+    std::fs::write(json_path, cluster.export_metrics_json()).expect("write metrics json");
+    std::fs::write(prom_path, cluster.export_metrics_prometheus()).expect("write metrics prom");
+    let slo = cluster.slo_report();
+    println!(
+        "metrics: {} instruments -> {json_path} + {prom_path}; {} snapshots captured",
+        metrics.instruments,
+        cluster.snapshots.borrow().len(),
+    );
+    println!(
+        "SLO: window p50 {} / p99.9 {} vs SLA {}; {} breach interval(s)",
+        fmt_nanos(slo.p50),
+        fmt_nanos(slo.p999),
+        fmt_nanos(slo.sla.unwrap_or(0)),
+        slo.breach_intervals,
     );
 }

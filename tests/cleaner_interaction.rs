@@ -45,7 +45,7 @@ fn migration_survives_concurrent_cleaning() {
     cluster.run_until(finished + 100 * MILLISECOND);
 
     // The cleaner actually ran on the source.
-    let cleaned = cluster.server_stats[&ServerId(0)].borrow().segments_cleaned;
+    let cleaned = cluster.server_stats[&ServerId(0)].segments_cleaned.get();
     assert!(cleaned > 0, "cleaner never reclaimed a segment");
 
     // No record lost, no acknowledged write regressed.

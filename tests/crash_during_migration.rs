@@ -149,7 +149,7 @@ fn source_crash_abandons_migration_cleanly() {
         .migration_abandoned(target)
         .expect("abandonment not stamped");
     {
-        let s = cluster.server_stats[&target].borrow();
+        let s = cluster.server_stats[&target].view();
         assert_eq!(s.migrations_abandoned, 1);
         assert!(s.migration_started_at.unwrap() < abandoned_at);
     }
@@ -185,5 +185,5 @@ fn source_crash_abandons_migration_cleanly() {
         "only {} reads completed across the crash",
         reads.count()
     );
-    assert_eq!(stats.not_found, 0);
+    assert_eq!(stats.not_found.get(), 0);
 }

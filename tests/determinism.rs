@@ -33,7 +33,7 @@ fn digest(seed: u64) -> (u64, u64, u64, u64, u64) {
 
     let reads = cluster.client_stats[0].borrow().read_latency.merged();
     let events = cluster.sim.events_processed();
-    let replayed = cluster.server_stats[&ServerId(1)].borrow().records_replayed;
+    let replayed = cluster.server_stats[&ServerId(1)].records_replayed.get();
     (
         events,
         reads.count(),

@@ -133,9 +133,12 @@ fn client_experience_recovers_after_migration() {
     cluster.run_until(finished + 100 * MILLISECOND);
 
     let stats = cluster.client_stats[0].borrow();
-    assert_eq!(stats.not_found, 0, "existing keys reported missing");
-    assert!(stats.map_refreshes > 0, "client never chased the tablet");
-    assert!(stats.retries > 0, "no read ever raced the migration");
+    assert_eq!(stats.not_found.get(), 0, "existing keys reported missing");
+    assert!(
+        stats.map_refreshes.get() > 0,
+        "client never chased the tablet"
+    );
+    assert!(stats.retries.get() > 0, "no read ever raced the migration");
     let reads = stats.read_latency.merged();
     assert!(reads.count() > 1_000);
     // Median stays in the microsecond regime even across migration.

@@ -35,13 +35,13 @@ fn priority_pulls_fire_and_shed_source_load() {
         .run_until_migrated(ServerId(1), 10 * SECOND)
         .expect("migration completes");
 
-    let src = cluster.server_stats[&ServerId(0)].borrow();
+    let src = cluster.server_stats[&ServerId(0)].view();
     assert!(
         src.priority_pulls_served > 0,
         "no PriorityPull ever reached the source"
     );
     // De-dup + batching: far fewer PriorityPull RPCs than retried reads.
-    let retries = cluster.client_stats[0].borrow().retries;
+    let retries = cluster.client_stats[0].borrow().retries.get();
     assert!(retries > 0);
     assert!(
         src.priority_pulls_served <= retries,
@@ -75,12 +75,12 @@ fn no_priority_pull_variant_starves_reads_until_bulk_arrival() {
     // The source never serves a PriorityPull...
     assert_eq!(
         cluster.server_stats[&ServerId(0)]
-            .borrow()
-            .priority_pulls_served,
+            .priority_pulls_served
+            .get(),
         0
     );
     // ...so clients retry until the bulk pulls deliver (§4.2b).
-    assert!(cluster.client_stats[0].borrow().retries > 0);
+    assert!(cluster.client_stats[0].borrow().retries.get() > 0);
 }
 
 #[test]
