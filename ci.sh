@@ -25,8 +25,9 @@ cargo test -q
 echo "==> full workspace tests"
 cargo test -q --workspace
 
-echo "==> examples: quickstart (exports a trace + metrics)"
-rm -f target/quickstart-trace.json target/quickstart-metrics.json target/quickstart-metrics.prom
+echo "==> examples: quickstart (exports a trace + metrics + profile)"
+rm -f target/quickstart-trace.json target/quickstart-metrics.json target/quickstart-metrics.prom \
+    target/quickstart-profile.folded target/quickstart-critical-path.json
 cargo run --release --example quickstart
 
 echo "==> trace smoke: target/quickstart-trace.json"
@@ -50,8 +51,16 @@ for fig in fig05_bottlenecks fig09_10_11_timelines fig12_skew fig13_14_priority_
         || { echo "FAIL: ${fig} does not use bench::export_csv"; exit 1; }
 done
 
-echo "==> metrics crate denies missing docs"
+echo "==> profiler smoke: target/quickstart-profile.folded + critical path"
+test -s target/quickstart-profile.folded
+grep -q ';replay ' target/quickstart-profile.folded
+grep -q ';idle ' target/quickstart-profile.folded
+test -s target/quickstart-critical-path.json
+grep -q '"components"' target/quickstart-critical-path.json
+
+echo "==> metrics + profiler crates deny missing docs"
 grep -q '#!\[deny(missing_docs)\]' crates/metrics/src/lib.rs
+grep -q '#!\[deny(missing_docs)\]' crates/profiler/src/lib.rs
 
 echo "==> examples: crash_recovery"
 cargo run --release --example crash_recovery

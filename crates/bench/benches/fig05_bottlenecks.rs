@@ -11,9 +11,16 @@
 //! | Skip Replay on Target| ~600 |
 //! | Skip Tx to Target    | ~710 |
 //! | Skip Copy for Tx     | ~1150 |
+//!
+//! Since PR 5 the decomposition itself is *measured*, not inferred from
+//! counters: every run arms the `rocksteady-profiler` activity ledger,
+//! so each variant reports exactly where every core's virtual time went
+//! (pull gather, replay, hold, dispatch, idle — conserving wall-clock
+//! per core) and exports both a per-core CSV and folded flamegraph
+//! stacks per variant.
 
-use rocksteady_bench::{check, export_csv, print_table1, standard_setup, TABLE};
-use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
+use rocksteady_bench::{check, export_csv, print_table1, standard_setup, FIGURE_DATA_DIR, TABLE};
+use rocksteady_cluster::{Activity, ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::mb_per_sec;
 use rocksteady_common::{HashRange, ServerId, MILLISECOND, SECOND};
 use rocksteady_master::TabletRole;
@@ -21,13 +28,30 @@ use rocksteady_proto::msg::BaselineOpts;
 
 const KEYS: u64 = 150_000;
 
-fn run_variant(name: &str, opts: BaselineOpts) -> (f64, Vec<(u64, f64)>) {
+/// Result of one baseline-migration variant, including its measured
+/// per-core time decomposition.
+struct VariantRun {
+    rate: f64,
+    series: Vec<(u64, f64)>,
+    /// `variant,server,core,activity,ns` rows (source + target cores).
+    decomposition: Vec<Vec<String>>,
+    folded: String,
+    /// Per-core conservation: busy + idle == wall-clock on every core.
+    conserved: bool,
+    /// Target-side replay ns (summed over cores), for the ledger checks.
+    target_replay_ns: u64,
+    /// Source-side pull-gather ns (baseline scan steps), ditto.
+    source_gather_ns: u64,
+}
+
+fn run_variant(name: &str, csv_name: &str, opts: BaselineOpts) -> VariantRun {
     let cfg = ClusterConfig {
         servers: 5,
         workers: 12,
         replicas: 3,
         segment_bytes: 1 << 20,
         sample_interval: 10 * MILLISECOND,
+        profiling: true,
         ..ClusterConfig::default()
     };
     let mut b = ClusterBuilder::new(cfg);
@@ -78,28 +102,70 @@ fn run_variant(name: &str, opts: BaselineOpts) -> (f64, Vec<(u64, f64)>) {
     let rate = mb_per_sec(last, duration);
 
     // Rate-over-time series, as Figure 5 plots it.
-    let util = cluster.util.borrow();
-    let series: Vec<(u64, f64)> = util
-        .by_server
-        .get(&ServerId(0))
-        .map(|points| {
-            points
-                .iter()
-                .filter(|p| p.bytes_out > 0)
-                .map(|p| {
-                    (
-                        p.at.saturating_sub(start) / MILLISECOND,
-                        mb_per_sec(p.bytes_out, util.interval),
-                    )
-                })
-                .collect()
-        })
-        .unwrap_or_default();
+    let series: Vec<(u64, f64)> = {
+        let util = cluster.util.borrow();
+        util.by_server
+            .get(&ServerId(0))
+            .map(|points| {
+                points
+                    .iter()
+                    .filter(|p| p.bytes_out > 0)
+                    .map(|p| {
+                        (
+                            p.at.saturating_sub(start) / MILLISECOND,
+                            mb_per_sec(p.bytes_out, util.interval),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+
+    // Harvest the activity ledger: the measured decomposition.
+    cluster.finalize_profile();
+    let summary = cluster
+        .profiler
+        .validate()
+        .expect("ledger conservation violated");
+    let mut decomposition = Vec::new();
+    let mut conserved = summary.busy_ns + summary.idle_ns > 0;
+    let mut target_replay_ns = 0u64;
+    let mut source_gather_ns = 0u64;
+    for core in cluster.profiler.cores() {
+        let bucket_sum: u64 = core.buckets.iter().sum();
+        conserved &= bucket_sum == core.wall;
+        for (act, ns) in Activity::ALL.iter().zip(core.buckets.iter()) {
+            if core.server <= 1 && *ns > 0 {
+                decomposition.push(vec![
+                    csv_name.to_string(),
+                    format!("server{}", core.server),
+                    rocksteady_cluster::core_label(core.core),
+                    act.label().to_string(),
+                    ns.to_string(),
+                ]);
+            }
+            match (core.server, act) {
+                (1, Activity::Replay) => target_replay_ns += ns,
+                (0, Activity::PullGather) => source_gather_ns += ns,
+                _ => {}
+            }
+        }
+    }
     println!(
-        "{name:<22} {rate:>8.0} MB/s over {} ms",
-        duration / MILLISECOND
+        "{name:<22} {rate:>8.0} MB/s over {} ms  (replay {:>5} ms, gather {:>5} ms)",
+        duration / MILLISECOND,
+        target_replay_ns / MILLISECOND,
+        source_gather_ns / MILLISECOND,
     );
-    (rate, series)
+    VariantRun {
+        rate,
+        series,
+        decomposition,
+        folded: cluster.export_folded(),
+        conserved,
+        target_replay_ns,
+        source_gather_ns,
+    }
 }
 
 fn main() {
@@ -132,86 +198,132 @@ fn main() {
     }
 
     println!("{:<22} {:>13}", "variant", "steady rate");
-    let (full, full_series) = run_variant("Full", BaselineOpts::default());
-    let (no_rerepl, _) = run_variant(
+    let full = run_variant("Full", "full", BaselineOpts::default());
+    let no_rerepl = run_variant(
         "Skip Re-replication",
+        "skip_rereplication",
         BaselineOpts {
             skip_rereplication: true,
             ..Default::default()
         },
     );
-    let (no_replay, _) = run_variant(
+    let no_replay = run_variant(
         "Skip Replay on Target",
+        "skip_replay",
         BaselineOpts {
             skip_replay: true,
             ..Default::default()
         },
     );
-    let (no_tx, _) = run_variant(
+    let no_tx = run_variant(
         "Skip Tx to Target",
+        "skip_tx",
         BaselineOpts {
             skip_tx: true,
             ..Default::default()
         },
     );
-    let (no_copy, _) = run_variant(
+    let no_copy = run_variant(
         "Skip Copy for Tx",
+        "skip_copy",
         BaselineOpts {
             skip_copy: true,
             ..Default::default()
         },
     );
+    let variants = [
+        ("full", &full),
+        ("skip_rereplication", &no_rerepl),
+        ("skip_replay", &no_replay),
+        ("skip_tx", &no_tx),
+        ("skip_copy", &no_copy),
+    ];
 
     println!("\nFull-variant rate over time (Figure 5's x-axis, scaled):");
-    for (t_ms, mbps) in full_series.iter().take(30) {
+    for (t_ms, mbps) in full.series.iter().take(30) {
         println!("  t={t_ms:>5} ms  {mbps:>7.0} MB/s");
     }
 
     export_csv(
         "fig05_steady_rates",
         "variant,mb_per_s",
-        &[
-            ("full", full),
-            ("skip_rereplication", no_rerepl),
-            ("skip_replay", no_replay),
-            ("skip_tx", no_tx),
-            ("skip_copy", no_copy),
-        ]
-        .iter()
-        .map(|(v, r)| vec![v.to_string(), format!("{r:.1}")])
-        .collect::<Vec<_>>(),
+        &variants
+            .iter()
+            .map(|(v, r)| vec![v.to_string(), format!("{:.1}", r.rate)])
+            .collect::<Vec<_>>(),
     );
     export_csv(
         "fig05_rate_over_time_full",
         "t_ms,mb_per_s",
-        &full_series
+        &full
+            .series
             .iter()
             .map(|(t, r)| vec![t.to_string(), format!("{r:.1}")])
             .collect::<Vec<_>>(),
     );
+    // The measured decomposition: per-core activity ledger of the
+    // source and target, all variants in one CSV, plus per-variant
+    // folded stacks for flamegraph.pl.
+    export_csv(
+        "fig05_core_decomposition",
+        "variant,server,core,activity,ns",
+        &variants
+            .iter()
+            .flat_map(|(_, r)| r.decomposition.iter().cloned())
+            .collect::<Vec<_>>(),
+    );
+    std::fs::create_dir_all(FIGURE_DATA_DIR).expect("create figure dir");
+    for (csv_name, run) in &variants {
+        let path = format!("{FIGURE_DATA_DIR}/fig05_profile_{csv_name}.folded");
+        std::fs::write(&path, &run.folded).expect("write folded stacks");
+    }
+    println!("\nwrote fig05_core_decomposition.csv + per-variant .folded stacks");
 
     println!();
     let mut ok = true;
     ok &= check(
-        no_copy > no_tx && no_tx > no_replay && no_replay > no_rerepl && no_rerepl > full,
+        no_copy.rate > no_tx.rate
+            && no_tx.rate > no_replay.rate
+            && no_replay.rate > no_rerepl.rate
+            && no_rerepl.rate > full.rate,
         "each skipped stage raises the migration rate (ordering matches Figure 5)",
     );
     ok &= check(
-        (60.0..=300.0).contains(&full),
-        &format!("full baseline lands near the paper's ~130 MB/s (got {full:.0})"),
-    );
-    ok &= check(
-        no_replay / full >= 2.5,
+        (60.0..=300.0).contains(&full.rate),
         &format!(
-            "skipping target replay+re-replication gives the paper's >3x jump (got {:.1}x)",
-            no_replay / full
+            "full baseline lands near the paper's ~130 MB/s (got {:.0})",
+            full.rate
         ),
     );
     ok &= check(
-        no_copy / no_tx >= 1.2,
+        no_replay.rate / full.rate >= 2.5,
+        &format!(
+            "skipping target replay+re-replication gives the paper's >3x jump (got {:.1}x)",
+            no_replay.rate / full.rate
+        ),
+    );
+    ok &= check(
+        no_copy.rate / no_tx.rate >= 1.2,
         &format!(
             "the staging copy costs more than transmission (copy lever {:.2}x)",
-            no_copy / no_tx
+            no_copy.rate / no_tx.rate
+        ),
+    );
+    // Ledger-level checks: the decomposition is measured, conserving,
+    // and tracks what each variant actually disabled.
+    ok &= check(
+        variants.iter().all(|(_, r)| r.conserved),
+        "busy + idle sums exactly to wall-clock on every core, every variant",
+    );
+    ok &= check(
+        full.target_replay_ns > 0 && full.source_gather_ns > 0,
+        "full variant charges both target replay and source gather time",
+    );
+    ok &= check(
+        no_replay.target_replay_ns == 0,
+        &format!(
+            "skip_replay variant charges no target replay time (got {} ns)",
+            no_replay.target_replay_ns
         ),
     );
     std::process::exit(i32::from(!ok));

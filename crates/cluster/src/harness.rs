@@ -13,6 +13,9 @@ use rocksteady_coordinator::Coordinator;
 use rocksteady_logstore::LogConfig;
 use rocksteady_master::{MasterConfig, TabletRole};
 use rocksteady_metrics::Registry;
+use rocksteady_profiler::{
+    critical_path, tail_blame, CriticalPathReport, Profiler, TailBlameReport,
+};
 use rocksteady_proto::Envelope;
 use rocksteady_server::stats::{registered_stats, StatsHandle};
 use rocksteady_server::{ServerConfig, ServerNode};
@@ -72,6 +75,11 @@ pub struct ClusterConfig {
     /// 99.9th-percentile read-latency SLA for the live SLO monitor
     /// (`None` still runs the monitor but never counts breaches).
     pub sla: Option<Nanos>,
+    /// Arm the exact per-core activity ledger (`rocksteady-profiler`):
+    /// every dispatch/worker core charges elapsed virtual time to an
+    /// activity bucket. Off by default; charging is pure state mutation
+    /// so arming never perturbs the event schedule.
+    pub profiling: bool,
 }
 
 impl Default for ClusterConfig {
@@ -93,6 +101,7 @@ impl Default for ClusterConfig {
             tracing: false,
             metrics: false,
             sla: None,
+            profiling: false,
         }
     }
 }
@@ -174,6 +183,11 @@ impl ClusterBuilder {
         } else {
             Tracer::off()
         };
+        let profiler = if cfg.profiling {
+            Profiler::armed()
+        } else {
+            Profiler::off()
+        };
 
         // Actor 0: coordinator.
         let coordinator_actor = sim.add_actor(Box::new(CoordinatorActor::new(
@@ -225,6 +239,7 @@ impl ClusterBuilder {
                 self.dir.clone(),
                 stats,
                 trace.clone(),
+                profiler.clone(),
             )));
             debug_assert_eq!(actor, 1 + i);
         }
@@ -290,6 +305,7 @@ impl ClusterBuilder {
             slo,
             backups_of,
             trace,
+            profiler,
             cfg,
         }
     }
@@ -321,6 +337,9 @@ pub struct Cluster {
     pub backups_of: HashMap<ServerId, Vec<ServerId>>,
     /// The shared trace buffer (disarmed unless `cfg.tracing`).
     pub trace: Tracer,
+    /// The shared per-core activity ledger (disarmed unless
+    /// `cfg.profiling`).
+    pub profiler: Profiler,
     /// The configuration the cluster was built with.
     pub cfg: ClusterConfig,
 }
@@ -507,6 +526,47 @@ impl Cluster {
     /// The latest SLO window (updated once per sampling interval).
     pub fn slo_report(&self) -> SloReport {
         *self.slo.borrow()
+    }
+
+    /// Finalizes the per-core activity ledger at the current virtual
+    /// time (fills trailing idle so busy + idle tiles wall-clock per
+    /// core) and publishes per-core `profiler_activity_ns` gauges into
+    /// the metrics registry. Call once the run is over, before
+    /// validating or exporting; no-op when profiling is off.
+    pub fn finalize_profile(&self) {
+        self.profiler.finalize(self.now());
+        self.profiler.publish(&self.metrics);
+    }
+
+    /// The per-core activity ledger as Brendan-Gregg folded stacks
+    /// (`server;core;activity N_ns`), ready for `flamegraph.pl`.
+    /// Byte-identical across same-seed runs; empty when profiling is
+    /// off. Call [`Cluster::finalize_profile`] first.
+    pub fn export_folded(&self) -> String {
+        self.profiler.export_folded()
+    }
+
+    /// Walks the trace buffer and ranks the components that bounded the
+    /// most recent completed migration (replay service, pull RTT split
+    /// into NIC serialization vs. the rest, priority pulls, control
+    /// phases, dispatch queueing). `None` when tracing is off or no
+    /// migration completed. Byte-identical across same-seed runs.
+    pub fn critical_path_report(&self) -> Option<CriticalPathReport> {
+        self.trace.with_events(critical_path)
+    }
+
+    /// [`Cluster::critical_path_report`] as deterministic JSON.
+    pub fn export_critical_path_json(&self) -> Option<String> {
+        self.critical_path_report().map(|r| r.to_json())
+    }
+
+    /// Post-hoc companion to the live SLO monitor: aggregates the
+    /// per-RPC net/queue/service/hold trace instants into a blame
+    /// histogram over requests that exceeded `cfg.sla`. `None` without
+    /// an SLA; empty (but `Some`) when tracing is off.
+    pub fn tail_blame_report(&self) -> Option<TailBlameReport> {
+        let sla = self.cfg.sla?;
+        Some(self.trace.with_events(|events| tail_blame(events, sla)))
     }
 
     /// Reads a key directly from whichever master currently owns it

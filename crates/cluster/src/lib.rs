@@ -21,5 +21,9 @@ pub mod slo;
 pub use control::{ControlCmd, ControlEvent};
 pub use coordinator_actor::CoordinatorActor;
 pub use harness::{Cluster, ClusterBuilder, ClusterConfig};
+pub use rocksteady_profiler::{
+    core_label, critical_path, tail_blame, Activity, CoreLedger, CoreProfile,
+    CriticalPathComponent, CriticalPathReport, ProfileSummary, Profiler, TailBlameReport,
+};
 pub use sampler::{SnapshotLogHandle, UtilPoint, UtilSeries, UtilSeriesHandle};
 pub use slo::{SloHandle, SloMonitor, SloReport};

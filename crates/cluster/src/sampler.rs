@@ -17,6 +17,7 @@ use std::rc::Rc;
 use rocksteady_common::{Nanos, ServerId};
 use rocksteady_metrics::{DeltaScraper, Registry, Snapshot};
 use rocksteady_proto::Envelope;
+use rocksteady_server::stats::{DISPATCH_OVERCOMMIT_FAMILY, DISPATCH_OVERCOMMIT_HELP};
 use rocksteady_simnet::{Actor, Ctx, Event};
 
 /// One sample of one server.
@@ -41,6 +42,10 @@ pub struct UtilSeries {
     pub by_server: HashMap<ServerId, Vec<UtilPoint>>,
     /// Sampling interval.
     pub interval: Nanos,
+    /// Windows in which a server's dispatch busy-time delta exceeded
+    /// the interval and was clamped: `(server, window start, excess
+    /// ns)`, in sample order (servers sorted within a tick).
+    pub overcommit: Vec<(ServerId, Nanos, Nanos)>,
 }
 
 impl UtilSeries {
@@ -55,6 +60,24 @@ impl UtilSeries {
                 (
                     p.at,
                     rocksteady_common::time::mb_per_sec(p.bytes_in, self.interval),
+                )
+            })
+            .collect()
+    }
+
+    /// Warnings about anomalies in the collected series — one per
+    /// clamped (overcommitted) dispatch window. Empty means clean;
+    /// non-empty means dispatch utilization of those windows reads 1.0
+    /// but the core was double-charged (see
+    /// `node_dispatch_overcommit_total` for the same signal as a
+    /// counter).
+    pub fn validate(&self) -> Vec<String> {
+        self.overcommit
+            .iter()
+            .map(|(server, at, excess)| {
+                format!(
+                    "dispatch overcommitted by {excess} ns on server {}                      in the window starting at {at} (clamped to 1.0)",
+                    server.0
                 )
             })
             .collect()
@@ -128,13 +151,32 @@ impl SamplerActor {
         }
         let dt = self.interval as f64;
         let mut out = self.out.borrow_mut();
+        let mut windows: Vec<(ServerId, Win)> = windows.into_iter().collect();
+        windows.sort_by_key(|(server, _)| server.0);
         for (server, w) in windows {
+            // A dispatch core is one core: busy time can exceed the
+            // interval both benignly (a charge posted at the tick
+            // boundary lands in the next window) and structurally (the
+            // model double-books the core). Clamp to [0, 1] for the
+            // figures, but surface every clamped window as a counter
+            // bump and a validate() warning instead of hiding it.
+            let dispatch = if w.dispatch > self.interval {
+                self.registry
+                    .counter(
+                        DISPATCH_OVERCOMMIT_FAMILY,
+                        DISPATCH_OVERCOMMIT_HELP,
+                        &[("server", server.0.to_string())],
+                    )
+                    .inc();
+                out.overcommit
+                    .push((server, interval_start, w.dispatch - self.interval));
+                1.0
+            } else {
+                w.dispatch as f64 / dt
+            };
             out.by_server.entry(server).or_default().push(UtilPoint {
                 at: interval_start,
-                // A dispatch core is one core: busy time can briefly
-                // exceed the interval when a charge posted at the tick
-                // boundary lands in the next window, so clamp to [0, 1].
-                dispatch: (w.dispatch as f64 / dt).min(1.0),
+                dispatch,
                 worker_cores: w.worker as f64 / dt,
                 bytes_in: w.bytes_in,
                 bytes_out: w.bytes_out,
@@ -229,10 +271,12 @@ mod tests {
     }
 
     /// Dispatch is one core: a busy charge posted at a tick boundary can
-    /// land in the next window, so the ratio is clamped to [0, 1].
-    /// Worker cores are deliberately not clamped (W cores).
+    /// land in the next window, so the ratio is clamped to [0, 1] — but
+    /// no longer silently: the clamp bumps the overcommit counter and
+    /// leaves a validate() warning. Worker cores are deliberately not
+    /// clamped (W cores).
     #[test]
-    fn dispatch_utilization_is_clamped_to_unit() {
+    fn dispatch_utilization_is_clamped_to_unit_and_counted() {
         let reg = Registry::new();
         let stats = registered_stats(&reg, ServerId(0));
         let (mut s, out, _) = sampler(&reg, false);
@@ -243,6 +287,24 @@ mod tests {
         let p = util.by_server[&ServerId(0)][0];
         assert_eq!(p.dispatch, 1.0, "dispatch clamped to one core");
         assert!((p.worker_cores - 4.0).abs() < 1e-9);
+        // The clamp is visible, not silent.
+        assert_eq!(stats.dispatch_overcommit.get(), 1);
+        assert_eq!(util.overcommit, vec![(ServerId(0), 0, 2 * MILLISECOND)]);
+        let warnings = util.validate();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("overcommitted by"), "{}", warnings[0]);
+    }
+
+    /// An in-bounds window neither counts nor warns.
+    #[test]
+    fn unclamped_windows_leave_no_overcommit_trail() {
+        let reg = Registry::new();
+        let stats = registered_stats(&reg, ServerId(0));
+        let (mut s, out, _) = sampler(&reg, false);
+        stats.dispatch_busy_ns.add(MILLISECOND / 2);
+        s.sample(MILLISECOND);
+        assert_eq!(stats.dispatch_overcommit.get(), 0);
+        assert!(out.borrow().validate().is_empty());
     }
 
     /// `capture` gates only the snapshot buffer; the utilization series

@@ -13,6 +13,12 @@
 //! The actor is always installed with a fixed timer cadence; the SLA
 //! value only changes what is *recorded*, never the event schedule, so
 //! arming it cannot perturb a deterministic run.
+//!
+//! The monitor answers *that* the tail breached; its post-hoc companion
+//! [`Cluster::tail_blame_report`](crate::Cluster::tail_blame_report)
+//! answers *why*, by aggregating the per-RPC net/queue/service/hold
+//! trace instants into a [`TailBlameReport`] blame histogram over the
+//! requests that exceeded the same SLA.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -22,6 +28,8 @@ use rocksteady_metrics::timeline::delta_histogram;
 use rocksteady_metrics::{Counter, Gauge, Registry};
 use rocksteady_proto::Envelope;
 use rocksteady_simnet::{Actor, Ctx, Event};
+
+pub use rocksteady_profiler::TailBlameReport;
 
 /// The latest SLO window, queryable between simulation steps.
 #[derive(Debug, Clone, Copy, Default)]

@@ -20,4 +20,11 @@ pub trait WireSized {
 pub trait SimMessage: WireSized {
     /// Called by the kernel when the sender's NIC accepts the message.
     fn stamp_sent(&mut self, _now: Nanos) {}
+
+    /// Called by the kernel when the message finishes serializing onto
+    /// the wire (after queueing behind earlier transmissions). The gap
+    /// `departed - sent` is the NIC serialization + queueing delay the
+    /// profiler's critical-path analysis charges separately from
+    /// propagation. Default is a no-op.
+    fn stamp_departed(&mut self, _at: Nanos) {}
 }

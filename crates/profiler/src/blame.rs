@@ -1,0 +1,166 @@
+//! Tail-latency blame: which segment made the slow requests slow?
+//!
+//! Every server-side RPC already emits a decomposition instant
+//! (`net_in + queue + service + hold = resp_sent - sent_at`, cat
+//! `rpc`). For requests whose server-observed end-to-end time exceeded
+//! the SLA, we aggregate those segments into a blame histogram: each
+//! slow request blames its dominant segment, and per-segment totals
+//! show where the tail's nanoseconds actually went. This is the
+//! post-hoc companion to the live SLO monitor — the monitor says *that*
+//! p99.9 breached; this says *why*.
+
+use rocksteady_common::Nanos;
+use rocksteady_trace::{Phase, TraceEvent};
+
+/// The four server-side latency segments, in instant-arg order.
+pub const BLAME_SEGMENTS: [&str; 4] = ["net", "queue", "service", "hold"];
+
+/// Blame histogram over requests that exceeded the SLA.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailBlameReport {
+    /// The SLA threshold applied (virtual ns, server-observed e2e).
+    pub sla: Nanos,
+    /// Server-side RPC decomposition instants examined.
+    pub total_rpcs: u64,
+    /// Requests over the SLA.
+    pub slow_rpcs: u64,
+    /// Slow requests whose dominant segment was each of
+    /// [`BLAME_SEGMENTS`] (ties blame the earlier segment).
+    pub blame_counts: [u64; 4],
+    /// Per-segment nanoseconds summed over the slow requests.
+    pub segment_ns: [Nanos; 4],
+}
+
+impl TailBlameReport {
+    /// The segment blamed by the most slow requests, if any were slow.
+    pub fn dominant(&self) -> Option<&'static str> {
+        if self.slow_rpcs == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for (i, c) in self.blame_counts.iter().enumerate() {
+            if *c > self.blame_counts[best] {
+                best = i;
+            }
+        }
+        Some(BLAME_SEGMENTS[best])
+    }
+
+    /// Deterministic JSON export: fixed field order, integers only.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"sla_ns\":{},\"total_rpcs\":{},\"slow_rpcs\":{},\"segments\":[",
+            self.sla, self.total_rpcs, self.slow_rpcs
+        );
+        for (i, name) in BLAME_SEGMENTS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"blamed\":{},\"ns\":{}}}",
+                name, self.blame_counts[i], self.segment_ns[i]
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Aggregates the per-RPC decomposition instants in `events` into a
+/// blame histogram for requests whose server-observed end-to-end time
+/// exceeded `sla`.
+pub fn tail_blame(events: &[TraceEvent], sla: Nanos) -> TailBlameReport {
+    let mut report = TailBlameReport {
+        sla,
+        ..TailBlameReport::default()
+    };
+    for ev in events {
+        if ev.ph != Phase::Instant || ev.cat != "rpc" {
+            continue;
+        }
+        // Server-side decomposition instants carry the four segments;
+        // client-side `rpc-client` instants in the same category don't.
+        let (Some(sent), Some(resp), Some(net), Some(queue), Some(service), Some(hold)) = (
+            ev.arg("sent_at"),
+            ev.arg("resp_sent"),
+            ev.arg("net_in"),
+            ev.arg("queue"),
+            ev.arg("service"),
+            ev.arg("hold"),
+        ) else {
+            continue;
+        };
+        report.total_rpcs += 1;
+        if resp.saturating_sub(sent) <= sla {
+            continue;
+        }
+        report.slow_rpcs += 1;
+        let segments = [net, queue, service, hold];
+        let mut dominant = 0;
+        for (i, seg) in segments.iter().enumerate() {
+            if *seg > segments[dominant] {
+                dominant = i;
+            }
+        }
+        report.blame_counts[dominant] += 1;
+        for (total, seg) in report.segment_ns.iter_mut().zip(segments.iter()) {
+            *total += *seg;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rpc_instant(sent: Nanos, segments: [Nanos; 4]) -> TraceEvent {
+        let resp = sent + segments.iter().sum::<Nanos>();
+        TraceEvent {
+            name: "rpc",
+            cat: "rpc",
+            ph: Phase::Instant,
+            ts: resp,
+            dur: 0,
+            pid: 1,
+            tid: 0,
+            args: vec![
+                ("sent_at", sent),
+                ("resp_sent", resp),
+                ("net_in", segments[0]),
+                ("queue", segments[1]),
+                ("service", segments[2]),
+                ("hold", segments[3]),
+            ],
+        }
+    }
+
+    #[test]
+    fn slow_requests_blame_their_dominant_segment() {
+        let events = vec![
+            rpc_instant(0, [1, 1, 1, 0]),     // fast: ignored
+            rpc_instant(10, [2, 50, 10, 0]),  // slow: queue
+            rpc_instant(20, [2, 5, 10, 100]), // slow: hold
+            rpc_instant(30, [2, 90, 10, 0]),  // slow: queue
+        ];
+        let report = tail_blame(&events, 20);
+        assert_eq!(report.total_rpcs, 4);
+        assert_eq!(report.slow_rpcs, 3);
+        assert_eq!(report.blame_counts, [0, 2, 0, 1]);
+        assert_eq!(report.segment_ns, [6, 145, 30, 100]);
+        assert_eq!(report.dominant(), Some("queue"));
+        let json = report.to_json();
+        assert!(json.contains("\"slow_rpcs\":3"), "{json}");
+        assert!(
+            json.contains("{\"name\":\"queue\",\"blamed\":2,\"ns\":145}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn no_slow_requests_means_no_blame() {
+        let report = tail_blame(&[rpc_instant(0, [1, 1, 1, 0])], 1000);
+        assert_eq!(report.slow_rpcs, 0);
+        assert_eq!(report.dominant(), None);
+    }
+}

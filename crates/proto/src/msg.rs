@@ -536,6 +536,11 @@ pub struct Envelope {
     /// the simulation kernel (0 until sent). Receivers subtract it from
     /// the arrival time to measure the network segment of an RPC.
     pub sent_at: Nanos,
+    /// Virtual time the message finished serializing onto the wire
+    /// (stamped by the kernel; 0 until sent). `departed_at - sent_at`
+    /// is the NIC serialization + queueing delay, which the profiler's
+    /// critical-path analysis separates from propagation.
+    pub departed_at: Nanos,
 }
 
 impl Envelope {
@@ -545,6 +550,7 @@ impl Envelope {
             rpc,
             body: Body::Req(request),
             sent_at: 0,
+            departed_at: 0,
         }
     }
 
@@ -554,6 +560,7 @@ impl Envelope {
             rpc,
             body: Body::Resp(response),
             sent_at: 0,
+            departed_at: 0,
         }
     }
 
@@ -575,6 +582,10 @@ impl rocksteady_common::WireSized for Envelope {
 impl rocksteady_common::SimMessage for Envelope {
     fn stamp_sent(&mut self, now: Nanos) {
         self.sent_at = now;
+    }
+
+    fn stamp_departed(&mut self, at: Nanos) {
+        self.departed_at = at;
     }
 }
 

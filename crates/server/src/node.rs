@@ -25,10 +25,11 @@ use rocksteady_backup::BackupService;
 use rocksteady_common::{KeyHash, Nanos, RpcId, ServerId, TableId};
 use rocksteady_logstore::SideLog;
 use rocksteady_master::{MasterService, OpError, ReplayDest, TabletRole, Work};
+use rocksteady_profiler::{Activity, Profiler};
 use rocksteady_proto::msg::{BaselineOpts, SegmentImage};
 use rocksteady_proto::{Body, Envelope, Priority, Record, Request, Response, Status};
 use rocksteady_simnet::{Actor, ActorId, Ctx, Event};
-use rocksteady_trace::Tracer;
+use rocksteady_trace::{lanes, Tracer};
 
 use crate::stats::StatsHandle;
 use crate::{Directory, ServerConfig};
@@ -39,20 +40,12 @@ const KIND_WORKER_DONE: u64 = 2;
 const KIND_DEFERRED_SEND: u64 = 3;
 const KIND_CLEANER: u64 = 4;
 
-// Trace lanes (`tid` within this server's `pid`). Lanes are chosen so
+// Trace lanes (`tid` within this server's `pid`) follow the shared
+// convention in [`rocksteady_trace::lanes`], also used by the
+// critical-path walker in `rocksteady-profiler`. Lanes are chosen so
 // spans sharing one never partially overlap: worker cores run one task
 // at a time, each pull partition has one Pull in flight, PriorityPull
 // batches are serialized by the batcher, and migration phases tile.
-/// RPC decomposition instants (no spans, so no nesting constraint).
-const LANE_RPC: u64 = 0;
-/// Worker core `w` records service/hold spans on lane `1 + w`.
-const LANE_WORKER_BASE: u64 = 1;
-/// Migration phase spans and the whole-migration span.
-const LANE_MIGRATION: u64 = 100;
-/// PriorityPull batch round trips.
-const LANE_PRIORITY_PULL: u64 = 101;
-/// Pull round trips for partition `p` land on `LANE_PULL_BASE + p`.
-const LANE_PULL_BASE: u64 = 110;
 
 fn token(kind: u64, payload: u64) -> u64 {
     (payload << 8) | kind
@@ -110,6 +103,9 @@ struct WorkerState {
     /// Open trace span for the task on this core: (label, start).
     /// `Some` only while tracing is armed.
     trace_op: Option<(&'static str, Nanos)>,
+    /// Open activity-ledger charge for the task on this core:
+    /// (activity, start). `Some` only while the profiler is armed.
+    ledger_op: Option<(Activity, Nanos)>,
 }
 
 /// What an outstanding outbound RPC means to us.
@@ -201,6 +197,21 @@ struct RpcSpan {
     assigned: Nanos,
     /// Predicted end of worker service (assignment + service time).
     service_end: Nanos,
+    /// NIC serialization + queueing delay of the inbound request
+    /// (`departed_at - sent_at`, stamped by the kernel).
+    nic_in: Nanos,
+}
+
+/// Arrival stamps of an inbound request, captured once on the dispatch
+/// core and threaded to wherever the RPC span is opened.
+#[derive(Debug, Clone, Copy)]
+struct InStamps {
+    /// When the requester's NIC accepted the request.
+    sent_at: Nanos,
+    /// When the request entered our rx queue.
+    arrived: Nanos,
+    /// Inbound NIC serialization + queueing (`departed_at - sent_at`).
+    nic_in: Nanos,
 }
 
 /// Wall-clock anchors of the in-progress migration's trace spans.
@@ -227,6 +238,11 @@ pub struct ServerNode {
     dispatch_scheduled: bool,
     /// Cost accumulated while handling the current dispatch event.
     dispatch_charge: Nanos,
+    /// Portion of `dispatch_charge` that is outbound-tx cost, kept for
+    /// the profiler's rx/tx split (reset whenever `dispatch_charge` is).
+    dispatch_charge_tx: Nanos,
+    /// Portion of `dispatch_charge` spent in migration-manager polls.
+    dispatch_charge_mgr: Nanos,
 
     // Workers.
     workers: Vec<WorkerState>,
@@ -267,13 +283,29 @@ pub struct ServerNode {
     pull_span_start: HashMap<u64, (Nanos, usize)>,
     /// Outstanding PriorityPull rpc → (send time, batch size).
     pp_span_start: HashMap<u64, (Nanos, u64)>,
+
+    // Profiling (same zero-cost-off contract as `trace`): the per-core
+    // activity ledger every charge lands in.
+    profiler: Profiler,
 }
 
 impl ServerNode {
     /// Creates a server; `dir` provides actor wiring, `stats` is shared
-    /// with the harness and `trace` with the trace exporter (pass
-    /// [`Tracer::off`] to compile the tracing paths down to one branch).
-    pub fn new(cfg: ServerConfig, dir: Directory, stats: StatsHandle, trace: Tracer) -> Self {
+    /// with the harness, `trace` with the trace exporter, and `profiler`
+    /// with the activity-ledger exporter (pass [`Tracer::off`] /
+    /// [`Profiler::off`] to compile those paths down to one branch).
+    pub fn new(
+        cfg: ServerConfig,
+        dir: Directory,
+        stats: StatsHandle,
+        trace: Tracer,
+        profiler: Profiler,
+    ) -> Self {
+        // Register every core up front so never-scheduled cores still
+        // export (as all-idle).
+        for core in 0..=cfg.workers as u32 {
+            profiler.register_core(cfg.id.0, core);
+        }
         let workers = (0..cfg.workers).map(|_| WorkerState::default()).collect();
         let master = MasterService::new(cfg.master.clone());
         let backup = BackupService::new(cfg.id);
@@ -286,6 +318,8 @@ impl ServerNode {
             dispatch_busy_until: 0,
             dispatch_scheduled: false,
             dispatch_charge: 0,
+            dispatch_charge_tx: 0,
+            dispatch_charge_mgr: 0,
             workers,
             queues: Default::default(),
             next_rpc: 1,
@@ -307,6 +341,7 @@ impl ServerNode {
             mig_trace: None,
             pull_span_start: HashMap::new(),
             pp_span_start: HashMap::new(),
+            profiler,
             cfg,
         }
     }
@@ -344,7 +379,28 @@ impl ServerNode {
 
     fn send(&mut self, ctx: &mut Ctx<'_, Envelope>, dst: ActorId, env: Envelope) {
         self.dispatch_charge += self.cfg.cost.dispatch_tx_per_msg_ns;
+        self.dispatch_charge_tx += self.cfg.cost.dispatch_tx_per_msg_ns;
         ctx.send(dst, env);
+    }
+
+    /// Ledgers dispatch-core cost accrued *outside* a dispatch event
+    /// (worker-completion sends, deferred replication sends, cleaner
+    /// scheduling). The busy-counter semantics are untouched — the next
+    /// dispatch event has always overwritten this accumulator, so these
+    /// nanoseconds never reached `dispatch_busy_ns` — but the ledger
+    /// records them, and any overlap with an already-charged dispatch
+    /// interval surfaces as overcommit instead of disappearing.
+    fn flush_offdispatch_charges(&mut self, now: Nanos) {
+        if self.profiler.is_on() {
+            let (tx, mgr) = (self.dispatch_charge_tx, self.dispatch_charge_mgr);
+            let id = self.cfg.id.0;
+            self.profiler.charge(id, 0, Activity::DispatchTx, now, tx);
+            self.profiler
+                .charge(id, 0, Activity::MigrationMgr, now + tx, mgr);
+        }
+        self.dispatch_charge = 0;
+        self.dispatch_charge_tx = 0;
+        self.dispatch_charge_mgr = 0;
     }
 
     fn respond(&mut self, ctx: &mut Ctx<'_, Envelope>, dst: ActorId, rpc: RpcId, resp: Response) {
@@ -373,7 +429,7 @@ impl ServerNode {
             span.name,
             "rpc",
             self_id as u64,
-            LANE_RPC,
+            lanes::RPC,
             now,
             vec![
                 ("src", dst as u64),
@@ -384,6 +440,7 @@ impl ServerNode {
                 ("service_end", service_end),
                 ("resp_sent", now),
                 ("net_in", span.arrived - span.sent_at),
+                ("nic_in", span.nic_in),
                 ("queue", span.assigned - span.arrived),
                 ("service", service_end - span.assigned),
                 ("hold", now - service_end),
@@ -425,10 +482,16 @@ impl ServerNode {
             return;
         };
         self.dispatch_charge = self.cfg.cost.dispatch_per_msg_ns;
-        let sent_at = env.sent_at;
+        self.dispatch_charge_tx = 0;
+        self.dispatch_charge_mgr = 0;
+        let stamps = InStamps {
+            sent_at: env.sent_at,
+            arrived,
+            nic_in: env.departed_at.saturating_sub(env.sent_at),
+        };
         match env.body {
-            Body::Req(req) => self.on_request(ctx, src, env.rpc, req, arrived, sent_at),
-            Body::Resp(resp) => self.on_response(ctx, env.rpc, resp),
+            Body::Req(req) => self.on_request(ctx, src, env.rpc, req, stamps),
+            Body::Resp(resp) => self.on_response(ctx, env.rpc, resp, stamps.nic_in),
         }
         self.try_assign(ctx);
         // Account the accumulated dispatch time and chain the next poll.
@@ -436,6 +499,20 @@ impl ServerNode {
         self.dispatch_charge = 0;
         self.stats.dispatch_busy_ns.add(charge);
         self.dispatch_busy_until = ctx.now() + charge;
+        if self.profiler.is_on() {
+            // Ledger the dispatch interval split rx / tx / manager, in
+            // that order (the split is attribution, not a schedule).
+            let (tx, mgr) = (self.dispatch_charge_tx, self.dispatch_charge_mgr);
+            let rx = charge.saturating_sub(tx + mgr);
+            let (id, now) = (self.cfg.id.0, ctx.now());
+            self.profiler.charge(id, 0, Activity::DispatchRx, now, rx);
+            self.profiler
+                .charge(id, 0, Activity::DispatchTx, now + rx, tx);
+            self.profiler
+                .charge(id, 0, Activity::MigrationMgr, now + rx + tx, mgr);
+        }
+        self.dispatch_charge_tx = 0;
+        self.dispatch_charge_mgr = 0;
         self.ensure_dispatch(ctx);
     }
 
@@ -447,8 +524,7 @@ impl ServerNode {
         src: ActorId,
         rpc: RpcId,
         req: Request,
-        arrived: Nanos,
-        sent_at: Nanos,
+        stamps: InStamps,
     ) {
         match req {
             // Control-plane requests are cheap and handled right on the
@@ -612,10 +688,11 @@ impl ServerNode {
                         (src, rpc.0),
                         RpcSpan {
                             name: other.name(),
-                            sent_at,
-                            arrived,
+                            sent_at: stamps.sent_at,
+                            arrived: stamps.arrived,
                             assigned: 0,
                             service_end: 0,
+                            nic_in: stamps.nic_in,
                         },
                     );
                 }
@@ -631,7 +708,7 @@ impl ServerNode {
 
     // ------------------------------------------------- response handling --
 
-    fn on_response(&mut self, ctx: &mut Ctx<'_, Envelope>, rpc: RpcId, resp: Response) {
+    fn on_response(&mut self, ctx: &mut Ctx<'_, Envelope>, rpc: RpcId, resp: Response, nic: Nanos) {
         let Some(pending) = self.outstanding.remove(&rpc) else {
             return; // late/duplicate response
         };
@@ -673,10 +750,14 @@ impl ServerNode {
                         "mig:pull",
                         "migration",
                         ctx.self_id() as u64,
-                        LANE_PULL_BASE + part as u64,
+                        lanes::pull(part),
                         t0,
                         ctx.now() - t0,
-                        vec![("records", records.len() as u64), ("bytes", wire)],
+                        vec![
+                            ("records", records.len() as u64),
+                            ("bytes", wire),
+                            ("resp_nic", nic),
+                        ],
                     );
                 }
                 if let Some(run) = &mut self.migration {
@@ -693,10 +774,14 @@ impl ServerNode {
                         "mig:priority-pull",
                         "migration",
                         ctx.self_id() as u64,
-                        LANE_PRIORITY_PULL,
+                        lanes::PRIORITY_PULL,
                         t0,
                         ctx.now() - t0,
-                        vec![("hashes", batch), ("records", records.len() as u64)],
+                        vec![
+                            ("hashes", batch),
+                            ("records", records.len() as u64),
+                            ("resp_nic", nic),
+                        ],
                     );
                 }
                 if let Some(run) = &mut self.migration {
@@ -856,9 +941,35 @@ impl ServerNode {
         }
     }
 
+    /// Ledger activity a task charges its worker core with. Replication
+    /// appends, segment-fetch service, cleaning, and non-replay pushes
+    /// are background duty; everything client-visible is `Service`.
+    fn activity_of(task: &Task) -> Activity {
+        match task {
+            Task::Rpc { req, .. } => match req {
+                Request::Pull { .. } => Activity::PullGather,
+                Request::PriorityPull { .. } => Activity::PriorityPull,
+                Request::PushRecords { replay: true, .. } => Activity::Replay,
+                Request::PushRecords { .. }
+                | Request::ReplicateAppend { .. }
+                | Request::ReplicateClose { .. }
+                | Request::FetchSegments { .. } => Activity::Background,
+                _ => Activity::Service,
+            },
+            Task::BaselineStep => Activity::PullGather,
+            Task::RecoveryReplay { .. } => Activity::Replay,
+            Task::CleanerPass => Activity::Background,
+        }
+    }
+
     fn run_task(&mut self, ctx: &mut Ctx<'_, Envelope>, worker: usize, task: Task) {
         debug_assert!(!self.workers[worker].busy);
         self.workers[worker].busy = true;
+        let activity = if self.profiler.is_on() {
+            Some(Self::activity_of(&task))
+        } else {
+            None
+        };
         let span_key = if self.trace.is_on() {
             match &task {
                 Task::Rpc { src, rpc, req } => Some((req.name(), Some((*src, rpc.0)))),
@@ -875,6 +986,9 @@ impl ServerNode {
             Task::RecoveryReplay { recovery } => self.exec_recovery_replay(worker, recovery),
             Task::CleanerPass => self.exec_cleaner_pass(),
         };
+        if let Some(act) = activity {
+            self.workers[worker].ledger_op = Some((act, ctx.now()));
+        }
         if let Some((label, rpc_key)) = span_key {
             self.workers[worker].trace_op = Some((label, ctx.now()));
             if let Some(key) = rpc_key {
@@ -889,12 +1003,21 @@ impl ServerNode {
     }
 
     fn on_worker_done(&mut self, ctx: &mut Ctx<'_, Envelope>, worker: usize) {
+        if let Some((act, since)) = self.workers[worker].ledger_op.take() {
+            self.profiler.charge(
+                self.cfg.id.0,
+                worker as u32 + 1,
+                act,
+                since,
+                ctx.now() - since,
+            );
+        }
         if let Some((label, since)) = self.workers[worker].trace_op.take() {
             self.trace.span(
                 label,
                 "worker",
                 ctx.self_id() as u64,
-                LANE_WORKER_BASE + worker as u64,
+                lanes::worker(worker),
                 since,
                 ctx.now() - since,
                 vec![],
@@ -955,6 +1078,18 @@ impl ServerNode {
         };
         if let Some((since, waited)) = hold {
             self.stats.worker_busy_ns.add(waited);
+            // Mirror the §4.4 rule in the ledger: the blocked window is
+            // charged as Hold, guarded like the trace span below so a
+            // mid-service failover release doesn't double-charge.
+            if self.workers[worker].ledger_op.is_none() && since > 0 {
+                self.profiler.charge(
+                    self.cfg.id.0,
+                    worker as u32 + 1,
+                    Activity::Hold,
+                    since,
+                    waited,
+                );
+            }
             // Only span the hold if the service span has already closed
             // (a failover can release a core mid-service, before
             // `hold_since` was ever stamped).
@@ -963,7 +1098,7 @@ impl ServerNode {
                     "hold",
                     "worker",
                     ctx.self_id() as u64,
-                    LANE_WORKER_BASE + worker as u64,
+                    lanes::worker(worker),
                     since,
                     waited,
                     vec![],
@@ -1499,6 +1634,7 @@ impl ServerNode {
         let idle = self.idle_workers();
         // The manager runs as a dispatch continuation (§3.1.2).
         self.dispatch_charge += self.cfg.cost.migration_mgr_check_ns;
+        self.dispatch_charge_mgr += self.cfg.cost.migration_mgr_check_ns;
         match &mut self.migration {
             Some(run) => run.mgr.poll(idle),
             None => Vec::new(),
@@ -1572,6 +1708,9 @@ impl ServerNode {
                     };
                     self.workers[worker].busy = true;
                     let service = self.exec_replay(worker, batch);
+                    if self.profiler.is_on() {
+                        self.workers[worker].ledger_op = Some((Activity::Replay, ctx.now()));
+                    }
                     if self.trace.is_on() {
                         self.workers[worker].trace_op = Some(("mig:replay", ctx.now()));
                     }
@@ -1620,7 +1759,7 @@ impl ServerNode {
                 label,
                 "migration",
                 self_id as u64,
-                LANE_MIGRATION,
+                lanes::MIGRATION,
                 mt.phase_start,
                 now - mt.phase_start,
                 vec![],
@@ -1658,13 +1797,13 @@ impl ServerNode {
         if self.trace.is_on() {
             let pid = ctx.self_id() as u64;
             self.trace
-                .instant(reason, "migration", pid, LANE_MIGRATION, now, vec![]);
+                .instant(reason, "migration", pid, lanes::MIGRATION, now, vec![]);
             if let Some(mt) = self.mig_trace.take() {
                 self.trace.span(
                     "migration",
                     "migration",
                     pid,
-                    LANE_MIGRATION,
+                    lanes::MIGRATION,
                     mt.started,
                     now - mt.started,
                     vec![("abandoned", 1)],
@@ -1717,7 +1856,7 @@ impl ServerNode {
                 "mig:commit",
                 "migration",
                 pid,
-                LANE_MIGRATION,
+                lanes::MIGRATION,
                 now,
                 0,
                 vec![("sidelogs", committed_sidelogs)],
@@ -1726,7 +1865,7 @@ impl ServerNode {
                 "migration",
                 "migration",
                 pid,
-                LANE_MIGRATION,
+                lanes::MIGRATION,
                 mt.started,
                 now - mt.started,
                 vec![
@@ -1980,7 +2119,7 @@ impl ServerNode {
                         "recovery:fetch-failover",
                         "recovery",
                         ctx.self_id() as u64,
-                        LANE_RPC,
+                        lanes::RPC,
                         ctx.now(),
                         vec![("backup", backup.0 as u64), ("failovers", n)],
                     );
@@ -2006,7 +2145,7 @@ impl ServerNode {
                         "recovery:gap",
                         "recovery",
                         ctx.self_id() as u64,
-                        LANE_RPC,
+                        lanes::RPC,
                         ctx.now(),
                         vec![("gaps", n)],
                     );
@@ -2048,23 +2187,28 @@ impl Actor<Envelope> for ServerNode {
                 self.rx_queue.push_back((src, ctx.now(), payload));
                 self.ensure_dispatch(ctx);
             }
-            Event::Timer { token: tok } => match tok & 0xff {
-                KIND_DISPATCH => self.on_dispatch_timer(ctx),
-                KIND_WORKER_DONE => self.on_worker_done(ctx, (tok >> 8) as usize),
-                KIND_DEFERRED_SEND => {
-                    if let Some((dst, env)) = self.deferred_sends.remove(&(tok >> 8)) {
-                        self.send(ctx, dst, env);
+            Event::Timer { token: tok } => {
+                match tok & 0xff {
+                    KIND_DISPATCH => self.on_dispatch_timer(ctx),
+                    KIND_WORKER_DONE => self.on_worker_done(ctx, (tok >> 8) as usize),
+                    KIND_DEFERRED_SEND => {
+                        if let Some((dst, env)) = self.deferred_sends.remove(&(tok >> 8)) {
+                            self.send(ctx, dst, env);
+                        }
                     }
-                }
-                KIND_CLEANER => {
-                    self.queues[Priority::Background as usize].push_back(Task::CleanerPass);
-                    self.try_assign(ctx);
-                    if let Some(every) = self.cfg.cleaner_interval {
-                        ctx.timer(every, KIND_CLEANER);
+                    KIND_CLEANER => {
+                        self.queues[Priority::Background as usize].push_back(Task::CleanerPass);
+                        self.try_assign(ctx);
+                        if let Some(every) = self.cfg.cleaner_interval {
+                            ctx.timer(every, KIND_CLEANER);
+                        }
                     }
+                    _ => {}
                 }
-                _ => {}
-            },
+                if (tok & 0xff) != KIND_DISPATCH {
+                    self.flush_offdispatch_charges(ctx.now());
+                }
+            }
         }
     }
 }

@@ -16,6 +16,15 @@ use std::rc::Rc;
 use rocksteady_common::{Nanos, ServerId};
 use rocksteady_metrics::{Counter, Registry, Stamp};
 
+/// Family name of the dispatch-overcommit counter (shared with the
+/// cluster sampler, which increments it when a sampling window's
+/// dispatch busy time exceeds the window itself).
+pub const DISPATCH_OVERCOMMIT_FAMILY: &str = "node_dispatch_overcommit_total";
+/// Help text for [`DISPATCH_OVERCOMMIT_FAMILY`] (must match at every
+/// registration site — the registry deduplicates on name + labels).
+pub const DISPATCH_OVERCOMMIT_HELP: &str =
+    "sampling windows whose dispatch busy time exceeded the interval (double-charged dispatch)";
+
 /// Instrument bundle for one server. Cheap to record into (each handle
 /// is one shared cell); shared with the harness through `Rc`.
 #[derive(Debug, Clone, Default)]
@@ -64,6 +73,13 @@ pub struct NodeStats {
     pub recovery_replayed: Counter,
     /// Segments reclaimed by the log cleaner.
     pub segments_cleaned: Counter,
+    /// Sampling windows in which this server's dispatch busy-time delta
+    /// exceeded the window length — the model double-books the dispatch
+    /// core (worker-completion sends accrue on top of scheduled
+    /// dispatch events). The sampler clamps utilization to 1.0 but
+    /// counts each clamped window here instead of hiding it. Family
+    /// [`DISPATCH_OVERCOMMIT_FAMILY`].
+    pub dispatch_overcommit: Counter,
 }
 
 impl NodeStats {
@@ -155,6 +171,11 @@ impl NodeStats {
                 "segments reclaimed by the log cleaner",
                 &l,
             ),
+            dispatch_overcommit: reg.counter(
+                DISPATCH_OVERCOMMIT_FAMILY,
+                DISPATCH_OVERCOMMIT_HELP,
+                &l,
+            ),
         }
     }
 
@@ -197,6 +218,7 @@ impl NodeStats {
             recovery_fetch_gaps: self.recovery_fetch_gaps.get(),
             recovery_replayed: self.recovery_replayed.get(),
             segments_cleaned: self.segments_cleaned.get(),
+            dispatch_overcommit: self.dispatch_overcommit.get(),
         }
     }
 }
@@ -224,6 +246,7 @@ pub struct NodeStatsView {
     pub recovery_fetch_gaps: u64,
     pub recovery_replayed: u64,
     pub segments_cleaned: u64,
+    pub dispatch_overcommit: u64,
 }
 
 /// Shared handle to a server's stats. Instruments are interiorly
@@ -259,7 +282,7 @@ mod tests {
         let b = NodeStats::register(&reg, ServerId(2));
         a.pulls_served.inc();
         assert_eq!(b.pulls_served.get(), 1);
-        assert_eq!(reg.validate().unwrap().instruments, 18);
+        assert_eq!(reg.validate().unwrap().instruments, 19);
     }
 
     #[test]

@@ -285,6 +285,10 @@ impl<M: SimMessage> Simulation<M> {
                     let wire = (bytes as f64 / self.nic.bytes_per_ns).round() as Nanos;
                     let depart = self.now.max(self.slots[src].nic_free) + wire;
                     self.slots[src].nic_free = depart;
+                    // Departure stamp: serialization + NIC queueing are
+                    // `depart - sent`, which the profiler splits out of
+                    // round-trip time.
+                    payload.stamp_departed(depart);
                     let at = depart + self.nic.one_way_latency_ns;
                     self.push(Queued {
                         at,

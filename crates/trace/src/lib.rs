@@ -38,6 +38,51 @@ use std::rc::Rc;
 
 use rocksteady_common::{Histogram, Nanos};
 
+/// The lane-ID (`tid`) convention shared by every producer and consumer
+/// of the trace buffer.
+///
+/// Spans sharing a `(pid, tid)` lane must nest properly (invariant 3 in
+/// the crate docs), so each logically-concurrent strand of work gets
+/// its own lane. Server actors lay their lanes out as follows; the
+/// critical-path walker in `rocksteady-profiler` reverses the mapping
+/// with [`worker_index`] / [`pull_partition`].
+pub mod lanes {
+    /// Dispatch-core lane: per-RPC decomposition instants.
+    pub const RPC: u64 = 0;
+    /// First worker lane; worker `w` records on `WORKER_BASE + w`.
+    pub const WORKER_BASE: u64 = 1;
+    /// Migration-phase spans (prepare, ownership-flip, run, commit).
+    pub const MIGRATION: u64 = 100;
+    /// Priority-pull round trips (at most one outstanding at a time).
+    pub const PRIORITY_PULL: u64 = 101;
+    /// First pull lane; partition `p`'s pulls record on `PULL_BASE + p`.
+    pub const PULL_BASE: u64 = 110;
+
+    /// Lane for worker core `w`.
+    pub fn worker(w: usize) -> u64 {
+        WORKER_BASE + w as u64
+    }
+
+    /// Lane for pull partition `p`.
+    pub fn pull(p: usize) -> u64 {
+        PULL_BASE + p as u64
+    }
+
+    /// Inverse of [`worker`]: the worker index recording on `tid`, if
+    /// `tid` is a worker lane.
+    pub fn worker_index(tid: u64) -> Option<usize> {
+        (WORKER_BASE..MIGRATION)
+            .contains(&tid)
+            .then(|| (tid - WORKER_BASE) as usize)
+    }
+
+    /// Inverse of [`pull`]: the partition recording on `tid`, if `tid`
+    /// is a pull lane.
+    pub fn pull_partition(tid: u64) -> Option<usize> {
+        (tid >= PULL_BASE).then(|| (tid - PULL_BASE) as usize)
+    }
+}
+
 /// Chrome trace-event phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {

@@ -35,6 +35,7 @@ fn main() {
         series_interval: 100 * MILLISECOND,
         tracing: true,
         metrics: true,
+        profiling: true,
         sla: Some(300_000), // p99.9 reads under 300 us
         ..ClusterConfig::default()
     });
@@ -153,5 +154,55 @@ fn main() {
         fmt_nanos(slo.p999),
         fmt_nanos(slo.sla.unwrap_or(0)),
         slo.breach_intervals,
+    );
+
+    // 9. Profile. The exact per-core activity ledger: every dispatch
+    //    and worker core's virtual time, attributed to what it was
+    //    doing (service, pull gather, replay, hold, idle, ...), with
+    //    busy + idle summing exactly to wall-clock per core. Exported
+    //    as folded stacks — feed the file to flamegraph.pl.
+    cluster.finalize_profile();
+    let profile = cluster
+        .profiler
+        .validate()
+        .expect("ledger conservation violated");
+    let folded_path = "target/quickstart-profile.folded";
+    std::fs::write(folded_path, cluster.export_folded()).expect("write profile");
+    println!(
+        "profile: {} cores over {} -> {folded_path}; {:.1}% busy, {} overcommitted",
+        profile.cores,
+        fmt_nanos(profile.wall_ns),
+        100.0 * profile.busy_ns as f64 / (profile.busy_ns + profile.idle_ns).max(1) as f64,
+        fmt_nanos(profile.overcommit_ns),
+    );
+
+    // 10. What bounded the migration? The critical-path walker tiles
+    //     the migration interval into the component blocking completion
+    //     at each instant and ranks them.
+    let cp = cluster
+        .critical_path_report()
+        .expect("traced migration present");
+    let cp_path = "target/quickstart-critical-path.json";
+    std::fs::write(cp_path, cp.to_json()).expect("write critical path");
+    let top = &cp.components[0];
+    println!(
+        "critical path: {} attributed over {} components -> {cp_path}; \
+         dominant: {} ({} = {}%)",
+        fmt_nanos(cp.attributed_ns),
+        cp.components.len(),
+        top.name,
+        fmt_nanos(top.ns),
+        top.permille / 10,
+    );
+
+    // 11. And why were the slow reads slow? Blame histogram over every
+    //     request that exceeded the SLA.
+    let blame = cluster.tail_blame_report().expect("sla configured");
+    println!(
+        "tail blame: {}/{} RPCs over the {} SLA; dominant segment: {}",
+        blame.slow_rpcs,
+        blame.total_rpcs,
+        fmt_nanos(blame.sla),
+        blame.dominant().unwrap_or("none"),
     );
 }

@@ -12,9 +12,11 @@ use rocksteady_cluster::ControlCmd;
 use rocksteady_common::{ServerId, MILLISECOND};
 use rocksteady_workload::YcsbConfig;
 
-fn digest(seed: u64) -> (u64, u64, u64, u64, u64) {
+fn digest(seed: u64) -> (u64, u64, u64, u64, u64, String) {
     let mut cfg = common::test_config();
     cfg.seed = seed;
+    cfg.tracing = true;
+    cfg.profiling = true;
     let mut b = rocksteady_cluster::ClusterBuilder::new(cfg);
     let dir = b.directory();
     b.add_ycsb(YcsbConfig::ycsb_b(dir, TABLE, 5_000, 50_000.0));
@@ -34,12 +36,14 @@ fn digest(seed: u64) -> (u64, u64, u64, u64, u64) {
     let reads = cluster.client_stats[0].borrow().read_latency.merged();
     let events = cluster.sim.events_processed();
     let replayed = cluster.server_stats[&ServerId(1)].records_replayed.get();
+    cluster.finalize_profile();
     (
         events,
         reads.count(),
         reads.percentile(0.5),
         reads.percentile(0.999),
         replayed,
+        cluster.export_folded(),
     )
 }
 
