@@ -7,6 +7,8 @@
 #   2. cargo clippy -D warnings (all targets) — lint-clean
 #   3. tier-1 verify (ROADMAP.md): release build + test suite
 #   4. examples smoke: quickstart (+ exported trace JSON), crash_recovery
+#   5. bench smoke: simkernel throughput JSON + micro industry CSV
+#   6. allocation gate: gather/replay migration hot path stays sub-per-record
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -64,5 +66,22 @@ grep -q '#!\[deny(missing_docs)\]' crates/profiler/src/lib.rs
 
 echo "==> examples: crash_recovery"
 cargo run --release --example crash_recovery
+
+echo "==> bench smoke: simkernel_throughput (shrunk scenarios)"
+rm -f target/simkernel-smoke.json
+ROCKSTEADY_BENCH_SMOKE=1 cargo bench -p rocksteady-bench --bench simkernel_throughput
+test -s target/simkernel-smoke.json
+grep -q '"kernel/ping_storm/events"' target/simkernel-smoke.json
+grep -q '"paper/8node_10M/records"' target/simkernel-smoke.json
+
+echo "==> bench smoke: micro_datastructures industry CSV"
+rm -f target/figures/micro_industry.csv
+ROCKSTEADY_BENCH_SMOKE=1 cargo bench -p rocksteady-bench --bench micro_datastructures
+test -s target/figures/micro_industry.csv
+grep -q 'ours_over_industry' target/figures/micro_industry.csv
+grep -q 'SOSP' target/figures/micro_industry.csv
+
+echo "==> allocation gate: migration gather/replay path"
+cargo test -q --test alloc_gate
 
 echo "CI OK"

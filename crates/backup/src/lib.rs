@@ -33,9 +33,15 @@ pub struct BackupService {
     replicas: Mutex<HashMap<(ServerId, u64), Replica>>,
 }
 
+/// A replica holds the appended frames as-is (reference-counted slices
+/// of the replication RPCs) rather than memcpy'ing them into one flat
+/// buffer: the write path replicates every log append `R` times, and the
+/// flat image is only ever needed at recovery, where [`BackupService::fetch`]
+/// materializes it.
 #[derive(Debug, Default)]
 struct Replica {
-    data: Vec<u8>,
+    chunks: Vec<Bytes>,
+    len: usize,
     closed: bool,
 }
 
@@ -68,18 +74,19 @@ impl BackupService {
     ///
     /// Appends must be in order; a mismatched offset is rejected so the
     /// image never has holes (recovery replays it sequentially).
-    pub fn append(&self, owner: ServerId, segment: u64, offset: u32, data: &[u8]) -> AppendOutcome {
+    pub fn append(&self, owner: ServerId, segment: u64, offset: u32, data: Bytes) -> AppendOutcome {
         let mut replicas = self.replicas.lock();
         let replica = replicas.entry((owner, segment)).or_default();
         if replica.closed {
             return AppendOutcome::Closed;
         }
-        if replica.data.len() != offset as usize {
+        if replica.len != offset as usize {
             return AppendOutcome::OffsetMismatch {
-                have: replica.data.len() as u64,
+                have: replica.len as u64,
             };
         }
-        replica.data.extend_from_slice(data);
+        replica.len += data.len();
+        replica.chunks.push(data);
         AppendOutcome::Ok
     }
 
@@ -98,10 +105,16 @@ impl BackupService {
         let replicas = self.replicas.lock();
         let mut images: Vec<SegmentImage> = replicas
             .iter()
-            .filter(|((o, seg), r)| *o == owner && *seg >= min_segment && !r.data.is_empty())
-            .map(|((_, seg), r)| SegmentImage {
-                id: *seg,
-                data: Bytes::copy_from_slice(&r.data),
+            .filter(|((o, seg), r)| *o == owner && *seg >= min_segment && r.len > 0)
+            .map(|((_, seg), r)| {
+                let mut flat = Vec::with_capacity(r.len);
+                for chunk in &r.chunks {
+                    flat.extend_from_slice(chunk);
+                }
+                SegmentImage {
+                    id: *seg,
+                    data: Bytes::from(flat),
+                }
             })
             .collect();
         images.sort_by_key(|img| img.id);
@@ -114,17 +127,13 @@ impl BackupService {
         replicas
             .iter()
             .filter(|((o, _), _)| *o == owner)
-            .map(|(_, r)| r.data.len() as u64)
+            .map(|(_, r)| r.len as u64)
             .sum()
     }
 
     /// Total bytes stored on this backup.
     pub fn total_bytes(&self) -> u64 {
-        self.replicas
-            .lock()
-            .values()
-            .map(|r| r.data.len() as u64)
-            .sum()
+        self.replicas.lock().values().map(|r| r.len as u64).sum()
     }
 
     /// Drops all replicas belonging to `owner` (after a successful
@@ -143,8 +152,14 @@ mod tests {
     #[test]
     fn append_in_order_builds_image() {
         let b = BackupService::new(ServerId(9));
-        assert_eq!(b.append(M, 0, 0, b"abc"), AppendOutcome::Ok);
-        assert_eq!(b.append(M, 0, 3, b"def"), AppendOutcome::Ok);
+        assert_eq!(
+            b.append(M, 0, 0, Bytes::copy_from_slice(b"abc")),
+            AppendOutcome::Ok
+        );
+        assert_eq!(
+            b.append(M, 0, 3, Bytes::copy_from_slice(b"def")),
+            AppendOutcome::Ok
+        );
         let images = b.fetch(M, 0);
         assert_eq!(images.len(), 1);
         assert_eq!(&images[0].data[..], b"abcdef");
@@ -153,9 +168,9 @@ mod tests {
     #[test]
     fn out_of_order_append_rejected() {
         let b = BackupService::new(ServerId(9));
-        b.append(M, 0, 0, b"abc");
+        b.append(M, 0, 0, Bytes::copy_from_slice(b"abc"));
         assert_eq!(
-            b.append(M, 0, 7, b"xyz"),
+            b.append(M, 0, 7, Bytes::copy_from_slice(b"xyz")),
             AppendOutcome::OffsetMismatch { have: 3 }
         );
         // Image unchanged.
@@ -165,18 +180,21 @@ mod tests {
     #[test]
     fn closed_replica_rejects_appends() {
         let b = BackupService::new(ServerId(9));
-        b.append(M, 0, 0, b"abc");
+        b.append(M, 0, 0, Bytes::copy_from_slice(b"abc"));
         b.close(M, 0);
-        assert_eq!(b.append(M, 0, 3, b"d"), AppendOutcome::Closed);
+        assert_eq!(
+            b.append(M, 0, 3, Bytes::copy_from_slice(b"d")),
+            AppendOutcome::Closed
+        );
     }
 
     #[test]
     fn fetch_filters_by_owner_and_min_segment() {
         let b = BackupService::new(ServerId(9));
-        b.append(M, 0, 0, b"s0");
-        b.append(M, 5, 0, b"s5");
-        b.append(M, 9, 0, b"s9");
-        b.append(ServerId(2), 1, 0, b"other");
+        b.append(M, 0, 0, Bytes::copy_from_slice(b"s0"));
+        b.append(M, 5, 0, Bytes::copy_from_slice(b"s5"));
+        b.append(M, 9, 0, Bytes::copy_from_slice(b"s9"));
+        b.append(ServerId(2), 1, 0, Bytes::copy_from_slice(b"other"));
         let all = b.fetch(M, 0);
         assert_eq!(all.iter().map(|i| i.id).collect::<Vec<_>>(), vec![0, 5, 9]);
         // Lineage tail: only segments >= 5.
@@ -188,8 +206,8 @@ mod tests {
     #[test]
     fn accounting_and_free() {
         let b = BackupService::new(ServerId(9));
-        b.append(M, 0, 0, b"0123456789");
-        b.append(ServerId(2), 0, 0, b"xy");
+        b.append(M, 0, 0, Bytes::copy_from_slice(b"0123456789"));
+        b.append(ServerId(2), 0, 0, Bytes::copy_from_slice(b"xy"));
         assert_eq!(b.bytes_for(M), 10);
         assert_eq!(b.total_bytes(), 12);
         b.free_owner(M);

@@ -1,0 +1,457 @@
+//! Event-kernel throughput: how fast the simulation substrate itself
+//! runs, independent of any paper figure.
+//!
+//! ROADMAP item 2 is "simulate paper scale on two host cores"; the
+//! bottleneck is the kernel hot path (event queue, record storage,
+//! dispatch bookkeeping). This bench pins that cost with three fixed
+//! scenarios and persists the numbers to `BENCH_simkernel.json` so the
+//! calendar-queue/slab/batched-dispatch work is machine-checkable:
+//!
+//! - `kernel/ping_storm` — pure `simnet` event churn: 128 actors with
+//!   2 048 messages in perpetual flight plus periodic near timers and a
+//!   sparse far-horizon timer population. Measures raw events/sec of the
+//!   scheduler with trivial actor bodies.
+//! - `harness/migration` — the standard harness scenario (the same
+//!   shape as `tests/determinism.rs`): 3 servers, YCSB-B at 50 k ops/s
+//!   over 5 k keys, one migration at t=5 ms, run to t=100 ms. Measures
+//!   events/sec with the full server/actor stack on the path.
+//! - `paper/8node_10M` — the paper-direction scale check: 10 M records
+//!   spread over 8 nodes, one whole-tablet migration window. Measures
+//!   records-simulated/sec (load + replay) and must complete within the
+//!   bench timeout on two host cores.
+//!
+//! `ROCKSTEADY_BENCH_SMOKE=1` shrinks every scenario and redirects the
+//! JSON to `target/simkernel-smoke.json` (CI smoke path); the committed
+//! `BENCH_simkernel.json` always holds full-scale numbers.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, BatchSize, Criterion, Throughput};
+use rocksteady_bench::{upper, MID, TABLE};
+use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
+use rocksteady_common::wire::{SimMessage, WireSized};
+use rocksteady_common::{HashRange, Nanos, ServerId, MILLISECOND};
+use rocksteady_simnet::{Actor, ActorId, Ctx, Event, NicConfig, Simulation};
+use rocksteady_workload::YcsbConfig;
+
+fn smoke() -> bool {
+    std::env::var("ROCKSTEADY_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Scheduler A/B override for perf triage: `ROCKSTEADY_SCHED=heap`
+/// runs the retired binary-heap kernel; anything else (or unset) runs
+/// the default calendar queue.
+fn sched() -> rocksteady_cluster::SchedulerKind {
+    match std::env::var("ROCKSTEADY_SCHED").as_deref() {
+        Ok("heap") => rocksteady_cluster::SchedulerKind::BinaryHeap,
+        _ => rocksteady_cluster::SchedulerKind::default(),
+    }
+}
+
+// ------------------------------------------------------------------
+// Scenario 1: kernel/ping_storm — raw scheduler throughput.
+// ------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Hop {
+    bytes: u64,
+}
+
+impl WireSized for Hop {
+    fn wire_size(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl SimMessage for Hop {}
+
+/// Forwards every message one hop around the ring; keeps a short
+/// periodic timer armed and one long far-horizon timer outstanding, so
+/// the queue mixes near deliveries with sparse distant deadlines.
+struct StormActor {
+    next: ActorId,
+    horizon: Nanos,
+}
+
+const TOKEN_NEAR: u64 = 1;
+const TOKEN_FAR: u64 = 2;
+
+impl Actor<Hop> for StormActor {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Hop>) {
+        ctx.timer(100_000, TOKEN_NEAR);
+        ctx.timer(2 * MILLISECOND, TOKEN_FAR);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Hop>, event: Event<Hop>) {
+        match event {
+            Event::Message { payload, .. } => {
+                if ctx.now() < self.horizon {
+                    ctx.send(self.next, payload);
+                }
+            }
+            Event::Timer { token } => {
+                if ctx.now() < self.horizon {
+                    let period = if token == TOKEN_NEAR {
+                        100_000
+                    } else {
+                        2 * MILLISECOND
+                    };
+                    ctx.timer(period, token);
+                }
+            }
+        }
+    }
+}
+
+/// Seeds the storm: fires `in_flight` initial messages spread over the
+/// ring from actor 0's start hook.
+struct StormSeeder {
+    ring: usize,
+    in_flight: usize,
+    next: ActorId,
+    horizon: Nanos,
+}
+
+impl Actor<Hop> for StormSeeder {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Hop>) {
+        for i in 0..self.in_flight {
+            // Tiny frames: wire time stays small so the ring stays hot.
+            ctx.send(1 + (i % self.ring), Hop { bytes: 64 });
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Hop>, event: Event<Hop>) {
+        if let Event::Message { payload, .. } = event {
+            if ctx.now() < self.horizon {
+                ctx.send(self.next, payload);
+            }
+        }
+    }
+}
+
+fn build_storm(horizon: Nanos, ring: usize, in_flight: usize) -> Simulation<Hop> {
+    let nic = NicConfig {
+        bytes_per_ns: 5.0,
+        one_way_latency_ns: 1_800,
+    };
+    let mut sim = Simulation::new(nic, 7);
+    sim.add_actor(Box::new(StormSeeder {
+        ring,
+        in_flight,
+        next: 1,
+        horizon,
+    }));
+    for i in 0..ring {
+        sim.add_actor(Box::new(StormActor {
+            next: 1 + ((i + 1) % ring),
+            horizon,
+        }));
+    }
+    sim
+}
+
+fn run_storm(horizon: Nanos, ring: usize, in_flight: usize) -> Simulation<Hop> {
+    let mut sim = build_storm(horizon, ring, in_flight);
+    sim.run_to_idle();
+    sim
+}
+
+// ------------------------------------------------------------------
+// Scenario 2: harness/migration — the standard harness scenario.
+// ------------------------------------------------------------------
+
+fn harness_config() -> ClusterConfig {
+    ClusterConfig {
+        servers: 3,
+        workers: 4,
+        replicas: 2,
+        sample_interval: MILLISECOND,
+        series_interval: 10 * MILLISECOND,
+        scheduler: sched(),
+        ..ClusterConfig::default()
+    }
+}
+
+fn build_migration(keys: u64, ops_per_sec: f64) -> rocksteady_cluster::Cluster {
+    let mut b = ClusterBuilder::new(harness_config());
+    let dir = b.directory();
+    b.add_ycsb(YcsbConfig::ycsb_b(dir, TABLE, keys, ops_per_sec));
+    b.at(
+        5 * MILLISECOND,
+        ControlCmd::Migrate {
+            table: TABLE,
+            range: upper(),
+            source: ServerId(0),
+            target: ServerId(1),
+        },
+    );
+    let mut cluster = b.build();
+    cluster.create_table(TABLE, &[(HashRange::full(), ServerId(0))]);
+    cluster.load_table(TABLE, keys, 30, 100);
+    cluster.seed_backups();
+    cluster.split_tablet(TABLE, MID);
+    cluster
+}
+
+fn run_migration(keys: u64, ops_per_sec: f64, until: Nanos) -> rocksteady_cluster::Cluster {
+    let mut cluster = build_migration(keys, ops_per_sec);
+    cluster.run_until(until);
+    cluster
+}
+
+// ------------------------------------------------------------------
+// Scenario 3: paper/8node_10M — paper-direction scale, timed manually.
+// ------------------------------------------------------------------
+
+struct PaperRun {
+    records: u64,
+    replayed: u64,
+    wall_secs: f64,
+}
+
+fn run_paper_scale(records: u64) -> PaperRun {
+    let servers = 8usize;
+    let cfg = ClusterConfig {
+        servers,
+        workers: 4,
+        replicas: 0,
+        // ~5 records/bucket at full scale: inline slots absorb the load.
+        hash_buckets: ((records / servers as u64) as usize / 4).next_power_of_two(),
+        segment_bytes: 1 << 23,
+        sample_interval: 10 * MILLISECOND,
+        series_interval: 100 * MILLISECOND,
+        scheduler: sched(),
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(cfg);
+    b.at(
+        MILLISECOND,
+        ControlCmd::Migrate {
+            table: TABLE,
+            range: HashRange {
+                start: (u64::MAX / servers as u64) * (servers as u64 - 1) + 1,
+                end: u64::MAX,
+            },
+            source: ServerId(servers as u32 - 1),
+            target: ServerId(0),
+        },
+    );
+    let mut cluster = b.build();
+    // Even ownership split across all 8 nodes.
+    let stride = u64::MAX / servers as u64;
+    let mut placement = Vec::new();
+    for s in 0..servers as u64 {
+        let start = if s == 0 { 0 } else { stride * s + 1 };
+        let end = if s == servers as u64 - 1 {
+            u64::MAX
+        } else {
+            stride * (s + 1)
+        };
+        placement.push((HashRange { start, end }, ServerId(s as u32)));
+    }
+    cluster.create_table(TABLE, &placement);
+
+    let start = Instant::now();
+    cluster.load_table(TABLE, records, 30, 100);
+    let loaded = Instant::now();
+    cluster.run_until(25 * MILLISECOND);
+    let wall_secs = start.elapsed().as_secs_f64();
+    println!(
+        "  load {:.2}s, run {:.2}s, events {}",
+        (loaded - start).as_secs_f64(),
+        wall_secs - (loaded - start).as_secs_f64(),
+        cluster.sim.events_processed()
+    );
+    let replayed = cluster.server_stats[&ServerId(0)].records_replayed.get();
+    PaperRun {
+        records,
+        replayed,
+        wall_secs,
+    }
+}
+
+// ------------------------------------------------------------------
+// Criterion plumbing + JSON emission.
+// ------------------------------------------------------------------
+
+fn bench_kernel(c: &mut Criterion) {
+    let (horizon, ring, in_flight) = if smoke() {
+        (MILLISECOND, 16, 128)
+    } else {
+        (4 * MILLISECOND, 128, 2_048)
+    };
+    let events = run_storm(horizon, ring, in_flight).events_processed();
+    assert!(events > 0, "storm produced no events");
+    let mut g = c.benchmark_group("kernel");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("ping_storm/events", |b| {
+        b.iter_batched(
+            || (),
+            // Returning the simulation keeps its teardown off the clock.
+            |()| {
+                let sim = run_storm(horizon, ring, in_flight);
+                assert_eq!(
+                    sim.events_processed(),
+                    events,
+                    "storm must be deterministic"
+                );
+                sim
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+fn bench_harness(c: &mut Criterion) {
+    let (keys, rate, until) = if smoke() {
+        (500, 20_000.0, 20 * MILLISECOND)
+    } else {
+        (5_000, 50_000.0, 100 * MILLISECOND)
+    };
+    let events = run_migration(keys, rate, until).sim.events_processed();
+    assert!(events > 0, "migration scenario produced no events");
+    let mut g = c.benchmark_group("harness");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("migration/events", |b| {
+        b.iter_batched(
+            || (),
+            // Returning the cluster keeps its teardown off the clock.
+            |()| {
+                let cluster = run_migration(keys, rate, until);
+                assert_eq!(
+                    cluster.sim.events_processed(),
+                    events,
+                    "scenario must be deterministic"
+                );
+                cluster
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(2)
+        .measurement_time(std::time::Duration::from_millis(10))
+        .warm_up_time(std::time::Duration::from_millis(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_kernel, bench_harness
+}
+
+/// Pre-PR kernel numbers (global `BinaryHeap` scheduler, per-record
+/// copies on read/replay/replication, per-message dispatch accounting),
+/// measured on this machine with identical scenarios — the denominator
+/// of the calendar-queue/slab/batched-dispatch speedup. Re-measured
+/// against a worktree pinned at the pre-PR commit, interleaved with the
+/// optimized build on the same machine state (the host's absolute speed
+/// drifts; only same-session A/B ratios are meaningful). Medians of 30
+/// warm in-process rounds for the harness scenario.
+const SEED_BASELINE: &str = r#"  "seed_baseline": [
+    {"id": "kernel/ping_storm/events", "ns_per_iter": 552500000.0, "events_per_sec": 8162615.4},
+    {"id": "harness/migration/events", "ns_per_iter": 40450000.0, "events_per_sec": 808974.0},
+    {"id": "paper/8node_10M/records", "wall_secs": 37.78, "records_per_sec": 264690.3}
+  ],
+"#;
+
+fn emit_json(paper: &PaperRun) {
+    let results = criterion::take_results();
+    let mut out = String::from("{\n  \"bench\": \"simkernel_throughput\",\n");
+    out.push_str(SEED_BASELINE);
+    out.push_str("  \"results\": [\n");
+    for m in results.iter() {
+        let per_sec = match m.throughput {
+            Some(Throughput::Elements(n)) => n as f64 * m.iters_per_sec(),
+            Some(Throughput::Bytes(n)) => n as f64 * m.iters_per_sec(),
+            None => m.iters_per_sec(),
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"events_per_sec\": {:.1}}},\n",
+            m.id, m.ns_per_iter, per_sec,
+        ));
+    }
+    out.push_str(&format!(
+        "    {{\"id\": \"paper/8node_10M/records\", \"wall_secs\": {:.2}, \"records_per_sec\": {:.1}, \"records\": {}, \"replayed\": {}}}\n",
+        paper.wall_secs,
+        paper.records as f64 / paper.wall_secs,
+        paper.records,
+        paper.replayed,
+    ));
+    out.push_str("  ]\n}\n");
+    let path: std::path::PathBuf = if smoke() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target");
+        std::fs::create_dir_all(dir).expect("create target dir");
+        format!("{dir}/simkernel-smoke.json").into()
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simkernel.json").into()
+    };
+    std::fs::write(&path, &out).expect("write simkernel bench json");
+    println!("wrote {}", path.display());
+}
+
+// Custom main instead of criterion_main! so the paper-scale run is
+// timed once (not criterion-sampled) and everything lands in one JSON.
+fn main() {
+    if let Ok(rounds) = std::env::var("ROCKSTEADY_BENCH_SPLIT") {
+        for round in 0..rounds.parse::<u32>().unwrap_or(3) {
+            let t0 = Instant::now();
+            let mut b = ClusterBuilder::new(harness_config());
+            let dir = b.directory();
+            b.add_ycsb(YcsbConfig::ycsb_b(dir, TABLE, 5_000, 50_000.0));
+            b.at(
+                5 * MILLISECOND,
+                ControlCmd::Migrate {
+                    table: TABLE,
+                    range: upper(),
+                    source: ServerId(0),
+                    target: ServerId(1),
+                },
+            );
+            let mut cluster = b.build();
+            let t1 = Instant::now();
+            cluster.create_table(TABLE, &[(HashRange::full(), ServerId(0))]);
+            cluster.load_table(TABLE, 5_000, 30, 100);
+            let t2 = Instant::now();
+            cluster.seed_backups();
+            cluster.split_tablet(TABLE, MID);
+            let t3 = Instant::now();
+            cluster.run_until(100 * MILLISECOND);
+            let t4 = Instant::now();
+            println!(
+                "round {round}: build {:.1} ms, load {:.1} ms, seed {:.1} ms, run {:.1} ms, events {}",
+                (t1 - t0).as_secs_f64() * 1e3,
+                (t2 - t1).as_secs_f64() * 1e3,
+                (t3 - t2).as_secs_f64() * 1e3,
+                (t4 - t3).as_secs_f64() * 1e3,
+                cluster.sim.events_processed()
+            );
+        }
+        return;
+    }
+    benches();
+    let records = if smoke() { 100_000 } else { 10_000_000 };
+    println!("running paper-direction scenario ({records} records / 8 nodes)…");
+    let paper = run_paper_scale(records);
+    println!(
+        "paper/8node_10M: {} records (+{} replayed) in {:.2}s = {:.0} records/s",
+        paper.records,
+        paper.replayed,
+        paper.wall_secs,
+        paper.records as f64 / paper.wall_secs
+    );
+    emit_json(&paper);
+}

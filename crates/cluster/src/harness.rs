@@ -19,7 +19,7 @@ use rocksteady_profiler::{
 use rocksteady_proto::Envelope;
 use rocksteady_server::stats::{registered_stats, StatsHandle};
 use rocksteady_server::{ServerConfig, ServerNode};
-use rocksteady_simnet::{Directory, NicConfig, Simulation};
+use rocksteady_simnet::{Directory, NicConfig, SchedulerKind, Simulation};
 use rocksteady_trace::Tracer;
 use rocksteady_workload::stats::registered_client_stats;
 use rocksteady_workload::{
@@ -80,6 +80,10 @@ pub struct ClusterConfig {
     /// activity bucket. Off by default; charging is pure state mutation
     /// so arming never perturbs the event schedule.
     pub profiling: bool,
+    /// Which event-queue implementation the kernel runs on. Both pop
+    /// in identical `(time, sequence)` order, so this never changes a
+    /// trace — the determinism suite swaps it and asserts exactly that.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for ClusterConfig {
@@ -102,6 +106,7 @@ impl Default for ClusterConfig {
             metrics: false,
             sla: None,
             profiling: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -172,7 +177,7 @@ impl ClusterBuilder {
     /// Builds the simulation.
     pub fn build(self) -> Cluster {
         let cfg = self.cfg;
-        let mut sim = Simulation::new(cfg.nic, cfg.seed);
+        let mut sim = Simulation::with_scheduler(cfg.nic, cfg.seed, cfg.scheduler);
         let coord: CoordHandle = Rc::new(RefCell::new(Coordinator::new()));
         let util: UtilSeriesHandle = Rc::new(RefCell::new(UtilSeries::default()));
         let metrics = Registry::new();
@@ -375,8 +380,14 @@ impl Cluster {
         let map = self.coord.borrow().tablet_map();
         let value = vec![0xcdu8; value_len];
         let mut by_owner: HashMap<ServerId, Vec<u64>> = HashMap::new();
+        // Single pass: each key is formatted (into a reused buffer) and
+        // hashed exactly once, then loaded directly on its owner. Every
+        // master still receives its records in rank order, so versions
+        // and log contents are identical to the two-pass loader this
+        // replaces — only the host-side cost per record changed.
+        let mut key = Vec::with_capacity(key_len);
         for rank in 0..num_keys {
-            let key = rocksteady_workload::core::primary_key(rank, key_len);
+            rocksteady_workload::core::write_primary_key(rank, key_len, &mut key);
             let hash = key_hash(&key);
             let owner = map
                 .iter()
@@ -384,13 +395,9 @@ impl Cluster {
                 .map(|t| t.owner)
                 .expect("load_table: key not covered by any tablet");
             by_owner.entry(owner).or_default().push(rank);
-        }
-        for (owner, ranks) in &by_owner {
-            let node = self.node(*owner);
-            for rank in ranks {
-                let key = rocksteady_workload::core::primary_key(*rank, key_len);
-                node.master.load_object(table, &key, &value);
-            }
+            self.node(owner)
+                .master
+                .load_object_hashed(table, hash, &key, &value);
         }
         by_owner
     }
@@ -409,7 +416,7 @@ impl Cluster {
                     .segments_snapshot()
                     .iter()
                     .filter(|s| s.committed() > 0)
-                    .map(|s| (s.id(), Bytes::copy_from_slice(s.committed_bytes())))
+                    .map(|s| (s.id(), s.committed_as_bytes()))
                     .collect();
                 node.mark_log_durable();
                 images
@@ -418,7 +425,7 @@ impl Cluster {
             for b in backups {
                 let node = self.node(b);
                 for (id, data) in &images {
-                    let outcome = node.backup.append(owner, *id, 0, data);
+                    let outcome = node.backup.append(owner, *id, 0, data.clone());
                     debug_assert!(matches!(outcome, rocksteady_backup::AppendOutcome::Ok));
                 }
             }

@@ -25,5 +25,6 @@ pub use rocksteady_profiler::{
     core_label, critical_path, tail_blame, Activity, CoreLedger, CoreProfile,
     CriticalPathComponent, CriticalPathReport, ProfileSummary, Profiler, TailBlameReport,
 };
+pub use rocksteady_simnet::SchedulerKind;
 pub use sampler::{SnapshotLogHandle, UtilPoint, UtilSeries, UtilSeriesHandle};
 pub use slo::{SloHandle, SloMonitor, SloReport};

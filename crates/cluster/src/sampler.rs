@@ -135,24 +135,35 @@ impl SamplerActor {
             bytes_in: u64,
             bytes_out: u64,
         }
-        let mut windows: HashMap<ServerId, Win> = HashMap::new();
-        for d in self.scraper.scrape(&self.registry) {
-            let Some(server) = d.label("server").and_then(|v| v.parse().ok()).map(ServerId) else {
-                continue;
-            };
-            let w = windows.entry(server).or_default();
-            match d.name {
-                "node_dispatch_busy_ns" => w.dispatch = d.delta,
-                "node_worker_busy_ns" => w.worker = d.delta,
-                "node_bytes_migrated_in" => w.bytes_in = d.delta,
-                "node_bytes_migrated_out" => w.bytes_out = d.delta,
-                _ => {}
-            }
-        }
+        // Scraped in deterministic (name, labels) order; collect into a
+        // small sorted vec rather than a hash map so the tick stays
+        // allocation-light (one vec of a handful of servers).
+        let mut windows: Vec<(ServerId, Win)> = Vec::new();
+        self.scraper
+            .scrape_with(&self.registry, |name, labels, _total, delta| {
+                let server = labels
+                    .iter()
+                    .find(|(k, _)| *k == "server")
+                    .and_then(|(_, v)| v.parse().ok())
+                    .map(ServerId);
+                let Some(server) = server else { return };
+                let w = match windows.binary_search_by_key(&server.0, |(s, _)| s.0) {
+                    Ok(i) => &mut windows[i].1,
+                    Err(i) => {
+                        windows.insert(i, (server, Win::default()));
+                        &mut windows[i].1
+                    }
+                };
+                match name {
+                    "node_dispatch_busy_ns" => w.dispatch = delta,
+                    "node_worker_busy_ns" => w.worker = delta,
+                    "node_bytes_migrated_in" => w.bytes_in = delta,
+                    "node_bytes_migrated_out" => w.bytes_out = delta,
+                    _ => {}
+                }
+            });
         let dt = self.interval as f64;
         let mut out = self.out.borrow_mut();
-        let mut windows: Vec<(ServerId, Win)> = windows.into_iter().collect();
-        windows.sort_by_key(|(server, _)| server.0);
         for (server, w) in windows {
             // A dispatch core is one core: busy time can exceed the
             // interval both benignly (a charge posted at the tick

@@ -1,0 +1,119 @@
+//! A fast non-cryptographic hasher for interior bookkeeping maps.
+//!
+//! The simulator's hot paths are full of small maps keyed by RPC ids,
+//! segment ids, and actor ids — all plain integers generated internally,
+//! never attacker-controlled. `std`'s default SipHash defends against
+//! HashDoS the simulator doesn't face and costs a measurable slice of
+//! every event's budget. [`FxHashMap`] swaps in the multiply-rotate mix
+//! rustc itself uses for its internal tables.
+//!
+//! **Do not** use this for maps whose iteration order leaks into
+//! simulated behavior (event schedules, exported artifacts): iteration
+//! order differs from `std`'s default and from prior runs of itself
+//! across key sets. Every current use either never iterates or reduces
+//! iteration to an order-insensitive fold (sum) or a sorted collect.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-hash ("Fx") mixing function: rotate, xor, multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`]. Construct with
+/// `FxHashMap::default()` (there is no `new()` for custom hashers).
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_a_map() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        assert_eq!(m.insert(7, "a"), None);
+        assert_eq!(m.insert(7, "b"), Some("a"));
+        m.insert(u64::MAX, "edge");
+        assert_eq!(m.get(&7), Some(&"b"));
+        assert_eq!(m.remove(&u64::MAX), Some("edge"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tuple_and_byte_keys_hash_distinctly() {
+        let mut m: FxHashMap<(usize, u64), u32> = FxHashMap::default();
+        for a in 0..32usize {
+            for b in 0..32u64 {
+                m.insert((a, b), (a as u32) * 100 + b as u32);
+            }
+        }
+        assert_eq!(m.len(), 32 * 32);
+        assert_eq!(m.get(&(3, 4)), Some(&304));
+        let mut s: FxHashSet<Vec<u8>> = FxHashSet::default();
+        assert!(s.insert(b"user123".to_vec()));
+        assert!(!s.insert(b"user123".to_vec()));
+        assert!(s.insert(b"user124".to_vec()));
+    }
+}

@@ -38,6 +38,12 @@ pub struct Histogram {
     sum: u128,
     min: u64,
     max: u64,
+    /// Lowest touched bucket index (`usize::MAX` when empty): scans
+    /// (percentile, delta, merge) walk only `[lo, hi]` instead of the
+    /// full ~3 700-bucket array — the samplers diff and rank histograms
+    /// every virtual millisecond.
+    lo: usize,
+    hi: usize,
 }
 
 impl Default for Histogram {
@@ -55,6 +61,8 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            lo: usize::MAX,
+            hi: 0,
         }
     }
 
@@ -89,7 +97,10 @@ impl Histogram {
         if n == 0 {
             return;
         }
-        self.counts[Self::index_of(value)] += n;
+        let idx = Self::index_of(value);
+        self.counts[idx] += n;
+        self.lo = self.lo.min(idx);
+        self.hi = self.hi.max(idx);
         self.total += n;
         self.sum += value as u128 * n as u128;
         self.min = self.min.min(value);
@@ -137,7 +148,13 @@ impl Histogram {
         let q = q.clamp(0.0, 1.0);
         let target = ((q * self.total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
+        for (idx, &c) in self
+            .counts
+            .iter()
+            .enumerate()
+            .take(self.hi + 1)
+            .skip(self.lo)
+        {
             if c == 0 {
                 continue;
             }
@@ -174,17 +191,23 @@ impl Histogram {
         let mut out = Histogram::new();
         let mut first = None;
         let mut last = None;
-        for (idx, (&a, &b)) in self.counts.iter().zip(&prev.counts).enumerate() {
-            let d = a.saturating_sub(b);
-            if d > 0 {
-                out.counts[idx] = d;
-                out.total += d;
-                first.get_or_insert(idx);
-                last = Some(idx);
+        if self.total > 0 {
+            // Any surplus bucket of `self` lies within `self`'s touched
+            // range; `prev`-only buckets saturate to zero regardless.
+            for idx in self.lo..=self.hi {
+                let d = self.counts[idx].saturating_sub(prev.counts[idx]);
+                if d > 0 {
+                    out.counts[idx] = d;
+                    out.total += d;
+                    first.get_or_insert(idx);
+                    last = Some(idx);
+                }
             }
         }
         out.sum = self.sum.saturating_sub(prev.sum);
         if let (Some(first), Some(last)) = (first, last) {
+            out.lo = first;
+            out.hi = last;
             out.min = Self::bucket_low(first).max(self.min);
             out.max = if last >= MAX_INDEX {
                 self.max
@@ -197,24 +220,30 @@ impl Histogram {
 
     /// Adds all observations from `other` into `self`.
     pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum += other.sum;
         if other.total > 0 {
+            for idx in other.lo..=other.hi {
+                self.counts[idx] += other.counts[idx];
+            }
+            self.lo = self.lo.min(other.lo);
+            self.hi = self.hi.max(other.hi);
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
         }
+        self.total += other.total;
+        self.sum += other.sum;
     }
 
     /// Discards all observations.
     pub fn clear(&mut self) {
-        self.counts.fill(0);
+        if self.total > 0 {
+            self.counts[self.lo..=self.hi].fill(0);
+        }
         self.total = 0;
         self.sum = 0;
         self.min = u64::MAX;
         self.max = 0;
+        self.lo = usize::MAX;
+        self.hi = 0;
     }
 }
 

@@ -18,6 +18,7 @@
 //!   [`hist::TimeSeries`] recorder behind the paper's timeline figures.
 
 pub mod cost;
+pub mod fxmap;
 pub mod hist;
 pub mod ids;
 pub mod range;
@@ -27,6 +28,7 @@ pub mod wire;
 pub mod zipf;
 
 pub use cost::CostModel;
+pub use fxmap::{FxHashMap, FxHashSet};
 pub use hist::{Histogram, TimeSeries};
 pub use ids::{key_hash, IndexId, KeyHash, RpcId, ServerId, TableId};
 pub use range::{HashRange, ScanCursor};

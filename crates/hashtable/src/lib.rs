@@ -92,18 +92,20 @@ fn tag_of(hash: KeyHash) -> u16 {
     hash as u16
 }
 
-const EMPTY_SLOT: Slot = Slot {
-    table: TableId(0),
-    hash: 0,
-    log_ref: LogRef {
-        segment: 0,
-        offset: 0,
-    },
-};
-
 /// A fixed eight-slot bucket. Field order puts the tag array and
 /// occupancy bitmap first so the filtering state shares the bucket's
 /// leading cache line.
+///
+/// # Invariant: the all-zero byte pattern is a valid, empty bucket
+///
+/// Every field is zero when empty — tags and slots are plain integers,
+/// `occupied` is an empty bitmap, and `overflow` is `None` (the
+/// guaranteed null-pointer niche of `Option<Box<_>>`). [`HashTable::new`]
+/// relies on this to build bucket arrays from `alloc_zeroed`, so a
+/// paper-scale table (hundreds of MB across masters) costs zero-page
+/// mappings instead of an eager memset, and untouched buckets are never
+/// faulted in at all. Adding a field that is not valid-when-zero breaks
+/// that construction.
 #[repr(C, align(64))]
 #[derive(Clone)]
 struct Bucket {
@@ -113,20 +115,16 @@ struct Bucket {
     occupied: u8,
     /// Inline entries; valid only where `occupied` has the bit set.
     slots: [Slot; SLOTS_PER_BUCKET],
-    /// Spill chain for buckets with more than eight colliding entries.
-    overflow: Vec<Slot>,
+    /// Spill chain for buckets with more than eight colliding entries;
+    /// boxed so the empty case is a null pointer (see invariant above —
+    /// `Option<Vec<_>>`'s `None` is not guaranteed to be all-zero bytes,
+    /// `Option<Box<_>>`'s is, and overflow is rare enough that the extra
+    /// indirection never shows up).
+    #[allow(clippy::box_collection)]
+    overflow: Option<Box<Vec<Slot>>>,
 }
 
 impl Bucket {
-    const fn new() -> Self {
-        Bucket {
-            tags: [0; SLOTS_PER_BUCKET],
-            occupied: 0,
-            slots: [EMPTY_SLOT; SLOTS_PER_BUCKET],
-            overflow: Vec::new(),
-        }
-    }
-
     /// Visits every occupied entry (inline then overflow).
     fn for_each(&self, mut f: impl FnMut(&Slot)) {
         let mut occ = self.occupied;
@@ -135,9 +133,38 @@ impl Bucket {
             occ &= occ - 1;
             f(&self.slots[i]);
         }
-        for slot in &self.overflow {
-            f(slot);
+        if let Some(of) = &self.overflow {
+            for slot in of.iter() {
+                f(slot);
+            }
         }
+    }
+
+    /// The overflow chain as a (possibly empty) slice.
+    fn spill(&self) -> &[Slot] {
+        self.overflow.as_deref().map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Allocates `n` buckets as one flat zeroed slice.
+///
+/// `alloc_zeroed` hands back freshly mapped zero pages, so construction
+/// is O(1) in touched memory and buckets fault in lazily on first use.
+fn zeroed_buckets(n: usize) -> Box<[Bucket]> {
+    use std::alloc::{alloc_zeroed, handle_alloc_error, Layout};
+    if n == 0 {
+        return Box::from([]);
+    }
+    let layout = Layout::array::<Bucket>(n).expect("bucket array layout");
+    // SAFETY: the all-zero byte pattern is a valid `Bucket` (see the
+    // invariant on the struct), the layout matches `[Bucket; n]`, and
+    // ownership of the allocation transfers to the returned `Box`.
+    unsafe {
+        let ptr = alloc_zeroed(layout) as *mut Bucket;
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, n))
     }
 }
 
@@ -172,12 +199,7 @@ impl HashTable {
         let buckets_per_stripe = (bucket_count as usize) / stripe_count;
         let stripes = (0..stripe_count)
             .map(|_| Stripe {
-                buckets: RwLock::new(
-                    (0..buckets_per_stripe)
-                        .map(|_| Bucket::new())
-                        .collect::<Vec<_>>()
-                        .into_boxed_slice(),
-                ),
+                buckets: RwLock::new(zeroed_buckets(buckets_per_stripe)),
             })
             .collect();
         HashTable {
@@ -249,7 +271,7 @@ impl HashTable {
                 };
             }
         }
-        for slot in &bucket.overflow {
+        for slot in bucket.spill() {
             probes += 1;
             if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
                 return Probed {
@@ -299,15 +321,17 @@ impl HashTable {
                 };
             }
         }
-        for slot in &mut bucket.overflow {
-            probes += 1;
-            if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
-                let old = slot.log_ref;
-                slot.log_ref = new_ref;
-                return Probed {
-                    value: Upsert::Replaced(old),
-                    probes,
-                };
+        if let Some(of) = &mut bucket.overflow {
+            for slot in of.iter_mut() {
+                probes += 1;
+                if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
+                    let old = slot.log_ref;
+                    slot.log_ref = new_ref;
+                    return Probed {
+                        value: Upsert::Replaced(old),
+                        probes,
+                    };
+                }
             }
         }
         let slot = Slot {
@@ -321,7 +345,10 @@ impl HashTable {
             bucket.slots[i] = slot;
             bucket.occupied |= 1 << i;
         } else {
-            bucket.overflow.push(slot);
+            bucket
+                .overflow
+                .get_or_insert_with(Default::default)
+                .push(slot);
         }
         self.len.fetch_add(1, Ordering::Relaxed);
         Probed {
@@ -355,7 +382,7 @@ impl HashTable {
             if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
                 // Promote a spilled entry into the freed inline slot so the
                 // overflow chain stays empty in the common case.
-                if let Some(spill) = bucket.overflow.pop() {
+                if let Some(spill) = bucket.overflow.as_mut().and_then(|of| of.pop()) {
                     bucket.tags[i] = tag_of(spill.hash);
                     bucket.slots[i] = spill;
                 } else {
@@ -368,16 +395,18 @@ impl HashTable {
                 };
             }
         }
-        for i in 0..bucket.overflow.len() {
-            probes += 1;
-            let slot = bucket.overflow[i];
-            if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
-                bucket.overflow.swap_remove(i);
-                self.len.fetch_sub(1, Ordering::Relaxed);
-                return Probed {
-                    value: Some(slot.log_ref),
-                    probes,
-                };
+        if let Some(of) = &mut bucket.overflow {
+            for i in 0..of.len() {
+                probes += 1;
+                let slot = of[i];
+                if slot.table == table && slot.hash == hash && is_match(slot.log_ref) {
+                    of.swap_remove(i);
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    return Probed {
+                        value: Some(slot.log_ref),
+                        probes,
+                    };
+                }
             }
         }
         Probed {
@@ -408,10 +437,12 @@ impl HashTable {
                 return true;
             }
         }
-        for slot in &mut bucket.overflow {
-            if slot.table == table && slot.hash == hash && slot.log_ref == old {
-                slot.log_ref = new;
-                return true;
+        if let Some(of) = &mut bucket.overflow {
+            for slot in of.iter_mut() {
+                if slot.table == table && slot.hash == hash && slot.log_ref == old {
+                    slot.log_ref = new;
+                    return true;
+                }
             }
         }
         false

@@ -33,6 +33,6 @@ pub mod sidelog;
 
 pub use cleaner::{CleanStats, Cleaner, Relocation, Relocator};
 pub use entry::{EntryKind, EntryView, OwnedEntry, ENTRY_HEADER_BYTES};
-pub use log::{EntrySlices, Log, LogConfig, LogError, LogRef, LogStats, SliceReader};
+pub use log::{EntrySlices, Log, LogConfig, LogError, LogRef, LogStats, SliceReader, WindowCache};
 pub use segment::Segment;
 pub use sidelog::{SideLog, SideLogAppender};

@@ -8,12 +8,12 @@
 //! source depends on the target's recovery log *from this offset*"
 //! (§3.4).
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
+use rocksteady_common::FxHashMap;
 
 use crate::entry::{self, EntryKind, EntryView, OwnedEntry, ENTRY_HEADER_BYTES};
 use crate::segment::Segment;
@@ -100,7 +100,7 @@ pub struct LogStats {
 
 struct Inner {
     /// All segments by id, including the head.
-    segments: HashMap<u64, Arc<Segment>>,
+    segments: FxHashMap<u64, Arc<Segment>>,
     /// Segment ids in adoption order (head last). Recovery and the
     /// baseline migration scan in this order.
     order: Vec<u64>,
@@ -122,14 +122,14 @@ pub struct Log {
     /// Uncommitted side-log segments, resolvable by readers (the hash
     /// table points into them during parallel replay, §3.1.3) but not yet
     /// part of the log proper.
-    side_segments: RwLock<HashMap<u64, Arc<Segment>>>,
+    side_segments: RwLock<FxHashMap<u64, Arc<Segment>>>,
 }
 
 impl Log {
     /// Creates an empty log with one open head segment.
     pub fn new(config: LogConfig) -> Self {
         let head = Arc::new(Segment::new(0, config.segment_bytes));
-        let mut segments = HashMap::new();
+        let mut segments = FxHashMap::default();
         segments.insert(0, Arc::clone(&head));
         Log {
             config,
@@ -141,7 +141,7 @@ impl Log {
             next_segment_id: AtomicU64::new(1),
             appended_bytes: AtomicU64::new(0),
             appended_entries: AtomicU64::new(0),
-            side_segments: RwLock::new(HashMap::new()),
+            side_segments: RwLock::new(FxHashMap::default()),
         }
     }
 
@@ -269,9 +269,17 @@ impl Log {
     /// The closure form avoids handing out self-referential guards; the
     /// segment `Arc` keeps the bytes alive for the duration of the call
     /// even if the cleaner concurrently retires the segment.
+    ///
+    /// Entries are decoded with [`entry::parse_trusted`]: every entry in
+    /// this log was checksummed when it was serialized into the segment
+    /// (locally by `write_entry`, or verified before adoption on the
+    /// replay/recovery paths), so the per-access CRC pass would only
+    /// re-prove what the append already established. This is the hot
+    /// read-path accessor — reads, hash-chain key comparisons, and
+    /// dead-byte accounting all funnel through it.
     pub fn with_entry<T>(&self, r: LogRef, f: impl FnOnce(&EntryView<'_>) -> T) -> Option<T> {
         let seg = self.segment(r.segment)?;
-        let (view, _) = seg.entry_at(r.offset).ok()?;
+        let (view, _) = seg.entry_at_trusted(r.offset).ok()?;
         Some(f(&view))
     }
 
@@ -291,7 +299,7 @@ impl Log {
     pub fn slice_reader(&self) -> SliceReader<'_> {
         SliceReader {
             log: self,
-            windows: HashMap::new(),
+            cache: WindowCache::new(),
         }
     }
 
@@ -404,13 +412,38 @@ pub struct EntrySlices {
 pub struct SliceReader<'a> {
     log: &'a Log,
     /// Committed-prefix window per segment id, filled on first touch.
-    windows: HashMap<u64, Bytes>,
+    cache: WindowCache,
 }
 
 impl SliceReader<'_> {
     /// Resolves `r` to zero-copy slices, or `None` if the segment is gone
     /// or the offset holds no committed entry.
     pub fn entry_slices(&mut self, r: LogRef) -> Option<EntrySlices> {
+        self.cache.entry_slices(self.log, r)
+    }
+}
+
+/// The owning form of [`SliceReader`]: a committed-prefix [`Bytes`]
+/// window per segment id that persists *across* batches, so a long-lived
+/// reader (the master's data path) pays the one owner allocation per
+/// segment once per segment lifetime, not once per batch. Windows hold
+/// the segment `Arc`, so a cached window stays valid even after the
+/// cleaner retires the segment; a window that predates an append into
+/// the open head segment is transparently re-taken.
+#[derive(Debug, Default)]
+pub struct WindowCache {
+    windows: FxHashMap<u64, Bytes>,
+}
+
+impl WindowCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        WindowCache::default()
+    }
+
+    /// Resolves `r` within `log` to zero-copy slices, or `None` if the
+    /// segment is gone or the offset holds no committed entry.
+    pub fn entry_slices(&mut self, log: &Log, r: LogRef) -> Option<EntrySlices> {
         if let Some(window) = self.windows.get(&r.segment) {
             if let Some(e) = Self::decode(window, r.offset) {
                 return Some(e);
@@ -419,9 +452,34 @@ impl SliceReader<'_> {
             // head segment that this ref points at; fall through and
             // re-window before concluding the entry doesn't exist.
         }
-        let window = self.log.segment_bytes(r.segment)?;
+        let window = log.segment_bytes(r.segment)?;
         self.windows.insert(r.segment, window.clone());
         Self::decode(&window, r.offset)
+    }
+
+    /// The full serialized bytes of the entry at `r` (header + key +
+    /// value) as one zero-copy window slice — the unit the write path
+    /// replicates to backups.
+    pub fn entry_bytes(&mut self, log: &Log, r: LogRef) -> Option<Bytes> {
+        if let Some(window) = self.windows.get(&r.segment) {
+            if let Some(b) = Self::slice_entry(window, r.offset) {
+                return Some(b);
+            }
+            // Stale head-segment window; re-take below.
+        }
+        let window = log.segment_bytes(r.segment)?;
+        self.windows.insert(r.segment, window.clone());
+        Self::slice_entry(&window, r.offset)
+    }
+
+    fn slice_entry(window: &Bytes, offset: u32) -> Option<Bytes> {
+        let buf = window.as_slice();
+        let off = offset as usize;
+        if off >= buf.len() {
+            return None;
+        }
+        let (_, len) = entry::parse_trusted(&buf[off..]).ok()?;
+        Some(window.slice(off..off + len))
     }
 
     fn decode(window: &Bytes, offset: u32) -> Option<EntrySlices> {

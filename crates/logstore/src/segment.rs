@@ -255,6 +255,20 @@ impl Segment {
         entry::parse(&bytes[offset..])
     }
 
+    /// Parses the entry at `offset` without re-verifying its checksum
+    /// (see [`entry::parse_trusted`]): for reads of a master's own
+    /// committed log memory, whose entries were checksummed when
+    /// [`Segment::append`] serialized them. Bytes of foreign origin must
+    /// go through [`Segment::entry_at`].
+    pub fn entry_at_trusted(&self, offset: u32) -> Result<(EntryView<'_>, usize), ParseError> {
+        let bytes = self.committed_bytes();
+        let offset = offset as usize;
+        if offset >= bytes.len() {
+            return Err(ParseError::Truncated);
+        }
+        entry::parse_trusted(&bytes[offset..])
+    }
+
     /// Iterates all committed entries in append order as
     /// `(offset, EntryView)` pairs.
     ///

@@ -18,6 +18,7 @@ use rocksteady_hashtable::{HashTable, Upsert};
 use rocksteady_logstore::entry::serialized_len;
 use rocksteady_logstore::{
     Cleaner, EntryKind, Log, LogConfig, LogError, LogRef, Relocation, Relocator, SideLog,
+    WindowCache,
 };
 use rocksteady_proto::Record;
 
@@ -80,6 +81,11 @@ pub struct MasterService {
     /// Next object version; strictly greater than every version this
     /// master has ever written or replayed.
     next_version: u64,
+    /// Persistent zero-copy window cache for the read path: one
+    /// committed-prefix `Bytes` owner per segment lifetime, so reads
+    /// return refcounted slices of segment memory instead of copying
+    /// values out. Interior mutability because `read` is `&self`.
+    read_windows: std::cell::RefCell<WindowCache>,
 }
 
 impl MasterService {
@@ -92,6 +98,7 @@ impl MasterService {
             tablets: Vec::new(),
             indexlets: Vec::new(),
             next_version: 1,
+            read_windows: std::cell::RefCell::new(WindowCache::new()),
         }
     }
 
@@ -242,23 +249,25 @@ impl MasterService {
         work.probes += found.probes as u64;
         match found.value {
             Some(r) => {
-                let out = self
-                    .log
-                    .with_entry(r, |v| {
-                        if v.kind == EntryKind::Tombstone {
-                            // A tombstone slot is authoritative: the key
-                            // is deleted at (at least) this version, and
-                            // version-max replay guarantees nothing older
-                            // can resurrect it.
-                            None
-                        } else {
-                            Some((Bytes::copy_from_slice(v.value), v.version))
-                        }
-                    })
+                // Zero-copy on the host: the returned value is a
+                // refcounted slice of segment memory via the persistent
+                // window cache. The *simulated* copy into the RPC
+                // response buffer is still charged through
+                // `work.copied_bytes` below, so timing is unchanged.
+                let e = self
+                    .read_windows
+                    .borrow_mut()
+                    .entry_slices(&self.log, r)
                     .ok_or(OpError::NotFound)?;
-                let out = out.ok_or(OpError::NotFound)?;
-                work.copied_bytes += out.0.len() as u64;
-                Ok(out)
+                if e.kind == EntryKind::Tombstone {
+                    // A tombstone slot is authoritative: the key is
+                    // deleted at (at least) this version, and
+                    // version-max replay guarantees nothing older can
+                    // resurrect it.
+                    return Err(OpError::NotFound);
+                }
+                work.copied_bytes += e.value.len() as u64;
+                Ok((e.value, e.version))
             }
             None if pulling => Err(OpError::NotYetHere { hash }),
             None => Err(OpError::NotFound),
@@ -348,11 +357,9 @@ impl MasterService {
     /// segment. The backup's own ingest charges the memcpy; the source
     /// only checksums the chunk onto the wire.
     pub fn entry_bytes(&self, r: LogRef, work: &mut Work) -> Option<Bytes> {
-        let seg = self.log.segment(r.segment)?;
-        let (_, len) = seg.entry_at(r.offset).ok()?;
-        work.checksummed_bytes += len as u64;
-        let start = r.offset as usize;
-        Some(seg.committed_as_bytes().slice(start..start + len))
+        let bytes = self.read_windows.borrow_mut().entry_bytes(&self.log, r)?;
+        work.checksummed_bytes += bytes.len() as u64;
+        Some(bytes)
     }
 
     // ------------------------------------------------------------------
@@ -613,7 +620,20 @@ impl MasterService {
     /// skips tablet-ownership checks (the harness loads tables before the
     /// coordinator map exists).
     pub fn load_object(&mut self, table: TableId, key: &[u8], value: &[u8]) -> LogRef {
-        let hash = rocksteady_common::key_hash(key);
+        self.load_object_hashed(table, rocksteady_common::key_hash(key), key, value)
+    }
+
+    /// [`MasterService::load_object`] with the key hash precomputed —
+    /// the bulk loader already hashed every key to route it to its
+    /// owner, and paper-scale loads (10⁷+ records) cannot afford to
+    /// hash twice.
+    pub fn load_object_hashed(
+        &mut self,
+        table: TableId,
+        hash: KeyHash,
+        key: &[u8],
+        value: &[u8],
+    ) -> LogRef {
         let version = self.take_version();
         let r = self
             .log

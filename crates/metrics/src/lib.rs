@@ -740,9 +740,28 @@ impl CounterDelta {
 /// mechanism behind the harness sampler. Instruments registered after
 /// scraping began (a server joining mid-run) are picked up on their
 /// first scrape with their full total as the first delta.
+///
+/// Registration is append-only, so the scraper caches its schema (the
+/// sorted series order, rendered label keys, and cloned counter
+/// handles) and rebuilds it only when the registry has grown. The
+/// steady-state scrape is then a plain walk over cached cells with no
+/// allocation, rendering, or sorting — it runs on every sampler tick.
 #[derive(Debug, Default)]
 pub struct DeltaScraper {
-    last: HashMap<(&'static str, String), u64>,
+    /// Cached counter series in deterministic `(name, labels)` order.
+    entries: Vec<ScrapeEntry>,
+    /// Registry instrument count covered by `entries`; a mismatch
+    /// triggers a schema rebuild (instruments are never removed).
+    seen: usize,
+}
+
+#[derive(Debug)]
+struct ScrapeEntry {
+    name: &'static str,
+    labels: Vec<Label>,
+    rendered: String,
+    cell: Counter,
+    last: u64,
 }
 
 impl DeltaScraper {
@@ -751,33 +770,72 @@ impl DeltaScraper {
         DeltaScraper::default()
     }
 
-    /// Reads every counter in `reg`, returning deltas since the last
-    /// call in deterministic `(name, labels)` order.
-    pub fn scrape(&mut self, reg: &Registry) -> Vec<CounterDelta> {
+    fn rebuild(&mut self, reg: &Registry) {
         let inner = reg.0.borrow();
-        let mut out: Vec<CounterDelta> = inner
+        let mut carried: HashMap<(&'static str, String), u64> = self
+            .entries
+            .drain(..)
+            .map(|e| ((e.name, e.rendered), e.last))
+            .collect();
+        self.entries = inner
             .instruments
             .iter()
             .filter_map(|ins| match &ins.slot {
-                Slot::Counter(c) => Some((ins.name, ins.labels.clone(), c.get())),
+                Slot::Counter(c) => {
+                    let rendered = render_labels(&ins.labels);
+                    let last = carried.remove(&(ins.name, rendered.clone())).unwrap_or(0);
+                    Some(ScrapeEntry {
+                        name: ins.name,
+                        labels: ins.labels.clone(),
+                        rendered,
+                        cell: c.clone(),
+                        last,
+                    })
+                }
                 _ => None,
             })
-            .map(|(name, labels, total)| {
-                let key = (name, render_labels(&labels));
-                let prev = self.last.insert(key, total).unwrap_or(0);
-                // Reset tolerance: a total below the previous reading
-                // means the counter restarted; count from zero.
-                let delta = if total >= prev { total - prev } else { total };
-                CounterDelta {
-                    name,
-                    labels,
-                    total,
-                    delta,
-                }
-            })
             .collect();
-        out.sort_by(|a, b| {
-            (a.name, render_labels(&a.labels)).cmp(&(b.name, render_labels(&b.labels)))
+        self.entries
+            .sort_by(|a, b| (a.name, &a.rendered).cmp(&(b.name, &b.rendered)));
+        self.seen = inner.instruments.len();
+    }
+
+    /// Visits every counter in `reg` in deterministic `(name, labels)`
+    /// order, passing `(name, labels, total, delta)` — the allocation-
+    /// free form of [`scrape`](DeltaScraper::scrape).
+    pub fn scrape_with(
+        &mut self,
+        reg: &Registry,
+        mut f: impl FnMut(&'static str, &[Label], u64, u64),
+    ) {
+        if reg.0.borrow().instruments.len() != self.seen {
+            self.rebuild(reg);
+        }
+        for e in &mut self.entries {
+            let total = e.cell.get();
+            // Reset tolerance: a total below the previous reading
+            // means the counter restarted; count from zero.
+            let delta = if total >= e.last {
+                total - e.last
+            } else {
+                total
+            };
+            e.last = total;
+            f(e.name, &e.labels, total, delta);
+        }
+    }
+
+    /// Reads every counter in `reg`, returning deltas since the last
+    /// call in deterministic `(name, labels)` order.
+    pub fn scrape(&mut self, reg: &Registry) -> Vec<CounterDelta> {
+        let mut out = Vec::new();
+        self.scrape_with(reg, |name, labels, total, delta| {
+            out.push(CounterDelta {
+                name,
+                labels: labels.to_vec(),
+                total,
+                delta,
+            })
         });
         out
     }

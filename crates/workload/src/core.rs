@@ -90,8 +90,37 @@ impl ClientCore {
 /// zero-padded on the *left* to fill `key_len` bytes (the paper uses
 /// 30 B keys; §4.1). Left-padding keeps every rank distinct.
 pub fn primary_key(rank: u64, key_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key_len.max(4 + 20));
+    write_primary_key(rank, key_len, &mut out);
+    out
+}
+
+/// Formats the `rank`-th primary key into `out` (cleared first) without
+/// allocating in the steady state — the bulk-load path formats millions
+/// of keys and must not pay a `format!` heap allocation per record.
+/// Produces byte-identical output to [`primary_key`].
+pub fn write_primary_key(rank: u64, key_len: usize, out: &mut Vec<u8>) {
     let digits = key_len.saturating_sub(4).max(1);
-    format!("user{rank:0digits$}").into_bytes()
+    // `format!("{rank:0digits$}")` pads to `digits` but never truncates;
+    // match that by widening to the rank's own decimal length if needed.
+    let mut need = 1;
+    let mut r = rank;
+    while r >= 10 {
+        need += 1;
+        r /= 10;
+    }
+    let width = digits.max(need);
+    out.clear();
+    out.extend_from_slice(b"user");
+    let start = out.len();
+    out.resize(start + width, b'0');
+    let mut r = rank;
+    let mut i = start + width;
+    while r > 0 {
+        i -= 1;
+        out[i] = b'0' + (r % 10) as u8;
+        r /= 10;
+    }
 }
 
 /// Hash of the `rank`-th primary key.

@@ -8,17 +8,16 @@
 //! backlogged demand reappears as the post-migration throughput spike the
 //! paper shows in Figure 9.
 
-use std::collections::HashMap;
-
 use bytes::Bytes;
 use rocksteady_common::rng::Prng;
 use rocksteady_common::zipf::{KeyDist, KeySampler};
-use rocksteady_common::{Nanos, RpcId, TableId};
+use rocksteady_common::FxHashMap;
+use rocksteady_common::{key_hash, KeyHash, Nanos, RpcId, TableId};
 use rocksteady_proto::{Body, Envelope, Request, Response, Status};
 use rocksteady_simnet::{Actor, Ctx, Directory, Event};
 use rocksteady_trace::Tracer;
 
-use crate::core::{primary_hash, primary_key, ClientCore};
+use crate::core::{primary_key, ClientCore};
 use crate::stats::ClientStatsHandle;
 
 const TOK_ARRIVAL: u64 = 1;
@@ -102,9 +101,13 @@ pub struct YcsbClient {
     stats: ClientStatsHandle,
     sampler: KeySampler,
     rng: Prng,
-    ops: HashMap<u64, Op>,
-    rpc_to_op: HashMap<RpcId, u64>,
+    ops: FxHashMap<u64, Op>,
+    rpc_to_op: FxHashMap<RpcId, u64>,
     waiting_for_map: Vec<u64>,
+    /// Memoized `rank -> (hash, serialized key)`. Zipfian traffic revisits
+    /// hot ranks constantly; caching turns two heap allocations plus a
+    /// key hash per issue into a map probe and an `Arc` bump.
+    key_cache: FxHashMap<u64, (KeyHash, Bytes)>,
     next_op: u64,
     pending_arrivals: u64,
     value: Bytes,
@@ -122,9 +125,13 @@ impl YcsbClient {
             stats,
             sampler,
             rng,
-            ops: HashMap::new(),
-            rpc_to_op: HashMap::new(),
+            ops: FxHashMap::with_capacity_and_hasher(2 * cfg.max_outstanding, Default::default()),
+            rpc_to_op: FxHashMap::with_capacity_and_hasher(
+                2 * cfg.max_outstanding,
+                Default::default(),
+            ),
             waiting_for_map: Vec::new(),
+            key_cache: FxHashMap::default(),
             next_op: 1,
             pending_arrivals: 0,
             value,
@@ -180,13 +187,21 @@ impl YcsbClient {
         let Some(op) = self.ops.get(&op_id) else {
             return;
         };
-        let hash = primary_hash(op.rank, self.cfg.key_len);
+        let (hash, key) = match self.key_cache.get(&op.rank) {
+            Some((h, k)) => (*h, k.clone()),
+            None => {
+                let raw = primary_key(op.rank, self.cfg.key_len);
+                let h = key_hash(&raw);
+                let k = Bytes::from(raw);
+                self.key_cache.insert(op.rank, (h, k.clone()));
+                (h, k)
+            }
+        };
         let Some(owner) = self.core.owner_of(hash) else {
             self.waiting_for_map.push(op_id);
             self.core.request_map(ctx);
             return;
         };
-        let key = Bytes::from(primary_key(op.rank, self.cfg.key_len));
         let req = match op.kind {
             OpKind::Read => Request::Read {
                 table: self.cfg.table,

@@ -1,0 +1,122 @@
+//! Allocation-count gate for the migration hot path.
+//!
+//! The gather (Pull source) and replay (Pull target) paths were made
+//! slab/arena-backed: gathered keys and values alias the log's segments
+//! as refcounted slices, and replay bump-appends into segments without
+//! per-record heap boxes. This gate pins that property with a counting
+//! global allocator: if a change reintroduces a per-record allocation on
+//! either path, the per-record allocation rate regresses past the floor
+//! and this test fails. (`ci.sh` runs it as part of the tier-1 suite.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rocksteady_common::{key_hash, HashRange, ScanCursor, TableId};
+use rocksteady_logstore::LogConfig;
+use rocksteady_master::{MasterConfig, MasterService, ReplayDest, TabletRole, Work};
+use rocksteady_workload::core::primary_key;
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+const T: TableId = TableId(1);
+const RECORDS: u64 = 10_000;
+
+fn loaded_master() -> MasterService {
+    let mut m = MasterService::new(MasterConfig {
+        log: LogConfig {
+            segment_bytes: 1 << 20,
+            max_segments: None,
+        },
+        hash_buckets: (RECORDS as usize / 4).next_power_of_two(),
+        hash_stripes: 64,
+        ..MasterConfig::default()
+    });
+    m.add_tablet(T, HashRange::full(), TabletRole::Owner);
+    let value = [0xabu8; 100];
+    for rank in 0..RECORDS {
+        let key = primary_key(rank, 30);
+        m.load_object_hashed(T, key_hash(&key), &key, &value);
+    }
+    m
+}
+
+#[test]
+fn gather_and_replay_stay_allocation_free_per_record() {
+    let source = loaded_master();
+    let mut target = MasterService::new(MasterConfig {
+        log: LogConfig {
+            segment_bytes: 1 << 20,
+            max_segments: None,
+        },
+        hash_buckets: (RECORDS as usize / 4).next_power_of_two(),
+        hash_stripes: 64,
+        ..MasterConfig::default()
+    });
+    target.add_tablet(T, HashRange::full(), TabletRole::Owner);
+    let mut work = Work::default();
+
+    // Gather the whole table in Pull-sized batches, counting allocations.
+    // Everything gathered aliases the log (zero-copy slices); the only
+    // allowed allocations are batch-level: the records Vec's growth
+    // doublings and one window handle per touched segment.
+    let mut batches: Vec<Vec<rocksteady_proto::Record>> = Vec::new();
+    let mut cursor = Some(ScanCursor::default());
+    let before = allocs();
+    while let Some(c) = cursor {
+        let (recs, next) = source.gather_range(T, HashRange::full(), c, 64 * 1024, &mut work);
+        if !recs.is_empty() {
+            batches.push(recs);
+        }
+        cursor = next;
+    }
+    let gather_allocs = allocs() - before;
+    let gathered: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    assert_eq!(gathered, RECORDS, "gather must visit every record");
+    // Floor: strictly sub-per-record. Batch Vec growth across ~25
+    // doublings per 64 KB batch plus segment windows lands well under
+    // 0.05 allocations per record; 0.10 leaves headroom without letting
+    // a true per-record allocation (1.0/record) sneak in.
+    assert!(
+        (gather_allocs as f64) < 0.10 * RECORDS as f64,
+        "gather allocation regression: {gather_allocs} allocs for {RECORDS} records"
+    );
+
+    // Replay the gathered batches into the target, counting allocations.
+    // Appends bump into open segments; allocations are per-segment (new
+    // segment buffers) and per-bucket (rare overflow pushes), not
+    // per-record.
+    let before = allocs();
+    let mut applied = 0;
+    for batch in &batches {
+        applied += target.replay_batch(batch, ReplayDest::MainLog, &mut work);
+    }
+    let replay_allocs = allocs() - before;
+    assert_eq!(applied, RECORDS as usize, "replay must apply every record");
+    assert!(
+        (replay_allocs as f64) < 0.10 * RECORDS as f64,
+        "replay allocation regression: {replay_allocs} allocs for {RECORDS} records"
+    );
+}

@@ -268,7 +268,9 @@ impl Bencher {
     }
 
     /// Times `routine` on inputs produced by `setup`; setup time is
-    /// excluded from the measurement.
+    /// excluded from the measurement, and — as in real criterion — so is
+    /// dropping the routine's output (returning a heavy structure is how
+    /// a bench keeps teardown off the clock).
     pub fn iter_batched<I, O>(
         &mut self,
         mut setup: impl FnMut() -> I,
@@ -277,9 +279,10 @@ impl Bencher {
     ) {
         let input = setup();
         let start = Instant::now();
-        hint::black_box(routine(input));
+        let output = hint::black_box(routine(input));
         self.elapsed += start.elapsed();
         self.iters += 1;
+        drop(output);
     }
 }
 
