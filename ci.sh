@@ -81,6 +81,18 @@ test -s target/figures/micro_industry.csv
 grep -q 'ours_over_industry' target/figures/micro_industry.csv
 grep -q 'SOSP' target/figures/micro_industry.csv
 
+echo "==> bench smoke: day_in_the_life (autonomous rebalancer, concurrent migrations)"
+rm -f target/figures/day_in_the_life_summary.csv target/figures/day_in_the_life_latency.csv
+ROCKSTEADY_BENCH_SMOKE=1 cargo bench -p rocksteady-bench --bench day_in_the_life
+test -s target/figures/day_in_the_life_summary.csv
+head -1 target/figures/day_in_the_life_summary.csv \
+    | grep -q '^mode,breach_intervals,breach_minutes,moves_admitted,moves_completed,peak_concurrent$'
+# The rebalanced day must have run >= 2 migrations concurrently.
+peak=$(awk -F, '$1 == "rebalanced" { print $6 }' target/figures/day_in_the_life_summary.csv)
+[ "${peak:-0}" -ge 2 ] || { echo "FAIL: peak concurrent migrations ${peak:-0} < 2"; exit 1; }
+test -s target/figures/day_in_the_life_latency.csv
+head -1 target/figures/day_in_the_life_latency.csv | grep -q '^mode,t_ns,p50_ns,p999_ns$'
+
 echo "==> allocation gate: migration gather/replay path"
 cargo test -q --test alloc_gate
 

@@ -13,7 +13,7 @@ use rocksteady_bench::{
 };
 use rocksteady_cluster::{Cluster, ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::{fmt_nanos, mb_per_sec};
-use rocksteady_common::{Nanos, ServerId, MILLISECOND, SECOND};
+use rocksteady_common::{MigrationId, Nanos, ServerId, MILLISECOND, SECOND};
 use rocksteady_master::TabletRole;
 use rocksteady_workload::YcsbConfig;
 
@@ -67,6 +67,7 @@ fn run(variant: Variant) -> Out {
             opts: Default::default(),
         },
         _ => ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),

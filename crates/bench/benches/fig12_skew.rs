@@ -10,7 +10,7 @@
 use rocksteady_bench::{check, export_csv, mean, print_table1, standard_setup, upper, TABLE};
 use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::zipf::KeyDist;
-use rocksteady_common::{Nanos, ServerId, MILLISECOND};
+use rocksteady_common::{MigrationId, Nanos, ServerId, MILLISECOND};
 use rocksteady_workload::YcsbConfig;
 
 const KEYS: u64 = 300_000;
@@ -45,6 +45,7 @@ fn run(theta: f64) -> (f64, f64, Vec<(Nanos, f64)>) {
     b.at(
         MIG_AT,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),

@@ -17,7 +17,7 @@ use rocksteady_bench::{
 };
 use rocksteady_cluster::{Cluster, ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::fmt_nanos;
-use rocksteady_common::{Nanos, ServerId, MILLISECOND, SECOND};
+use rocksteady_common::{MigrationId, Nanos, ServerId, MILLISECOND, SECOND};
 use rocksteady_workload::YcsbConfig;
 
 const KEYS: u64 = 300_000;
@@ -55,6 +55,7 @@ fn run(sync: bool) -> Out {
     b.at(
         MIG_AT,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),

@@ -14,7 +14,7 @@
 use rocksteady_bench::{check, print_table1, TABLE};
 use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::mb_per_sec;
-use rocksteady_common::{HashRange, ServerId, MILLISECOND, SECOND};
+use rocksteady_common::{HashRange, MigrationId, ServerId, MILLISECOND, SECOND};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Side {
@@ -49,6 +49,7 @@ fn run(side: Side, workers: usize, value_len: usize) -> f64 {
     b.at(
         MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: HashRange::full(),
             source: ServerId(0),
@@ -59,7 +60,7 @@ fn run(side: Side, workers: usize, value_len: usize) -> f64 {
     cluster.create_table(TABLE, &[(HashRange::full(), ServerId(0))]);
     cluster.load_table(TABLE, keys, 30, value_len);
     let finished = cluster
-        .run_until_migrated(ServerId(1), 30 * SECOND)
+        .run_until_migrated(ServerId(1), MigrationId(1), 30 * SECOND)
         .expect("migration completes");
     let bytes = cluster.server_stats[&ServerId(1)].bytes_migrated_in.get();
     mb_per_sec(bytes, finished - MILLISECOND)

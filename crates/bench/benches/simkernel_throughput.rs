@@ -30,7 +30,7 @@ use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use rocksteady_bench::{upper, MID, TABLE};
 use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::wire::{SimMessage, WireSized};
-use rocksteady_common::{HashRange, Nanos, ServerId, MILLISECOND};
+use rocksteady_common::{HashRange, MigrationId, Nanos, ServerId, MILLISECOND};
 use rocksteady_simnet::{Actor, ActorId, Ctx, Event, NicConfig, Simulation};
 use rocksteady_workload::YcsbConfig;
 
@@ -187,6 +187,7 @@ fn build_migration(keys: u64, ops_per_sec: f64) -> rocksteady_cluster::Cluster {
     b.at(
         5 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),
@@ -235,6 +236,7 @@ fn run_paper_scale(records: u64) -> PaperRun {
     b.at(
         MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: HashRange {
                 start: (u64::MAX / servers as u64) * (servers as u64 - 1) + 1,
@@ -415,6 +417,7 @@ fn main() {
             b.at(
                 5 * MILLISECOND,
                 ControlCmd::Migrate {
+                    id: MigrationId(1),
                     table: TABLE,
                     range: upper(),
                     source: ServerId(0),

@@ -6,7 +6,7 @@
 //! ("Migration is initiated by a client", §3) and the failure detector's
 //! role for crash experiments.
 
-use rocksteady_common::{HashRange, Nanos, RpcId, ServerId, TableId};
+use rocksteady_common::{HashRange, MigrationId, Nanos, RpcId, ServerId, TableId};
 use rocksteady_proto::msg::BaselineOpts;
 use rocksteady_proto::{Envelope, Request};
 use rocksteady_simnet::{Actor, Ctx, Directory, Event};
@@ -16,6 +16,8 @@ use rocksteady_simnet::{Actor, Ctx, Directory, Event};
 pub enum ControlCmd {
     /// Send `MigrateTablet` to `target` (Rocksteady migration, §3).
     Migrate {
+        /// Unique id for this migration run.
+        id: MigrationId,
         /// Table to migrate.
         table: TableId,
         /// Range to migrate (must already be a tablet).
@@ -95,6 +97,7 @@ impl ControlActor {
         let cmd = self.script[idx].cmd.clone();
         match cmd {
             ControlCmd::Migrate {
+                id,
                 table,
                 range,
                 source,
@@ -107,6 +110,7 @@ impl ControlActor {
                     Envelope::req(
                         rpc,
                         Request::MigrateTablet {
+                            id,
                             table,
                             range,
                             source,

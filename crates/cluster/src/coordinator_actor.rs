@@ -47,6 +47,7 @@ impl CoordinatorActor {
                 tablets: self.state.borrow().tablet_map(),
             },
             Request::MigrationStarting {
+                id,
                 table,
                 range,
                 source,
@@ -54,6 +55,7 @@ impl CoordinatorActor {
                 lineage_from_segment,
             } => {
                 let ok = self.state.borrow_mut().migration_starting(
+                    id,
                     table,
                     range,
                     source,
@@ -67,6 +69,7 @@ impl CoordinatorActor {
                 }
             }
             Request::MigrationComplete {
+                id,
                 table,
                 range,
                 source,
@@ -74,7 +77,7 @@ impl CoordinatorActor {
             } => {
                 self.state
                     .borrow_mut()
-                    .migration_complete(table, range, source, target);
+                    .migration_complete(id, table, range, source, target);
                 Response::Ok
             }
             Request::BaselineOwnershipTransfer {

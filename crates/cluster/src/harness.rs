@@ -7,7 +7,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use rocksteady::MigrationConfig;
 use rocksteady_common::{
-    key_hash, CostModel, HashRange, KeyHash, Nanos, ServerId, TableId, SECOND,
+    key_hash, CostModel, HashRange, KeyHash, MigrationId, Nanos, ServerId, TableId, SECOND,
 };
 use rocksteady_coordinator::Coordinator;
 use rocksteady_logstore::LogConfig;
@@ -18,7 +18,7 @@ use rocksteady_profiler::{
 };
 use rocksteady_proto::Envelope;
 use rocksteady_server::stats::{registered_stats, StatsHandle};
-use rocksteady_server::{ServerConfig, ServerNode};
+use rocksteady_server::{MigrationRunStamps, ServerConfig, ServerNode};
 use rocksteady_simnet::{Directory, NicConfig, SchedulerKind, Simulation};
 use rocksteady_trace::Tracer;
 use rocksteady_workload::stats::registered_client_stats;
@@ -28,6 +28,7 @@ use rocksteady_workload::{
 
 use crate::control::{ControlActor, ControlEvent};
 use crate::coordinator_actor::{CoordHandle, CoordinatorActor};
+use crate::rebalancer::{RebalancerActor, RebalancerConfig, RebalancerHandle, RebalancerReport};
 use crate::sampler::{SamplerActor, SnapshotLogHandle, UtilSeries, UtilSeriesHandle};
 use crate::slo::{SloHandle, SloMonitor, SloReport};
 
@@ -84,6 +85,13 @@ pub struct ClusterConfig {
     /// in identical `(time, sequence)` order, so this never changes a
     /// trace — the determinism suite swaps it and asserts exactly that.
     pub scheduler: SchedulerKind,
+    /// Arm the autonomous rebalancer: a placement loop that scrapes
+    /// per-server load each interval and issues admission-controlled
+    /// `MigrateTablet` RPCs (see [`crate::rebalancer`]). `None` (the
+    /// default) installs no actor at all, so a disarmed cluster's event
+    /// schedule — and `events_processed()` — is byte-identical to a
+    /// build predating the rebalancer.
+    pub rebalancer: Option<RebalancerConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -107,6 +115,7 @@ impl Default for ClusterConfig {
             sla: None,
             profiling: false,
             scheduler: SchedulerKind::default(),
+            rebalancer: None,
         }
     }
 }
@@ -267,6 +276,26 @@ impl ClusterBuilder {
             Rc::clone(&slo),
         )));
 
+        // Autonomous rebalancer, only when armed: installing an actor —
+        // even an idle one — would shift actor ids and the event
+        // schedule, and the disarmed harness must stay byte-identical
+        // to the no-rebalancer baseline.
+        let rebalancer: RebalancerHandle = Rc::new(RefCell::new(RebalancerReport::default()));
+        if let Some(rb) = cfg.rebalancer.clone() {
+            let stats_list = server_stats
+                .iter()
+                .map(|(id, h)| (*id, Rc::clone(h)))
+                .collect();
+            sim.add_actor(Box::new(RebalancerActor::new(
+                rb,
+                Rc::clone(&coord),
+                self.dir.clone(),
+                stats_list,
+                Rc::clone(&slo),
+                Rc::clone(&rebalancer),
+            )));
+        }
+
         // Clients. Each client's seed is folded together with the
         // cluster seed and its index, so changing the cluster seed
         // perturbs every random stream while same-seed runs stay
@@ -308,6 +337,7 @@ impl ClusterBuilder {
             metrics,
             snapshots,
             slo,
+            rebalancer,
             backups_of,
             trace,
             profiler,
@@ -338,6 +368,9 @@ pub struct Cluster {
     pub snapshots: SnapshotLogHandle,
     /// Latest SLO window, updated once per sampling interval.
     pub slo: SloHandle,
+    /// What the autonomous rebalancer has done (all-zero unless the
+    /// cluster was built with `cfg.rebalancer` set).
+    pub rebalancer: RebalancerHandle,
     /// Backup ring: which servers hold each master's replicas.
     pub backups_of: HashMap<ServerId, Vec<ServerId>>,
     /// The shared trace buffer (disarmed unless `cfg.tracing`).
@@ -456,38 +489,89 @@ impl Cluster {
         self.sim.now()
     }
 
-    /// Whether the Rocksteady migration on `target` has completed.
-    pub fn migration_finished(&self, target: ServerId) -> Option<Nanos> {
-        self.server_stats[&target].migration_finished_at.get()
+    /// When migration `id` on `target` completed, if it has.
+    ///
+    /// Keyed by migration id, not by "the" migration: a target can host
+    /// several overlapping runs and each keeps its own stamps.
+    pub fn migration_finished(&self, target: ServerId, id: MigrationId) -> Option<Nanos> {
+        self.server_stats[&target]
+            .migration_run(id)
+            .and_then(|r| r.finished_at)
     }
 
-    /// Whether the current migration on `target` was abandoned (source
-    /// died, or a recovery plan superseded the run) without finishing.
-    pub fn migration_abandoned(&self, target: ServerId) -> Option<Nanos> {
-        let s = self.server_stats[&target].view();
-        match (s.migration_started_at, s.migration_abandoned_at) {
-            (Some(start), Some(at)) if at >= start && s.migration_finished_at.is_none() => Some(at),
-            _ => None,
-        }
+    /// When migration `id` on `target` was abandoned (source died, a
+    /// recovery plan superseded the run, or the coordinator rejected the
+    /// start), if it was.
+    pub fn migration_abandoned(&self, target: ServerId, id: MigrationId) -> Option<Nanos> {
+        self.server_stats[&target]
+            .migration_run(id)
+            .and_then(|r| r.abandoned_at)
     }
 
-    /// Runs until the migration targeting `target` finishes or `deadline`
-    /// passes; returns the finish time if it completed. Returns `None`
-    /// as soon as the run is abandoned rather than spinning to the
-    /// deadline.
-    pub fn run_until_migrated(&mut self, target: ServerId, deadline: Nanos) -> Option<Nanos> {
+    /// Runs until migration `id` targeting `target` finishes or
+    /// `deadline` passes; returns the finish time if it completed.
+    /// Returns `None` as soon as that run is abandoned rather than
+    /// spinning to the deadline. Other in-flight migrations neither
+    /// satisfy nor disturb the wait.
+    pub fn run_until_migrated(
+        &mut self,
+        target: ServerId,
+        id: MigrationId,
+        deadline: Nanos,
+    ) -> Option<Nanos> {
         let step = self.cfg.sample_interval.max(1_000_000);
         while self.now() < deadline {
-            if let Some(t) = self.migration_finished(target) {
+            if let Some(t) = self.migration_finished(target, id) {
                 return Some(t);
             }
-            if self.migration_abandoned(target).is_some() {
+            if self.migration_abandoned(target, id).is_some() {
                 return None;
             }
             let next = (self.now() + step).min(deadline);
             self.run_until(next);
         }
-        self.migration_finished(target)
+        self.migration_finished(target, id)
+    }
+
+    /// Every migration run recorded anywhere in the cluster, as
+    /// `(target, id, stamps)` sorted by id then target — the raw
+    /// material for concurrency analysis.
+    pub fn migration_runs(&self) -> Vec<(ServerId, MigrationId, MigrationRunStamps)> {
+        let mut out: Vec<_> = self
+            .server_stats
+            .iter()
+            .flat_map(|(server, stats)| {
+                stats
+                    .migration_runs_snapshot()
+                    .into_iter()
+                    .map(|(id, st)| (*server, id, st))
+            })
+            .collect();
+        out.sort_by_key(|(server, id, _)| (*id, *server));
+        out
+    }
+
+    /// The largest number of migrations that were ever in flight at the
+    /// same instant, computed from the per-run stamps. Runs that never
+    /// ended count as open until the current virtual time.
+    pub fn peak_concurrent_migrations(&self) -> usize {
+        let now = self.now();
+        let mut edges: Vec<(Nanos, i64)> = Vec::new();
+        for (_, _, st) in self.migration_runs() {
+            let end = st.finished_at.or(st.abandoned_at).unwrap_or(now);
+            edges.push((st.started_at, 1));
+            edges.push((end, -1));
+        }
+        // Close-before-open at equal times: back-to-back runs don't count
+        // as concurrent.
+        edges.sort_by_key(|(t, delta)| (*t, *delta));
+        let mut open = 0i64;
+        let mut peak = 0i64;
+        for (_, delta) in edges {
+            open += delta;
+            peak = peak.max(open);
+        }
+        peak as usize
     }
 
     /// Toggles trace recording (no-op when the cluster was built with
@@ -659,6 +743,7 @@ mod tests {
         b.at(
             5 * MILLISECOND,
             ControlCmd::Migrate {
+                id: MigrationId(1),
                 table: T,
                 range: upper,
                 source: ServerId(0),
@@ -671,7 +756,8 @@ mod tests {
         cluster.seed_backups();
         cluster.split_tablet(T, mid);
 
-        let done = cluster.run_until_migrated(ServerId(1), 5 * rocksteady_common::SECOND);
+        let done =
+            cluster.run_until_migrated(ServerId(1), MigrationId(1), 5 * rocksteady_common::SECOND);
         assert!(done.is_some(), "migration never finished");
 
         // Ownership moved and the lineage dependency was dropped.

@@ -15,15 +15,24 @@
 pub mod control;
 pub mod coordinator_actor;
 pub mod harness;
+pub mod rebalancer;
 pub mod sampler;
 pub mod slo;
 
 pub use control::{ControlCmd, ControlEvent};
 pub use coordinator_actor::CoordinatorActor;
 pub use harness::{Cluster, ClusterBuilder, ClusterConfig};
+pub use rebalancer::{
+    IssuedMove, RebalancerActor, RebalancerConfig, RebalancerHandle, RebalancerReport,
+    REBALANCER_MIG_BASE,
+};
 pub use rocksteady_profiler::{
     core_label, critical_path, tail_blame, Activity, CoreLedger, CoreProfile,
     CriticalPathComponent, CriticalPathReport, ProfileSummary, Profiler, TailBlameReport,
+};
+pub use rocksteady_rebalancer::{
+    AdmissionCaps, ClusterView, GreedyLoadDelta, HeadroomAware, MoveInFlight, MoveProposal,
+    PlacementPolicy, ServerLoad, TabletInfo,
 };
 pub use rocksteady_simnet::SchedulerKind;
 pub use sampler::{SnapshotLogHandle, UtilPoint, UtilSeries, UtilSeriesHandle};

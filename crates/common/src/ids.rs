@@ -41,6 +41,22 @@ impl fmt::Display for IndexId {
     }
 }
 
+/// Identifies one migration run cluster-wide.
+///
+/// Every Rocksteady migration — operator-scripted or issued by the
+/// autonomous rebalancer — carries a unique id so that the coordinator's
+/// lineage bookkeeping, the target's per-run state, and the harness's
+/// per-run stamps can all distinguish overlapping migrations instead of
+/// assuming at most one is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MigrationId(pub u64);
+
+impl fmt::Display for MigrationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mig-{}", self.0)
+    }
+}
+
 /// A 64-bit primary-key hash.
 ///
 /// All partitioning in the system — tablet ownership, hash-table
@@ -182,5 +198,6 @@ mod tests {
         assert_eq!(ServerId(3).to_string(), "server-3");
         assert_eq!(TableId(9).to_string(), "table-9");
         assert_eq!(IndexId(2).to_string(), "index-2");
+        assert_eq!(MigrationId(7).to_string(), "mig-7");
     }
 }

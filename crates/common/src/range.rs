@@ -37,6 +37,15 @@ impl HashRange {
         self.start <= hash && hash <= self.end
     }
 
+    /// Whether this range shares any hash with `other`.
+    ///
+    /// Empty ranges overlap nothing. Used by the coordinator and the
+    /// migration target to reject splits and migrations over a range that
+    /// is already in flight.
+    pub fn overlaps(&self, other: &HashRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start <= other.end && other.start <= self.end
+    }
+
     /// Whether the range contains no hashes.
     pub fn is_empty(&self) -> bool {
         self.start > self.end

@@ -20,13 +20,17 @@
 //! This type is pure state; the cluster harness wraps it in a simulation
 //! actor that speaks the coordinator RPCs of [`rocksteady_proto`].
 
-use rocksteady_common::{HashRange, KeyHash, ServerId, TableId};
+use rocksteady_common::{HashRange, KeyHash, MigrationId, ServerId, TableId};
 use rocksteady_proto::{TabletDescriptor, TabletState};
 
 /// A recorded lineage dependency (§3.4): `source`'s correct recovery
 /// requires replaying `target`'s log from `from_segment` onward.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LineageDep {
+    /// The migration this dependency belongs to. Several migrations may
+    /// be in flight at once (different ranges, possibly sharing servers);
+    /// the id keeps their bookkeeping separable.
+    pub id: MigrationId,
     /// The migration source (the dependent).
     pub source: ServerId,
     /// The migration target (whose log tail is depended upon).
@@ -128,7 +132,16 @@ impl Coordinator {
     /// Splits the descriptor containing `at` into `[start, at)` and
     /// `[at, end]` (both keeping the same owner). Migration begins with a
     /// split (§3); it is metadata-only here and on the master.
+    ///
+    /// Rejected while the covering tablet is under an in-flight migration
+    /// or a lineage dependency covers the range: splitting such a tablet
+    /// would silently invalidate the recorded `LineageDep` range and the
+    /// migration's ownership bookkeeping.
     pub fn split_tablet(&mut self, table: TableId, at: KeyHash) -> bool {
+        let migrating = self
+            .lineage
+            .iter()
+            .any(|d| d.table == table && d.range.contains(at));
         let Some(t) = self
             .tablets
             .iter_mut()
@@ -136,6 +149,9 @@ impl Coordinator {
         else {
             return false;
         };
+        if migrating || t.state != TabletState::Normal {
+            return false;
+        }
         let upper = TabletDescriptor {
             table,
             range: HashRange {
@@ -155,25 +171,36 @@ impl Coordinator {
     /// A Rocksteady migration is starting: ownership moves to `target`
     /// immediately and the lineage dependency is recorded (§3, §3.4).
     ///
-    /// Returns false if the named tablet doesn't exist or isn't owned by
-    /// `source`.
+    /// Returns false if the named tablet doesn't exist, isn't owned by
+    /// `source`, isn't in the `Normal` state, or if any recorded lineage
+    /// dependency overlaps the range (two concurrent migrations over
+    /// overlapping ranges would corrupt each other's bookkeeping).
     pub fn migration_starting(
         &mut self,
+        id: MigrationId,
         table: TableId,
         range: HashRange,
         source: ServerId,
         target: ServerId,
         from_segment: u64,
     ) -> bool {
+        if self
+            .lineage
+            .iter()
+            .any(|d| d.id == id || (d.table == table && d.range.overlaps(&range)))
+        {
+            return false;
+        }
         let Some(t) = self.tablet_mut(table, range) else {
             return false;
         };
-        if t.owner != source {
+        if t.owner != source || t.state != TabletState::Normal {
             return false;
         }
         t.owner = target;
         t.state = TabletState::Migrating { source };
         self.lineage.push(LineageDep {
+            id,
             source,
             target,
             table,
@@ -186,11 +213,21 @@ impl Coordinator {
     /// A Rocksteady migration committed: drop the dependency (§3.4).
     pub fn migration_complete(
         &mut self,
+        id: MigrationId,
         table: TableId,
         range: HashRange,
         source: ServerId,
         target: ServerId,
     ) -> bool {
+        // The id is authoritative: with several migrations in flight the
+        // (table, range) pair alone could be ambiguous after splits.
+        if !self
+            .lineage
+            .iter()
+            .any(|d| d.id == id && d.source == source && d.target == target)
+        {
+            return false;
+        }
         let Some(t) = self.tablet_mut(table, range) else {
             return false;
         };
@@ -198,9 +235,7 @@ impl Coordinator {
             return false;
         }
         t.state = TabletState::Normal;
-        self.lineage.retain(|d| {
-            !(d.source == source && d.target == target && d.table == table && d.range == range)
-        });
+        self.lineage.retain(|d| d.id != id);
         true
     }
 
@@ -326,8 +361,10 @@ impl Coordinator {
                 _ => {}
             }
         }
-        // All lineage deps involving the dead server are now resolved by
-        // the recoveries planned above.
+        // All lineage deps involving the dead server — whether it was the
+        // source of one migration, the target of another, or both at once
+        // — are now resolved by the recoveries planned above. Deps between
+        // two still-alive servers stay.
         self.lineage
             .retain(|d| d.source != dead && d.target != dead);
         assignments
@@ -339,6 +376,8 @@ mod tests {
     use super::*;
 
     const T: TableId = TableId(1);
+    const M1: MigrationId = MigrationId(1);
+    const M2: MigrationId = MigrationId(2);
     const S1: ServerId = ServerId(1);
     const S2: ServerId = ServerId(2);
     const S3: ServerId = ServerId(3);
@@ -371,13 +410,14 @@ mod tests {
             start: mid,
             end: u64::MAX,
         };
-        assert!(c.migration_starting(T, upper, S1, S2, 17));
+        assert!(c.migration_starting(M1, T, upper, S1, S2, 17));
         let t = c.tablet_for(T, u64::MAX).unwrap();
         assert_eq!(t.owner, S2, "ownership moves at start (§3)");
         assert_eq!(t.state, TabletState::Migrating { source: S1 });
         assert_eq!(
             c.lineage_deps(),
             &[LineageDep {
+                id: M1,
                 source: S1,
                 target: S2,
                 table: T,
@@ -388,7 +428,7 @@ mod tests {
         // Lower half untouched.
         assert_eq!(c.tablet_for(T, 0).unwrap().owner, S1);
 
-        assert!(c.migration_complete(T, upper, S1, S2));
+        assert!(c.migration_complete(M1, T, upper, S1, S2));
         assert!(c.lineage_deps().is_empty());
         assert_eq!(
             c.tablet_for(T, u64::MAX).unwrap().state,
@@ -399,7 +439,7 @@ mod tests {
     #[test]
     fn migration_requires_correct_source() {
         let mut c = coord();
-        assert!(!c.migration_starting(T, HashRange::full(), S2, S3, 0));
+        assert!(!c.migration_starting(M1, T, HashRange::full(), S2, S3, 0));
         assert!(c.lineage_deps().is_empty());
     }
 
@@ -415,7 +455,7 @@ mod tests {
     #[test]
     fn crash_of_migration_target_reverts_to_source_with_lineage_tail() {
         let mut c = coord();
-        assert!(c.migration_starting(T, HashRange::full(), S1, S2, 23));
+        assert!(c.migration_starting(M1, T, HashRange::full(), S1, S2, 23));
         let plan = c.handle_crash(S2);
         assert_eq!(plan.len(), 1);
         let a = &plan[0];
@@ -431,13 +471,107 @@ mod tests {
     #[test]
     fn crash_of_migration_source_recovers_onto_target() {
         let mut c = coord();
-        assert!(c.migration_starting(T, HashRange::full(), S1, S2, 23));
+        assert!(c.migration_starting(M1, T, HashRange::full(), S1, S2, 23));
         let plan = c.handle_crash(S1);
         assert_eq!(plan.len(), 1);
         assert_eq!(plan[0].recovery_master, S2);
         assert_eq!(plan[0].crashed, S1);
         assert!(plan[0].merge, "target keeps what it already pulled");
         assert_eq!(c.tablet_for(T, 5).unwrap().owner, S2);
+    }
+
+    #[test]
+    fn split_rejected_while_range_is_migrating() {
+        let mut c = coord();
+        let mid = u64::MAX / 2 + 1;
+        assert!(c.split_tablet(T, mid));
+        let upper = HashRange {
+            start: mid,
+            end: u64::MAX,
+        };
+        assert!(c.migration_starting(M1, T, upper, S1, S2, 17));
+        // Splitting inside the migrating range would invalidate the
+        // recorded lineage dep; it must be rejected.
+        assert!(!c.split_tablet(T, mid + (u64::MAX - mid) / 2));
+        assert_eq!(c.tablet_map().len(), 2, "no new tablet appeared");
+        assert_eq!(c.lineage_deps().len(), 1, "dep survives intact");
+        assert_eq!(c.lineage_deps()[0].range, upper);
+        // The untouched lower half still splits fine.
+        assert!(c.split_tablet(T, mid / 2));
+        // And once the migration commits, the upper half splits again.
+        assert!(c.migration_complete(M1, T, upper, S1, S2));
+        assert!(c.split_tablet(T, mid + (u64::MAX - mid) / 2));
+    }
+
+    #[test]
+    fn overlapping_migration_rejected_while_dep_covers_range() {
+        let mut c = coord();
+        let mid = u64::MAX / 2 + 1;
+        assert!(c.split_tablet(T, mid));
+        let upper = HashRange {
+            start: mid,
+            end: u64::MAX,
+        };
+        let lower = HashRange {
+            start: 0,
+            end: mid - 1,
+        };
+        assert!(c.migration_starting(M1, T, upper, S1, S2, 3));
+        // Same range again (even to a different target, different id).
+        assert!(!c.migration_starting(M2, T, upper, S1, S3, 4));
+        // Reusing an id is also rejected.
+        assert!(!c.migration_starting(M1, T, lower, S1, S3, 4));
+        // A disjoint range with a fresh id is fine: concurrency is the
+        // point, only overlap is illegal.
+        assert!(c.migration_starting(M2, T, lower, S1, S3, 4));
+        assert_eq!(c.lineage_deps().len(), 2);
+    }
+
+    #[test]
+    fn crash_drops_every_dep_involving_dead_server() {
+        // S2 is the target of M1 (from S1) and the source of M2 (to S3):
+        // one crash must resolve both migrations and drop both deps,
+        // while a third dep between live servers survives.
+        let mut c = Coordinator::new();
+        let s4 = ServerId(4);
+        let s5 = ServerId(5);
+        for s in [S1, S2, S3, s4, s5] {
+            c.register_server(s);
+        }
+        let parts = HashRange::full().split(3);
+        c.create_tablet(TableId(1), parts[0], S1);
+        c.create_tablet(TableId(2), parts[1], S2);
+        c.create_tablet(TableId(3), parts[2], s4);
+        assert!(c.migration_starting(M1, TableId(1), parts[0], S1, S2, 11));
+        assert!(c.migration_starting(M2, TableId(2), parts[1], S2, S3, 22));
+        assert!(c.migration_starting(MigrationId(3), TableId(3), parts[2], s4, s5, 33));
+        assert_eq!(c.lineage_deps().len(), 3);
+
+        let plan = c.handle_crash(S2);
+        assert_eq!(plan.len(), 2, "{plan:?}");
+        // M1: target died → revert to source S1, replay S2's tail from 11.
+        let a = plan
+            .iter()
+            .find(|a| a.table == TableId(1))
+            .expect("plan for the migration S2 was target of");
+        assert_eq!(a.recovery_master, S1);
+        assert_eq!(a.crashed, S2);
+        assert_eq!(a.from_segment, 11);
+        assert!(a.merge);
+        assert_eq!(c.tablet_for(TableId(1), parts[0].start).unwrap().owner, S1);
+        // M2: source died → target S3 keeps ownership, merges S2's log.
+        let b = plan
+            .iter()
+            .find(|a| a.table == TableId(2))
+            .expect("plan for the migration S2 was source of");
+        assert_eq!(b.recovery_master, S3);
+        assert_eq!(b.crashed, S2);
+        assert_eq!(b.from_segment, 0);
+        assert!(b.merge);
+        assert_eq!(c.tablet_for(TableId(2), parts[1].start).unwrap().owner, S3);
+        // Both deps involving S2 are gone; the unrelated s4→s5 dep stays.
+        assert_eq!(c.lineage_deps().len(), 1);
+        assert_eq!(c.lineage_deps()[0].id, MigrationId(3));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 
 use bytes::Bytes;
 use rocksteady_common::ids::IndexId;
-use rocksteady_common::{HashRange, KeyHash, Nanos, RpcId, ScanCursor, ServerId, TableId};
+use rocksteady_common::{
+    HashRange, KeyHash, MigrationId, Nanos, RpcId, ScanCursor, ServerId, TableId,
+};
 
 use crate::record::{batch_wire_size, Record};
 use crate::tablet::TabletDescriptor;
@@ -161,6 +163,8 @@ pub enum Request {
     /// Client → target: start a Rocksteady migration of `range` from
     /// `source` to the receiving server (§3).
     MigrateTablet {
+        /// Unique id for this migration run.
+        id: MigrationId,
         /// Table being migrated.
         table: TableId,
         /// Tablet hash range.
@@ -262,6 +266,8 @@ pub enum Request {
     /// ownership to `target` NOW and record the lineage dependency of
     /// `source` on `target`'s log from `lineage_from_segment` (§3.4).
     MigrationStarting {
+        /// Unique id for this migration run.
+        id: MigrationId,
         /// Table being migrated.
         table: TableId,
         /// Tablet hash range.
@@ -277,6 +283,8 @@ pub enum Request {
     /// Target → coordinator: side logs are committed and lazily
     /// re-replicated; drop the lineage dependency (§3.4).
     MigrationComplete {
+        /// Unique id for this migration run.
+        id: MigrationId,
         /// Table that finished migrating.
         table: TableId,
         /// Tablet hash range.

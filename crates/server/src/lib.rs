@@ -34,7 +34,7 @@ use rocksteady_master::MasterConfig;
 use rocksteady_simnet::ActorId;
 
 pub use node::ServerNode;
-pub use stats::NodeStats;
+pub use stats::{MigrationRunStamps, NodeStats};
 
 pub use rocksteady_simnet::Directory;
 

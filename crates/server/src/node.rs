@@ -23,7 +23,7 @@ use rocksteady::{
     RetryCause,
 };
 use rocksteady_backup::BackupService;
-use rocksteady_common::{KeyHash, Nanos, RpcId, ServerId, TableId};
+use rocksteady_common::{KeyHash, MigrationId, Nanos, RpcId, ServerId, TableId};
 use rocksteady_logstore::SideLog;
 use rocksteady_master::{MasterService, OpError, ReplayDest, TabletRole, Work};
 use rocksteady_profiler::{Activity, Profiler};
@@ -77,8 +77,8 @@ enum Task {
 enum Deferred {
     /// Plain message send.
     Send(ActorId, Envelope),
-    /// Tell the migration manager a replay finished.
-    ReplayDone(Option<usize>),
+    /// Tell the named migration's manager a replay finished.
+    ReplayDone(MigrationId, Option<usize>),
     /// Schedule the next baseline scan step.
     BaselineContinue,
     /// Ship un-replicated log bytes to the backups; if `wait` is set the
@@ -113,14 +113,20 @@ struct WorkerState {
 #[derive(Debug)]
 enum Pending {
     Pull {
+        mig: MigrationId,
         partition: usize,
     },
     PriorityPull {
+        mig: MigrationId,
         hashes: Vec<KeyHash>,
     },
     SyncPriorityPull(SyncWait),
-    Prepare,
-    MigStartAck,
+    Prepare {
+        mig: MigrationId,
+    },
+    MigStartAck {
+        mig: MigrationId,
+    },
     MigCompleteAck,
     /// A replication chunk; `waiters` lists ack groups to credit.
     ReplAck {
@@ -153,12 +159,23 @@ struct AckGroup {
     respond: Option<(ActorId, RpcId, Response)>,
 }
 
-#[derive(Debug)]
 struct MigrationRun {
+    /// Cluster-wide id of this run; keys every piece of per-run state.
+    id: MigrationId,
     mgr: MigrationManager,
     source_actor: ActorId,
     client: Option<(ActorId, RpcId)>,
-    pull_rpcs: FxHashMap<RpcId, usize>,
+    /// Per-worker side logs for this run's replays (§3.1.3). Per run so
+    /// overlapping migrations never mix side segments: each run commits
+    /// (or abandons) exactly its own.
+    sidelogs: Vec<Option<SideLog>>,
+    /// Wall-clock anchors of this run's trace spans (`Some` only while
+    /// tracing is armed).
+    mig_trace: Option<MigTrace>,
+    /// Outstanding Pull rpc → (send time, partition), for pull spans.
+    pull_span_start: FxHashMap<u64, (Nanos, usize)>,
+    /// Outstanding PriorityPull rpc → (send time, batch size).
+    pp_span_start: FxHashMap<u64, (Nanos, u64)>,
 }
 
 struct BaselineRun {
@@ -300,9 +317,12 @@ pub struct ServerNode {
     ack_groups: FxHashMap<u64, AckGroup>,
     next_group: u64,
 
-    // Migration state.
-    migration: Option<MigrationRun>,
-    sidelogs: Vec<Option<SideLog>>,
+    // Migration state: every in-flight run this node is the target of,
+    // in admission order. Disjoint ranges only (overlap is rejected at
+    // admission); a node may simultaneously serve as pull *source* for
+    // other migrations, which needs no state here (pull service is
+    // stateless on the source).
+    migrations: Vec<MigrationRun>,
     baseline: Option<BaselineRun>,
     /// In-flight crash recoveries, keyed by the coordinator's RPC id
     /// (several tablets may recover onto this master concurrently).
@@ -312,11 +332,6 @@ pub struct ServerNode {
     // `Option` discriminant check).
     trace: Tracer,
     rpc_spans: FxHashMap<(ActorId, u64), RpcSpan>,
-    mig_trace: Option<MigTrace>,
-    /// Outstanding Pull rpc → (send time, partition), for pull spans.
-    pull_span_start: FxHashMap<u64, (Nanos, usize)>,
-    /// Outstanding PriorityPull rpc → (send time, batch size).
-    pp_span_start: FxHashMap<u64, (Nanos, u64)>,
 
     // Profiling (same zero-cost-off contract as `trace`): the per-core
     // activity ledger every charge lands in.
@@ -367,15 +382,11 @@ impl ServerNode {
             next_deferred: 1,
             ack_groups: FxHashMap::default(),
             next_group: 1,
-            migration: None,
-            sidelogs: (0..cfg.workers).map(|_| None).collect(),
+            migrations: Vec::new(),
             baseline: None,
             recoveries: FxHashMap::default(),
             trace,
             rpc_spans: FxHashMap::default(),
-            mig_trace: None,
-            pull_span_start: FxHashMap::default(),
-            pp_span_start: FxHashMap::default(),
             profiler,
             cfg,
         }
@@ -612,11 +623,20 @@ impl ServerNode {
                 self.respond(ctx, src, rpc, resp);
             }
             Request::MigrateTablet {
+                id,
                 table,
                 range,
                 source,
             } => {
-                if self.migration.is_some() {
+                // Admission: reject a run that would overlap an
+                // in-flight migration's range on this target (or reuse
+                // its id). Disjoint concurrent runs are accepted — a node
+                // may be the replay target of several migrations at once.
+                if self
+                    .migrations
+                    .iter()
+                    .any(|r| r.id == id || (r.mgr.table == table && r.mgr.range.overlaps(&range)))
+                {
                     self.respond(ctx, src, rpc, Response::Err(Status::MigrationInProgress));
                     return;
                 }
@@ -634,20 +654,22 @@ impl ServerNode {
                 );
                 let source_actor = self.dir.actor_of(source);
                 let first = mgr.begin();
-                self.stats.begin_migration(ctx.now());
-                if self.trace.is_on() {
-                    self.mig_trace = Some(MigTrace {
-                        started: ctx.now(),
-                        phase_start: ctx.now(),
-                    });
-                }
-                self.migration = Some(MigrationRun {
+                self.stats.begin_migration_run(id, ctx.now());
+                let mig_trace = self.trace.is_on().then(|| MigTrace {
+                    started: ctx.now(),
+                    phase_start: ctx.now(),
+                });
+                self.migrations.push(MigrationRun {
+                    id,
                     mgr,
                     source_actor,
                     client: Some((src, rpc)),
-                    pull_rpcs: FxHashMap::default(),
+                    sidelogs: (0..self.cfg.workers).map(|_| None).collect(),
+                    mig_trace,
+                    pull_span_start: FxHashMap::default(),
+                    pp_span_start: FxHashMap::default(),
                 });
-                self.run_migration_actions(ctx, vec![first]);
+                self.run_migration_actions(ctx, id, vec![first]);
             }
             Request::MigrateTabletBaseline {
                 table,
@@ -696,12 +718,15 @@ impl ServerNode {
                     }
                     // A migration we were running for this range is moot:
                     // the coordinator's recovery plan supersedes it.
-                    if self
-                        .migration
-                        .as_ref()
-                        .is_some_and(|run| run.mgr.table == table && run.mgr.range == range)
+                    // Overlapping runs are impossible (admission), so at
+                    // most one matches; other in-flight runs continue.
+                    if let Some(mig) = self
+                        .migrations
+                        .iter()
+                        .find(|run| run.mgr.table == table && run.mgr.range == range)
+                        .map(|run| run.id)
                     {
-                        self.abandon_migration(ctx, "mig:abandoned-superseded");
+                        self.abandon_migration(ctx, mig, "mig:abandoned-superseded");
                     }
                 } else {
                     self.master.add_tablet(table, range, TabletRole::Recovering);
@@ -780,38 +805,41 @@ impl ServerNode {
         };
         self.rpc_dst.remove(&rpc);
         match (pending, resp) {
-            (Pending::Prepare, Response::PrepareMigrationOk { version_ceiling }) => {
+            (Pending::Prepare { mig }, Response::PrepareMigrationOk { version_ceiling }) => {
                 self.master.raise_version_floor(version_ceiling);
-                let prepared = match &mut self.migration {
+                let prepared = match self.run_mut(mig) {
                     Some(run) => Some((run.mgr.on_prepared(), run.mgr.phase().name())),
                     None => None,
                 };
                 if let Some((action, label)) = prepared {
-                    self.mig_phase_span(ctx.now(), ctx.self_id(), label);
-                    self.run_migration_actions(ctx, vec![action]);
+                    self.mig_phase_span(ctx.now(), ctx.self_id(), mig, label);
+                    self.run_migration_actions(ctx, mig, vec![action]);
                 }
             }
-            (Pending::MigStartAck, Response::Ok) => {
-                let mut actions = Vec::new();
+            (Pending::MigStartAck { mig }, Response::Ok) => {
                 let mut registered = None;
-                if let Some(run) = &mut self.migration {
+                let mut client = None;
+                if let Some(run) = self.run_mut(mig) {
                     run.mgr.on_registered();
                     registered = Some(run.mgr.phase().name());
-                    if let Some((client, client_rpc)) = run.client.take() {
-                        self.respond(ctx, client, client_rpc, Response::MigrateTabletOk);
-                    }
+                    client = run.client.take();
+                }
+                if let Some((c, client_rpc)) = client {
+                    self.respond(ctx, c, client_rpc, Response::MigrateTabletOk);
                 }
                 if let Some(label) = registered {
-                    self.mig_phase_span(ctx.now(), ctx.self_id(), label);
+                    self.mig_phase_span(ctx.now(), ctx.self_id(), mig, label);
                 }
-                actions.extend(self.poll_migration());
-                self.run_migration_actions(ctx, actions);
+                self.poll_and_run_migrations(ctx);
             }
             (Pending::MigCompleteAck, _) => {}
-            (Pending::Pull { partition }, Response::PullOk { records, next }) => {
+            (Pending::Pull { mig, partition }, Response::PullOk { records, next }) => {
                 let wire: u64 = records.iter().map(Record::wire_size).sum();
                 self.stats.bytes_migrated_in.add(wire);
-                if let Some((t0, part)) = self.pull_span_start.remove(&rpc.0) {
+                let span = self
+                    .run_mut(mig)
+                    .and_then(|r| r.pull_span_start.remove(&rpc.0));
+                if let Some((t0, part)) = span {
                     self.trace.span(
                         "mig:pull",
                         "migration",
@@ -826,16 +854,18 @@ impl ServerNode {
                         ],
                     );
                 }
-                if let Some(run) = &mut self.migration {
+                if let Some(run) = self.run_mut(mig) {
                     run.mgr.on_pull_response(partition, records, next, wire);
                 }
-                let actions = self.poll_migration();
-                self.run_migration_actions(ctx, actions);
+                self.poll_and_run_migrations(ctx);
             }
-            (Pending::PriorityPull { hashes }, Response::PriorityPullOk { records }) => {
+            (Pending::PriorityPull { mig, hashes }, Response::PriorityPullOk { records }) => {
                 let wire: u64 = records.iter().map(Record::wire_size).sum();
                 self.stats.bytes_migrated_in.add(wire);
-                if let Some((t0, batch)) = self.pp_span_start.remove(&rpc.0) {
+                let span = self
+                    .run_mut(mig)
+                    .and_then(|r| r.pp_span_start.remove(&rpc.0));
+                if let Some((t0, batch)) = span {
                     self.trace.span(
                         "mig:priority-pull",
                         "migration",
@@ -850,11 +880,10 @@ impl ServerNode {
                         ],
                     );
                 }
-                if let Some(run) = &mut self.migration {
+                if let Some(run) = self.run_mut(mig) {
                     run.mgr.on_priority_pull_response(&hashes, records);
                 }
-                let actions = self.poll_migration();
-                self.run_migration_actions(ctx, actions);
+                self.poll_and_run_migrations(ctx);
             }
             (Pending::SyncPriorityPull(wait), Response::PriorityPullOk { records }) => {
                 self.finish_sync_priority_pull(ctx, wait, records);
@@ -886,8 +915,19 @@ impl ServerNode {
                 self.respond(ctx, wait.client, wait.client_rpc, resp);
                 self.release_worker(ctx, wait.worker);
             }
+            // The coordinator (or the source) rejected the run — an
+            // overlapping migration won the race, or ownership was stale.
+            // Previously this fell into the catch-all and the run wedged
+            // forever with its requester unanswered; drop it instead.
+            (Pending::MigStartAck { mig }, _) | (Pending::Prepare { mig }, _) => {
+                self.abandon_migration(ctx, mig, "mig:abandoned-rejected");
+            }
             _ => {}
         }
+    }
+
+    fn run_mut(&mut self, id: MigrationId) -> Option<&mut MigrationRun> {
+        self.migrations.iter_mut().find(|r| r.id == id)
     }
 
     fn on_segments(
@@ -967,15 +1007,15 @@ impl ServerNode {
             let mut assigned = false;
             for q in 0..self.queues.len() {
                 let Some(front) = self.queues[q].front() else {
-                    if q == 1 && self.migration.is_some() && self.idle_workers() > 0 {
+                    if q == 1
+                        && !self.migrations.is_empty()
+                        && self.idle_workers() > 0
+                        && self.poll_and_run_migrations(ctx)
+                    {
                         // Between Foreground and Replay: offer idle
-                        // workers to the migration manager (§3.1.2).
-                        let actions = self.poll_migration();
-                        if !actions.is_empty() {
-                            self.run_migration_actions(ctx, actions);
-                            assigned = true;
-                            break;
-                        }
+                        // workers to the migration managers (§3.1.2).
+                        assigned = true;
+                        break;
                     }
                     continue;
                 };
@@ -995,12 +1035,11 @@ impl ServerNode {
                 break;
             }
             if !assigned {
-                if self.migration.is_some() && self.idle_workers() > 0 {
-                    let actions = self.poll_migration();
-                    if !actions.is_empty() {
-                        self.run_migration_actions(ctx, actions);
-                        continue;
-                    }
+                if !self.migrations.is_empty()
+                    && self.idle_workers() > 0
+                    && self.poll_and_run_migrations(ctx)
+                {
+                    continue;
                 }
                 return;
             }
@@ -1101,8 +1140,8 @@ impl ServerNode {
                     }
                     self.send(ctx, dst, env);
                 }
-                Deferred::ReplayDone(partition) => {
-                    if let Some(run) = &mut self.migration {
+                Deferred::ReplayDone(mig, partition) => {
+                    if let Some(run) = self.run_mut(mig) {
                         run.mgr.on_replay_done(partition);
                     }
                     migration_event = true;
@@ -1122,8 +1161,7 @@ impl ServerNode {
             self.workers[worker].hold_since = ctx.now();
         }
         if migration_event {
-            let actions = self.poll_migration();
-            self.run_migration_actions(ctx, actions);
+            self.poll_and_run_migrations(ctx);
         }
         self.try_assign(ctx);
     }
@@ -1585,11 +1623,18 @@ impl ServerNode {
         match err {
             OpError::NotYetHere { hash } => {
                 let sync = self.cfg.migration.sync_priority_pulls;
+                // Route the miss to the run whose range covers the hash —
+                // with several runs in flight the first would otherwise
+                // swallow every other run's misses.
+                let covering = self
+                    .migrations
+                    .iter()
+                    .find(|r| r.mgr.table == table && r.mgr.range.contains(hash))
+                    .map(|r| (r.id, r.source_actor));
                 if sync {
-                    if let Some(run) = &self.migration {
+                    if let Some((_, source_actor)) = covering {
                         // Naïve mode (Figure 13b/14b): the worker blocks on
                         // its own single-key PriorityPull.
-                        let source_actor = run.source_actor;
                         self.workers[worker].held = true;
                         let pp = self.alloc_rpc_to(
                             source_actor,
@@ -1616,7 +1661,7 @@ impl ServerNode {
                         return service;
                     }
                 }
-                let outcome = match &mut self.migration {
+                let outcome = match covering.and_then(|(id, _)| self.run_mut(id)) {
                     Some(run) => run.mgr.on_read_miss(hash),
                     None => MissOutcome::Wait,
                 };
@@ -1632,7 +1677,7 @@ impl ServerNode {
                         } else {
                             RetryCause::MissBulkOnly
                         };
-                        if self.migration.is_some() && self.cfg.migration.priority_pulls {
+                        if covering.is_some() && self.cfg.migration.priority_pulls {
                             let n = self.stats.priority_pull_deferrals.inc();
                             if self.trace.is_on() {
                                 self.trace.counter(
@@ -1648,8 +1693,7 @@ impl ServerNode {
                     MissOutcome::NotFound => Response::Err(Status::NotFound),
                 };
                 self.defer_send(worker, src, rpc, resp);
-                let actions = self.poll_migration();
-                self.run_migration_actions(ctx, actions);
+                self.poll_and_run_migrations(ctx);
                 service
             }
             OpError::UnknownTablet => {
@@ -1700,74 +1744,117 @@ impl ServerNode {
 
     // --------------------------------------------------------- migration --
 
-    fn poll_migration(&mut self) -> Vec<Action> {
-        let idle = self.idle_workers();
-        // The manager runs as a dispatch continuation (§3.1.2).
-        self.dispatch_charge += self.cfg.cost.migration_mgr_check_ns;
-        self.dispatch_charge_mgr += self.cfg.cost.migration_mgr_check_ns;
-        match &mut self.migration {
-            Some(run) => run.mgr.poll(idle),
-            None => Vec::new(),
+    /// Polls every in-flight migration run (admission order), executing
+    /// each run's actions before polling the next so the idle-worker
+    /// count each manager sees stays exact. Returns whether any run
+    /// produced actions.
+    fn poll_and_run_migrations(&mut self, ctx: &mut Ctx<'_, Envelope>) -> bool {
+        if self.migrations.is_empty() {
+            return false;
         }
+        let ids: Vec<MigrationId> = self.migrations.iter().map(|r| r.id).collect();
+        let mut any = false;
+        for id in ids {
+            // Each manager runs as a dispatch continuation (§3.1.2).
+            self.dispatch_charge += self.cfg.cost.migration_mgr_check_ns;
+            self.dispatch_charge_mgr += self.cfg.cost.migration_mgr_check_ns;
+            let idle = self.idle_workers();
+            let Some(run) = self.run_mut(id) else {
+                continue;
+            };
+            let actions = run.mgr.poll(idle);
+            if !actions.is_empty() {
+                any = true;
+                self.run_migration_actions(ctx, id, actions);
+            }
+        }
+        any
     }
 
-    fn run_migration_actions(&mut self, ctx: &mut Ctx<'_, Envelope>, actions: Vec<Action>) {
+    fn run_migration_actions(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        id: MigrationId,
+        actions: Vec<Action>,
+    ) {
         for action in actions {
-            let Some(run) = &mut self.migration else {
+            // Re-find each iteration: an action (Finished, or an abandon
+            // triggered downstream) may remove the run mid-loop.
+            let Some(idx) = self.migrations.iter().position(|r| r.id == id) else {
                 return;
             };
             match action {
                 Action::SendPrepare => {
+                    let (table, range, dst) = {
+                        let run = &self.migrations[idx];
+                        (run.mgr.table, run.mgr.range, run.source_actor)
+                    };
                     let req = Request::PrepareMigration {
-                        table: run.mgr.table,
-                        range: run.mgr.range,
+                        table,
+                        range,
                         target: self.cfg.id,
                     };
-                    let dst = run.source_actor;
-                    let rpc = self.alloc_rpc_to(dst, Pending::Prepare);
+                    let rpc = self.alloc_rpc_to(dst, Pending::Prepare { mig: id });
                     self.send(ctx, dst, Envelope::req(rpc, req));
                 }
                 Action::NotifyStart {
                     lineage_from_segment,
                 } => {
+                    let (table, range, source) = {
+                        let run = &self.migrations[idx];
+                        (run.mgr.table, run.mgr.range, run.mgr.source)
+                    };
                     let req = Request::MigrationStarting {
-                        table: run.mgr.table,
-                        range: run.mgr.range,
-                        source: run.mgr.source,
+                        id,
+                        table,
+                        range,
+                        source,
                         target: self.cfg.id,
                         lineage_from_segment,
                     };
                     let dst = self.dir.coordinator;
-                    let rpc = self.alloc_rpc_to(dst, Pending::MigStartAck);
+                    let rpc = self.alloc_rpc_to(dst, Pending::MigStartAck { mig: id });
                     self.send(ctx, dst, Envelope::req(rpc, req));
                 }
                 Action::SendPull { partition, cursor } => {
-                    let req = Request::Pull {
-                        table: run.mgr.table,
-                        range: run.mgr.range.split(run.mgr.config.partitions)[partition],
-                        cursor,
-                        budget_bytes: run.mgr.config.pull_budget_bytes,
+                    let (table, range, budget_bytes, dst) = {
+                        let run = &self.migrations[idx];
+                        (
+                            run.mgr.table,
+                            run.mgr.range.split(run.mgr.config.partitions)[partition],
+                            run.mgr.config.pull_budget_bytes,
+                            run.source_actor,
+                        )
                     };
-                    let dst = run.source_actor;
-                    let rpc = self.alloc_rpc_to(dst, Pending::Pull { partition });
-                    if let Some(r) = &mut self.migration {
-                        r.pull_rpcs.insert(rpc, partition);
-                    }
+                    let req = Request::Pull {
+                        table,
+                        range,
+                        cursor,
+                        budget_bytes,
+                    };
+                    let rpc = self.alloc_rpc_to(dst, Pending::Pull { mig: id, partition });
                     if self.trace.is_on() {
-                        self.pull_span_start.insert(rpc.0, (ctx.now(), partition));
+                        self.migrations[idx]
+                            .pull_span_start
+                            .insert(rpc.0, (ctx.now(), partition));
                     }
                     self.send(ctx, dst, Envelope::req(rpc, req));
                 }
                 Action::SendPriorityPull { hashes } => {
+                    let (table, dst) = {
+                        let run = &self.migrations[idx];
+                        (run.mgr.table, run.source_actor)
+                    };
                     let req = Request::PriorityPull {
-                        table: run.mgr.table,
+                        table,
                         hashes: hashes.clone(),
                     };
-                    let dst = run.source_actor;
                     let batch = hashes.len() as u64;
-                    let rpc = self.alloc_rpc_to(dst, Pending::PriorityPull { hashes });
+                    let rpc = self.alloc_rpc_to(dst, Pending::PriorityPull { mig: id, hashes });
                     if self.trace.is_on() {
-                        self.pp_span_start.insert(rpc.0, (ctx.now(), batch));
+                        self.migrations[idx]
+                            .pp_span_start
+                            .insert(rpc.0, (ctx.now(), batch));
                     }
                     self.send(ctx, dst, Envelope::req(rpc, req));
                 }
@@ -1777,7 +1864,7 @@ impl ServerNode {
                         continue;
                     };
                     self.workers[worker].busy = true;
-                    let service = self.exec_replay(worker, batch);
+                    let service = self.exec_replay(worker, idx, batch);
                     if self.profiler.is_on() {
                         self.workers[worker].ledger_op = Some((Activity::Replay, ctx.now()));
                     }
@@ -1788,18 +1875,20 @@ impl ServerNode {
                     ctx.timer(service, token(KIND_WORKER_DONE, worker as u64));
                 }
                 Action::Finished => {
-                    self.finish_migration(ctx);
+                    self.finish_migration(ctx, id);
                 }
             }
         }
     }
 
-    fn exec_replay(&mut self, worker: usize, batch: ReplayBatch) -> Nanos {
+    fn exec_replay(&mut self, worker: usize, idx: usize, batch: ReplayBatch) -> Nanos {
         let m = self.cfg.cost.clone();
-        // Each worker replays into its own side log: zero contention
-        // (§3.1.3).
-        if self.sidelogs[worker].is_none() {
-            self.sidelogs[worker] = Some(SideLog::new(std::sync::Arc::clone(&self.master.log)));
+        // Each worker replays into its own per-run side log: zero
+        // contention (§3.1.3), and overlapping runs never mix side
+        // segments.
+        if self.migrations[idx].sidelogs[worker].is_none() {
+            self.migrations[idx].sidelogs[worker] =
+                Some(SideLog::new(std::sync::Arc::clone(&self.master.log)));
         }
         let mut service = 0;
         let mut work = Work::default();
@@ -1808,7 +1897,10 @@ impl ServerNode {
         }
         // One replay_batch call = one side-log lock acquisition for the
         // whole Pull response (tentpole 3).
-        let side = self.sidelogs[worker].as_ref().expect("created above");
+        let run_id = self.migrations[idx].id;
+        let side = self.migrations[idx].sidelogs[worker]
+            .as_ref()
+            .expect("created above");
         let replayed = self
             .master
             .replay_batch(&batch.records, ReplayDest::Side(side), &mut work);
@@ -1816,15 +1908,24 @@ impl ServerNode {
         self.workers[worker].replay_partition = Some(batch.partition);
         self.workers[worker]
             .deferred
-            .push(Deferred::ReplayDone(batch.partition));
+            .push(Deferred::ReplayDone(run_id, batch.partition));
         service.max(1)
     }
 
-    /// Emits the span for the migration phase that just ended and
-    /// re-anchors the next one. No-op unless tracing was armed when the
-    /// migration began.
-    fn mig_phase_span(&mut self, now: Nanos, self_id: ActorId, label: &'static str) {
-        if let Some(mt) = &mut self.mig_trace {
+    /// Emits the span for the migration phase that just ended on run
+    /// `id` and re-anchors the next one. No-op unless tracing was armed
+    /// when the migration began.
+    fn mig_phase_span(
+        &mut self,
+        now: Nanos,
+        self_id: ActorId,
+        id: MigrationId,
+        label: &'static str,
+    ) {
+        let Some(run) = self.migrations.iter_mut().find(|r| r.id == id) else {
+            return;
+        };
+        if let Some(mt) = &mut run.mig_trace {
             self.trace.span(
                 label,
                 "migration",
@@ -1838,22 +1939,35 @@ impl ServerNode {
         }
     }
 
-    /// Drops the in-progress migration run: the source died or a
-    /// recovery plan superseded it (§3.4). Previously this silently set
-    /// `self.migration = None`, leaving `stats.migration_started_at`
-    /// dangling — `Cluster::run_until_migrated` would spin to its
-    /// deadline. Now the abandonment is stamped, counted, traced, and
-    /// the side logs are committed (their records were already replayed
-    /// into the hash table, and a *later* migration's finish must not
-    /// sweep up this run's stale segments).
-    fn abandon_migration(&mut self, ctx: &mut Ctx<'_, Envelope>, reason: &'static str) {
-        let Some(mut run) = self.migration.take() else {
+    /// Drops in-flight migration run `id`: the source died, the
+    /// coordinator rejected the start, or a recovery plan superseded it
+    /// (§3.4). The abandonment is stamped (per run), counted, traced,
+    /// and the run's own side logs are committed (their records were
+    /// already replayed into the hash table, and another run's finish
+    /// must not sweep up this run's stale segments). Other in-flight
+    /// runs are untouched.
+    fn abandon_migration(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        id: MigrationId,
+        reason: &'static str,
+    ) {
+        let Some(idx) = self.migrations.iter().position(|r| r.id == id) else {
             return;
         };
-        for slot in &mut self.sidelogs {
+        let mut run = self.migrations.remove(idx);
+        for slot in &mut run.sidelogs {
             if let Some(side) = slot.take() {
                 side.commit().expect("side log commit");
             }
+        }
+        // A rejected run never registered ownership anywhere but locally
+        // (the coordinator said no before the flip): drop the provisional
+        // tablet so this master stops claiming hashes it will never
+        // receive. Other abandon reasons keep the tablet — a recovery
+        // plan (`Recovering` role) or crash handling owns its fate.
+        if reason == "mig:abandoned-rejected" {
+            self.master.drop_tablet(run.mgr.table, run.mgr.range);
         }
         // If the migration never registered, its requester is still
         // waiting on MigrateTablet — tell it to try again later.
@@ -1862,13 +1976,13 @@ impl ServerNode {
             self.respond(ctx, client, client_rpc, resp);
         }
         let now = ctx.now();
-        self.stats.migration_abandoned_at.set(now);
+        self.stats.abandon_migration_run(id, now);
         let abandoned = self.stats.migrations_abandoned.inc();
         if self.trace.is_on() {
             let pid = ctx.self_id() as u64;
             self.trace
                 .instant(reason, "migration", pid, lanes::MIGRATION, now, vec![]);
-            if let Some(mt) = self.mig_trace.take() {
+            if let Some(mt) = run.mig_trace.take() {
                 self.trace.span(
                     "migration",
                     "migration",
@@ -1882,19 +1996,19 @@ impl ServerNode {
             self.trace
                 .counter("migrations-abandoned", pid, now, abandoned);
         }
-        self.mig_trace = None;
-        self.pull_span_start.clear();
-        self.pp_span_start.clear();
     }
 
-    fn finish_migration(&mut self, ctx: &mut Ctx<'_, Envelope>) {
-        let Some(run) = self.migration.take() else {
+    fn finish_migration(&mut self, ctx: &mut Ctx<'_, Envelope>, id: MigrationId) {
+        let Some(idx) = self.migrations.iter().position(|r| r.id == id) else {
             return;
         };
-        self.mig_phase_span(ctx.now(), ctx.self_id(), run.mgr.phase().name());
-        // Commit every worker's side log into the main log (§3.1.3).
+        let label = self.migrations[idx].mgr.phase().name();
+        self.mig_phase_span(ctx.now(), ctx.self_id(), id, label);
+        let mut run = self.migrations.remove(idx);
+        // Commit every worker's side log for THIS run into the main log
+        // (§3.1.3); concurrent runs' side logs stay open.
         let mut committed_sidelogs = 0u64;
-        for slot in &mut self.sidelogs {
+        for slot in &mut run.sidelogs {
             if let Some(side) = slot.take() {
                 side.commit().expect("side log commit");
                 committed_sidelogs += 1;
@@ -1909,6 +2023,7 @@ impl ServerNode {
             .set_tablet_role(run.mgr.table, run.mgr.range, TabletRole::Owner);
         // Drop the lineage dependency.
         let req = Request::MigrationComplete {
+            id,
             table: run.mgr.table,
             range: run.mgr.range,
             source: run.mgr.source,
@@ -1917,8 +2032,8 @@ impl ServerNode {
         let dst = self.dir.coordinator;
         let rpc = self.alloc_rpc_to(dst, Pending::MigCompleteAck);
         self.send(ctx, dst, Envelope::req(rpc, req));
-        self.stats.migration_finished_at.set(ctx.now());
-        if let Some(mt) = self.mig_trace.take() {
+        self.stats.finish_migration_run(id, ctx.now());
+        if let Some(mt) = run.mig_trace.take() {
             let now = ctx.now();
             let pid = ctx.self_id() as u64;
             let stats = &run.mgr.stats;
@@ -1946,8 +2061,6 @@ impl ServerNode {
                 ],
             );
         }
-        self.pull_span_start.clear();
-        self.pp_span_start.clear();
     }
 
     // ---------------------------------------------------------- baseline --
@@ -2131,15 +2244,10 @@ impl ServerNode {
                 }
                 Pending::Pull { .. }
                 | Pending::PriorityPull { .. }
-                | Pending::Prepare
-                | Pending::MigStartAck => {
-                    if self
-                        .migration
-                        .as_ref()
-                        .is_some_and(|run| run.source_actor == dead)
-                    {
-                        self.abandon_migration(ctx, "mig:abandoned-source-died");
-                    }
+                | Pending::Prepare { .. }
+                | Pending::MigStartAck { .. } => {
+                    // Handled by the sweep below: every run whose source
+                    // died is abandoned, RPC in flight or not.
                 }
                 Pending::PushRecords | Pending::BaselineTransferAck => {
                     if let Some(run) = &self.baseline {
@@ -2156,12 +2264,15 @@ impl ServerNode {
         }
         // A migration whose source died is dead even if no RPC to it was
         // in flight at this instant (e.g. every pull was mid-replay).
-        if self
-            .migration
-            .as_ref()
-            .is_some_and(|run| run.source_actor == dead)
-        {
-            self.abandon_migration(ctx, "mig:abandoned-source-died");
+        // Runs pulling from other, still-alive sources are unharmed.
+        let doomed_runs: Vec<MigrationId> = self
+            .migrations
+            .iter()
+            .filter(|run| run.source_actor == dead)
+            .map(|run| run.id)
+            .collect();
+        for id in doomed_runs {
+            self.abandon_migration(ctx, id, "mig:abandoned-source-died");
         }
     }
 

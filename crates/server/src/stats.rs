@@ -11,9 +11,11 @@
 //! bundle of handles a server holds; [`NodeStats::view`] is the
 //! plain-integer compatibility view tests and examples read.
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use rocksteady_common::{Nanos, ServerId};
+use rocksteady_common::{MigrationId, Nanos, ServerId};
 use rocksteady_metrics::{Counter, Registry, Stamp};
 
 /// Family name of the dispatch-overcommit counter (shared with the
@@ -80,6 +82,24 @@ pub struct NodeStats {
     /// counts each clamped window here instead of hiding it. Family
     /// [`DISPATCH_OVERCOMMIT_FAMILY`].
     pub dispatch_overcommit: Counter,
+    /// Per-run migration stamps, keyed by migration id. The single-slot
+    /// `migration_*_at` stamps above record only the *last* run (kept for
+    /// the exported gauge families); with several migrations overlapping
+    /// on one node the harness must consult this map to learn a
+    /// *specific* run's fate. Shared through the outer [`StatsHandle`]
+    /// `Rc`, not through the registry.
+    pub migration_runs: Rc<RefCell<BTreeMap<u64, MigrationRunStamps>>>,
+}
+
+/// Start/finish/abandon stamps for one migration run on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRunStamps {
+    /// Virtual time the run started on this node.
+    pub started_at: Nanos,
+    /// Virtual time the run finished, if it has.
+    pub finished_at: Option<Nanos>,
+    /// Virtual time the run was abandoned, if it was.
+    pub abandoned_at: Option<Nanos>,
 }
 
 impl NodeStats {
@@ -176,6 +196,7 @@ impl NodeStats {
                 DISPATCH_OVERCOMMIT_HELP,
                 &l,
             ),
+            migration_runs: Rc::default(),
         }
     }
 
@@ -194,6 +215,56 @@ impl NodeStats {
         self.migration_started_at.set(now);
         self.migration_finished_at.clear();
         self.migration_abandoned_at.clear();
+    }
+
+    // -------------------------------------------------- per-run stamps --
+    //
+    // The legacy single-slot stamps above are kept for exported gauges
+    // and last-run compatibility; these id-keyed variants are the
+    // authoritative record once migrations overlap on a node.
+
+    /// Starts per-run accounting for migration `id` (and updates the
+    /// legacy last-run stamps).
+    pub fn begin_migration_run(&self, id: MigrationId, now: Nanos) {
+        self.begin_migration(now);
+        self.migration_runs.borrow_mut().insert(
+            id.0,
+            MigrationRunStamps {
+                started_at: now,
+                finished_at: None,
+                abandoned_at: None,
+            },
+        );
+    }
+
+    /// Stamps migration `id` finished on this node.
+    pub fn finish_migration_run(&self, id: MigrationId, now: Nanos) {
+        self.migration_finished_at.set(now);
+        if let Some(r) = self.migration_runs.borrow_mut().get_mut(&id.0) {
+            r.finished_at = Some(now);
+        }
+    }
+
+    /// Stamps migration `id` abandoned on this node.
+    pub fn abandon_migration_run(&self, id: MigrationId, now: Nanos) {
+        self.migration_abandoned_at.set(now);
+        if let Some(r) = self.migration_runs.borrow_mut().get_mut(&id.0) {
+            r.abandoned_at = Some(now);
+        }
+    }
+
+    /// Per-run stamps for migration `id`, if this node ever began it.
+    pub fn migration_run(&self, id: MigrationId) -> Option<MigrationRunStamps> {
+        self.migration_runs.borrow().get(&id.0).copied()
+    }
+
+    /// All per-run stamps recorded on this node, in migration-id order.
+    pub fn migration_runs_snapshot(&self) -> Vec<(MigrationId, MigrationRunStamps)> {
+        self.migration_runs
+            .borrow()
+            .iter()
+            .map(|(id, r)| (MigrationId(*id), *r))
+            .collect()
     }
 
     /// Plain-integer view of every instrument, for assertions and
@@ -296,5 +367,32 @@ mod tests {
         assert_eq!(v.migration_started_at, Some(100));
         assert_eq!(v.migration_finished_at, None);
         assert_eq!(v.migration_abandoned_at, None);
+    }
+
+    #[test]
+    fn per_run_stamps_survive_overlapping_runs() {
+        let s = NodeStats::detached();
+        let (m1, m2) = (MigrationId(1), MigrationId(2));
+        s.begin_migration_run(m1, 10);
+        s.begin_migration_run(m2, 20);
+        s.finish_migration_run(m1, 30);
+        // The second run beginning (and the first finishing) must not
+        // clobber either run's record — the single-slot bug this map
+        // replaces.
+        let r1 = s.migration_run(m1).unwrap();
+        assert_eq!(r1.started_at, 10);
+        assert_eq!(r1.finished_at, Some(30));
+        assert_eq!(r1.abandoned_at, None);
+        let r2 = s.migration_run(m2).unwrap();
+        assert_eq!(r2.started_at, 20);
+        assert_eq!(r2.finished_at, None);
+        s.abandon_migration_run(m2, 40);
+        assert_eq!(s.migration_run(m2).unwrap().abandoned_at, Some(40));
+        assert_eq!(s.migration_runs_snapshot().len(), 2);
+        // Handles share the map.
+        let h = Rc::new(s);
+        let h2 = Rc::clone(&h);
+        h.finish_migration_run(m2, 50);
+        assert_eq!(h2.migration_run(m2).unwrap().finished_at, Some(50));
     }
 }

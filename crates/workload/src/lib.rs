@@ -23,12 +23,14 @@
 
 pub mod core;
 pub mod scan;
+pub mod shape;
 pub mod spread;
 pub mod stats;
 pub mod ycsb;
 
 pub use crate::core::ClientCore;
 pub use scan::{ScanClient, ScanConfig};
+pub use shape::{hash_bucket, LoadShape};
 pub use spread::{SpreadClient, SpreadConfig};
 pub use stats::{client_stats, registered_client_stats, ClientStats, ClientStatsHandle};
 pub use ycsb::{YcsbClient, YcsbConfig};

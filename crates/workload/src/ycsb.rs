@@ -18,6 +18,7 @@ use rocksteady_simnet::{Actor, Ctx, Directory, Event};
 use rocksteady_trace::Tracer;
 
 use crate::core::{primary_key, ClientCore};
+use crate::shape::{hash_bucket, LoadShape};
 use crate::stats::ClientStatsHandle;
 
 const TOK_ARRIVAL: u64 = 1;
@@ -54,6 +55,9 @@ pub struct YcsbConfig {
     pub stop_at: Nanos,
     /// RNG seed (derive per client).
     pub seed: u64,
+    /// Spatial load shape: where in the hash space arrivals concentrate
+    /// over time ([`LoadShape::Steady`] = pure rank sampling).
+    pub shape: LoadShape,
 }
 
 impl YcsbConfig {
@@ -73,6 +77,7 @@ impl YcsbConfig {
             rpc_timeout: 10 * rocksteady_common::MILLISECOND,
             stop_at: Nanos::MAX,
             seed: 1,
+            shape: LoadShape::Steady,
         }
     }
 }
@@ -108,6 +113,10 @@ pub struct YcsbClient {
     /// hot ranks constantly; caching turns two heap allocations plus a
     /// key hash per issue into a map probe and an `Arc` bump.
     key_cache: FxHashMap<u64, (KeyHash, Bytes)>,
+    /// Ranks grouped by hash region, precomputed when the load shape
+    /// targets regions (empty for [`LoadShape::Steady`]). Lets a shaped
+    /// arrival pick uniformly inside the hot region in O(1).
+    bucket_ranks: Vec<Vec<u64>>,
     next_op: u64,
     pending_arrivals: u64,
     value: Bytes,
@@ -120,6 +129,17 @@ impl YcsbClient {
         let sampler = KeySampler::new(cfg.num_keys, cfg.dist, cfg.scrambled);
         let rng = Prng::new(cfg.seed);
         let value = Bytes::from(vec![0xabu8; cfg.value_len]);
+        let bucket_ranks = match cfg.shape.buckets() {
+            None => Vec::new(),
+            Some(buckets) => {
+                let mut by_bucket = vec![Vec::new(); buckets as usize];
+                for rank in 0..cfg.num_keys {
+                    let hash = key_hash(&primary_key(rank, cfg.key_len));
+                    by_bucket[hash_bucket(hash, buckets) as usize].push(rank);
+                }
+                by_bucket
+            }
+        };
         YcsbClient {
             core: ClientCore::new(cfg.dir.clone(), cfg.table),
             stats,
@@ -132,6 +152,7 @@ impl YcsbClient {
             ),
             waiting_for_map: Vec::new(),
             key_cache: FxHashMap::default(),
+            bucket_ranks,
             next_op: 1,
             pending_arrivals: 0,
             value,
@@ -165,7 +186,7 @@ impl YcsbClient {
             } else {
                 OpKind::Write
             };
-            let rank = self.sampler.sample(&mut self.rng);
+            let rank = self.sample_rank(ctx.now());
             let id = self.next_op;
             self.next_op += 1;
             self.ops.insert(
@@ -181,6 +202,19 @@ impl YcsbClient {
             );
             self.issue(ctx, id);
         }
+    }
+
+    /// Picks the next key rank: with probability `hot_weight` a uniform
+    /// draw from the currently hot hash region (if the shape defines
+    /// one), otherwise the configured rank distribution.
+    fn sample_rank(&mut self, now: Nanos) -> u64 {
+        if let Some((bucket, _, weight)) = self.cfg.shape.hot_bucket(now) {
+            let ranks = &self.bucket_ranks[bucket as usize];
+            if !ranks.is_empty() && self.rng.next_f64() < weight {
+                return ranks[self.rng.next_below(ranks.len() as u64) as usize];
+            }
+        }
+        self.sampler.sample(&mut self.rng)
     }
 
     fn issue(&mut self, ctx: &mut Ctx<'_, Envelope>, op_id: u64) {

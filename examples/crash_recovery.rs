@@ -14,7 +14,7 @@
 
 use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::fmt_nanos;
-use rocksteady_common::{HashRange, ServerId, TableId, MILLISECOND, SECOND};
+use rocksteady_common::{HashRange, MigrationId, ServerId, TableId, MILLISECOND, SECOND};
 use rocksteady_workload::core::primary_key;
 use rocksteady_workload::YcsbConfig;
 
@@ -43,6 +43,7 @@ fn main() {
         .at(
             10 * MILLISECOND,
             ControlCmd::Migrate {
+                id: MigrationId(1),
                 table,
                 range: upper,
                 source: ServerId(0),

@@ -12,7 +12,9 @@
 
 use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::fmt_nanos;
-use rocksteady_common::{HashRange, Histogram, ServerId, TableId, MILLISECOND, SECOND};
+use rocksteady_common::{
+    HashRange, Histogram, MigrationId, ServerId, TableId, MILLISECOND, SECOND,
+};
 use rocksteady_workload::YcsbConfig;
 
 fn window(stats: &rocksteady_workload::ClientStats, from: u64, to: u64) -> (f64, Histogram) {
@@ -50,6 +52,7 @@ fn main() {
     builder.at(
         SECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table,
             range: HashRange {
                 start: mid,

@@ -10,7 +10,7 @@
 
 use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::fmt_nanos;
-use rocksteady_common::{HashRange, ServerId, TableId, MILLISECOND, SECOND};
+use rocksteady_common::{HashRange, MigrationId, ServerId, TableId, MILLISECOND, SECOND};
 use rocksteady_workload::core::primary_key;
 use rocksteady_workload::YcsbConfig;
 
@@ -48,6 +48,7 @@ fn main() {
     builder.at(
         50 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table,
             range: upper,
             source: ServerId(0),
@@ -66,7 +67,7 @@ fn main() {
     // 4. Run. The harness steps virtual time; everything (clients,
     //    pulls, priority pulls, replay) happens inside the simulation.
     let finished = cluster
-        .run_until_migrated(ServerId(1), 10 * SECOND)
+        .run_until_migrated(ServerId(1), MigrationId(1), 10 * SECOND)
         .expect("migration completed");
     cluster.run_until(finished + 100 * MILLISECOND);
 

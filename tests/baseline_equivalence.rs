@@ -10,7 +10,7 @@ mod common;
 
 use common::{builder, standard_setup, upper, verify_all_readable, TABLE};
 use rocksteady_cluster::ControlCmd;
-use rocksteady_common::{key_hash, ServerId, MILLISECOND, SECOND};
+use rocksteady_common::{key_hash, MigrationId, ServerId, MILLISECOND, SECOND};
 use rocksteady_master::TabletRole;
 use rocksteady_proto::msg::BaselineOpts;
 use rocksteady_workload::core::primary_key;
@@ -70,6 +70,7 @@ fn run_and_collect(cmd: ControlCmd, expect_transfer: bool) -> Vec<(u64, u64)> {
 fn rocksteady_and_baseline_converge_to_identical_data() {
     let rocksteady = run_and_collect(
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),

@@ -11,7 +11,7 @@ mod common;
 use common::{upper, verify_all_readable, TABLE};
 use rocksteady_cluster::{ClusterBuilder, ControlCmd};
 use rocksteady_common::zipf::KeyDist;
-use rocksteady_common::{ServerId, MILLISECOND, SECOND};
+use rocksteady_common::{MigrationId, ServerId, MILLISECOND, SECOND};
 use rocksteady_workload::YcsbConfig;
 
 #[test]
@@ -30,6 +30,7 @@ fn migration_survives_concurrent_cleaning() {
     b.at(
         100 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),
@@ -40,7 +41,7 @@ fn migration_survives_concurrent_cleaning() {
     common::standard_setup(&mut cluster, KEYS);
 
     let finished = cluster
-        .run_until_migrated(ServerId(1), 10 * SECOND)
+        .run_until_migrated(ServerId(1), MigrationId(1), 10 * SECOND)
         .expect("migration completes despite cleaning");
     cluster.run_until(finished + 100 * MILLISECOND);
 

@@ -30,6 +30,7 @@ pub fn test_config() -> ClusterConfig {
 
 /// Creates the table on server 0, loads `keys` records, seeds backups,
 /// and splits at [`MID`].
+#[allow(dead_code)] // not every test binary uses every helper
 pub fn standard_setup(cluster: &mut Cluster, keys: u64) {
     cluster.create_table(TABLE, &[(HashRange::full(), ServerId(0))]);
     cluster.load_table(TABLE, keys, 30, 100);

@@ -17,7 +17,7 @@ mod common;
 
 use common::{builder, standard_setup, test_config, upper, verify_all_readable, TABLE};
 use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
-use rocksteady_common::{ServerId, MILLISECOND, SECOND};
+use rocksteady_common::{MigrationId, ServerId, MILLISECOND, SECOND};
 use rocksteady_workload::core::primary_key;
 use rocksteady_workload::YcsbConfig;
 
@@ -28,6 +28,7 @@ fn crash_script(victim: ServerId, kill_at: u64) -> Vec<(u64, ControlCmd)> {
         (
             10 * MILLISECOND,
             ControlCmd::Migrate {
+                id: MigrationId(1),
                 table: TABLE,
                 range: upper(),
                 source: ServerId(0),
@@ -135,7 +136,7 @@ fn source_crash_abandons_migration_cleanly() {
     // the driver loop exits within a couple of sample intervals of the
     // crash being detected (~12 ms), far before the 2 s deadline.
     let target = ServerId(1);
-    let finished = cluster.run_until_migrated(target, 2 * SECOND);
+    let finished = cluster.run_until_migrated(target, MigrationId(1), 2 * SECOND);
     assert!(
         finished.is_none(),
         "migration finished against a dead source"
@@ -146,7 +147,7 @@ fn source_crash_abandons_migration_cleanly() {
         cluster.now()
     );
     let abandoned_at = cluster
-        .migration_abandoned(target)
+        .migration_abandoned(target, MigrationId(1))
         .expect("abandonment not stamped");
     {
         let s = cluster.server_stats[&target].view();

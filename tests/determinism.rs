@@ -9,7 +9,7 @@ mod common;
 
 use common::{builder, standard_setup, upper, TABLE};
 use rocksteady_cluster::ControlCmd;
-use rocksteady_common::{ServerId, MILLISECOND};
+use rocksteady_common::{MigrationId, ServerId, MILLISECOND};
 use rocksteady_simnet::SchedulerKind;
 use rocksteady_workload::YcsbConfig;
 
@@ -24,6 +24,7 @@ fn digest(seed: u64) -> (u64, u64, u64, u64, u64, String) {
     b.at(
         5 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),
@@ -68,6 +69,7 @@ fn sched_digest(kind: SchedulerKind) -> (u64, String, String) {
     b.at(
         5 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),

@@ -6,7 +6,7 @@ mod common;
 
 use common::{standard_setup, test_config, upper, verify_all_readable, MID, TABLE};
 use rocksteady_cluster::{Cluster, ClusterBuilder, ClusterConfig, ControlCmd};
-use rocksteady_common::{HashRange, Nanos, ServerId, MILLISECOND, SECOND};
+use rocksteady_common::{HashRange, MigrationId, Nanos, ServerId, MILLISECOND, SECOND};
 use rocksteady_metrics::SampleValue;
 use rocksteady_workload::YcsbConfig;
 
@@ -123,6 +123,7 @@ fn slo_run(migrate: bool, sla: Nanos) -> (rocksteady_cluster::SloReport, u64) {
         b.at(
             10 * MILLISECOND,
             ControlCmd::Migrate {
+                id: MigrationId(1),
                 table: TABLE,
                 range: upper(),
                 source: ServerId(0),
@@ -134,7 +135,7 @@ fn slo_run(migrate: bool, sla: Nanos) -> (rocksteady_cluster::SloReport, u64) {
     standard_setup(&mut cluster, 3_000);
     if migrate {
         cluster
-            .run_until_migrated(ServerId(1), SECOND)
+            .run_until_migrated(ServerId(1), MigrationId(1), SECOND)
             .expect("migration never finished");
     }
     cluster.run_until(150 * MILLISECOND);
@@ -192,6 +193,7 @@ fn back_to_back_migrations_reset_stale_stamps() {
     b.at(
         5 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),
@@ -201,6 +203,7 @@ fn back_to_back_migrations_reset_stale_stamps() {
     b.at(
         500 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(2),
             table: TABLE,
             range: lower(),
             source: ServerId(0),
@@ -211,7 +214,7 @@ fn back_to_back_migrations_reset_stale_stamps() {
     standard_setup(&mut cluster, 3_000);
 
     let first = cluster
-        .run_until_migrated(ServerId(1), 400 * MILLISECOND)
+        .run_until_migrated(ServerId(1), MigrationId(1), 400 * MILLISECOND)
         .expect("first migration never finished");
     assert!(first < 400 * MILLISECOND);
 
@@ -242,7 +245,7 @@ fn back_to_back_migrations_reset_stale_stamps() {
     // So waiting on the second migration observes its own completion,
     // not the stale stamp.
     let second = cluster
-        .run_until_migrated(ServerId(1), 5 * SECOND)
+        .run_until_migrated(ServerId(1), MigrationId(2), 5 * SECOND)
         .expect("second migration never finished");
     assert!(
         second > 500 * MILLISECOND,

@@ -9,7 +9,7 @@ mod common;
 
 use common::{builder, standard_setup, upper, verify_all_readable, TABLE};
 use rocksteady_cluster::ControlCmd;
-use rocksteady_common::{key_hash, ServerId, MILLISECOND, SECOND};
+use rocksteady_common::{key_hash, MigrationId, ServerId, MILLISECOND, SECOND};
 use rocksteady_master::{OpError, TabletRole, Work};
 use rocksteady_workload::core::primary_key;
 use rocksteady_workload::YcsbConfig;
@@ -27,6 +27,7 @@ fn migration_under_writes_preserves_every_record_and_update() {
     b.at(
         10 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),
@@ -36,7 +37,7 @@ fn migration_under_writes_preserves_every_record_and_update() {
     let mut cluster = b.build();
     standard_setup(&mut cluster, KEYS);
 
-    let finished = cluster.run_until_migrated(ServerId(1), 10 * SECOND);
+    let finished = cluster.run_until_migrated(ServerId(1), MigrationId(1), 10 * SECOND);
     assert!(finished.is_some(), "migration did not complete");
     // Let in-flight client ops drain.
     cluster.run_until(finished.unwrap() + 50 * MILLISECOND);
@@ -119,6 +120,7 @@ fn client_experience_recovers_after_migration() {
     b.at(
         10 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),
@@ -128,7 +130,7 @@ fn client_experience_recovers_after_migration() {
     let mut cluster = b.build();
     standard_setup(&mut cluster, BIG);
     let finished = cluster
-        .run_until_migrated(ServerId(1), 10 * SECOND)
+        .run_until_migrated(ServerId(1), MigrationId(1), 10 * SECOND)
         .expect("migration finished");
     cluster.run_until(finished + 100 * MILLISECOND);
 

@@ -7,7 +7,7 @@ use common::{builder, standard_setup, upper, TABLE};
 use rocksteady_cluster::{ClusterBuilder, ControlCmd};
 use rocksteady_common::ids::IndexId;
 use rocksteady_common::zipf::KeyDist;
-use rocksteady_common::{HashRange, ServerId, MILLISECOND, SECOND};
+use rocksteady_common::{HashRange, MigrationId, ServerId, MILLISECOND, SECOND};
 use rocksteady_master::Indexlet;
 use rocksteady_workload::scan::secondary_key;
 use rocksteady_workload::{ScanConfig, YcsbConfig};
@@ -23,6 +23,7 @@ fn priority_pulls_fire_and_shed_source_load() {
     b.at(
         10 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),
@@ -32,7 +33,7 @@ fn priority_pulls_fire_and_shed_source_load() {
     let mut cluster = b.build();
     standard_setup(&mut cluster, KEYS);
     cluster
-        .run_until_migrated(ServerId(1), 10 * SECOND)
+        .run_until_migrated(ServerId(1), MigrationId(1), 10 * SECOND)
         .expect("migration completes");
 
     let src = cluster.server_stats[&ServerId(0)].view();
@@ -61,6 +62,7 @@ fn no_priority_pull_variant_starves_reads_until_bulk_arrival() {
     b.at(
         10 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),
@@ -70,7 +72,7 @@ fn no_priority_pull_variant_starves_reads_until_bulk_arrival() {
     let mut cluster = b.build();
     standard_setup(&mut cluster, KEYS);
     cluster
-        .run_until_migrated(ServerId(1), 10 * SECOND)
+        .run_until_migrated(ServerId(1), MigrationId(1), 10 * SECOND)
         .expect("migration completes");
     // The source never serves a PriorityPull...
     assert_eq!(

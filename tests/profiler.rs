@@ -11,7 +11,7 @@ mod common;
 
 use common::{standard_setup, upper, TABLE};
 use rocksteady_cluster::{Cluster, ControlCmd};
-use rocksteady_common::{ServerId, MILLISECOND};
+use rocksteady_common::{MigrationId, ServerId, MILLISECOND};
 use rocksteady_workload::YcsbConfig;
 
 /// Runs the standard migration-under-load experiment with the given
@@ -28,6 +28,7 @@ fn run(seed: u64, profiling: bool, sla: Option<u64>) -> Cluster {
     b.at(
         5 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use common::{standard_setup, test_config, upper, TABLE};
 use rocksteady_cluster::{Cluster, ClusterBuilder, ClusterConfig, ControlCmd};
-use rocksteady_common::{ServerId, MILLISECOND, SECOND};
+use rocksteady_common::{MigrationId, ServerId, MILLISECOND, SECOND};
 use rocksteady_trace::Phase;
 use rocksteady_workload::YcsbConfig;
 
@@ -135,6 +135,7 @@ fn migration_trace_validates_with_all_phases() {
     b.at(
         5 * MILLISECOND,
         ControlCmd::Migrate {
+            id: MigrationId(1),
             table: TABLE,
             range: upper(),
             source: ServerId(0),
@@ -143,7 +144,7 @@ fn migration_trace_validates_with_all_phases() {
     );
     let mut cluster = b.build();
     standard_setup(&mut cluster, 5_000);
-    let done = cluster.run_until_migrated(ServerId(1), 5 * SECOND);
+    let done = cluster.run_until_migrated(ServerId(1), MigrationId(1), 5 * SECOND);
     assert!(done.is_some(), "migration never finished");
     cluster.run_until(cluster.now() + 10 * MILLISECOND);
 
