@@ -29,7 +29,8 @@ cargo test -q --workspace
 
 echo "==> examples: quickstart (exports a trace + metrics + profile)"
 rm -f target/quickstart-trace.json target/quickstart-metrics.json target/quickstart-metrics.prom \
-    target/quickstart-profile.folded target/quickstart-critical-path.json
+    target/quickstart-profile.folded target/quickstart-critical-path.json \
+    target/quickstart-audit.json target/quickstart-audit.dot
 cargo run --release --example quickstart
 
 echo "==> trace smoke: target/quickstart-trace.json"
@@ -60,9 +61,24 @@ grep -q ';idle ' target/quickstart-profile.folded
 test -s target/quickstart-critical-path.json
 grep -q '"components"' target/quickstart-critical-path.json
 
-echo "==> metrics + profiler crates deny missing docs"
+echo "==> audit smoke: target/quickstart-audit.{json,dot}"
+test -s target/quickstart-audit.json
+grep -q '"schema":"rocksteady-audit-v1"' target/quickstart-audit.json
+grep -q '"armed":1' target/quickstart-audit.json
+grep -q '"violations":\[\]' target/quickstart-audit.json
+grep -q '"migrations_verified":1' target/quickstart-audit.json
+grep -q '"name":"single-owner"' target/quickstart-audit.json
+grep -q '"name":"read-your-writes"' target/quickstart-audit.json
+test -s target/quickstart-audit.dot
+grep -q '^digraph ownership' target/quickstart-audit.dot
+grep -q 'audit_events_total' target/quickstart-metrics.prom
+grep -q 'audit_violations_total{invariant="conservation"} 0' target/quickstart-metrics.prom
+grep -q 'audit_migrations_verified_total 1' target/quickstart-metrics.prom
+
+echo "==> metrics + profiler + audit crates deny missing docs"
 grep -q '#!\[deny(missing_docs)\]' crates/metrics/src/lib.rs
 grep -q '#!\[deny(missing_docs)\]' crates/profiler/src/lib.rs
+grep -q '#!\[deny(missing_docs)\]' crates/audit/src/lib.rs
 
 echo "==> examples: crash_recovery"
 cargo run --release --example crash_recovery
@@ -81,10 +97,14 @@ test -s target/figures/micro_industry.csv
 grep -q 'ours_over_industry' target/figures/micro_industry.csv
 grep -q 'SOSP' target/figures/micro_industry.csv
 
-echo "==> bench smoke: day_in_the_life (autonomous rebalancer, concurrent migrations)"
-rm -f target/figures/day_in_the_life_summary.csv target/figures/day_in_the_life_latency.csv
+echo "==> bench smoke: day_in_the_life (rebalancer + armed auditor, zero violations)"
+rm -f target/figures/day_in_the_life_summary.csv target/figures/day_in_the_life_latency.csv \
+    target/figures/day_in_the_life_moves.csv
 ROCKSTEADY_BENCH_SMOKE=1 cargo bench -p rocksteady-bench --bench day_in_the_life
 test -s target/figures/day_in_the_life_summary.csv
+test -s target/figures/day_in_the_life_moves.csv
+head -1 target/figures/day_in_the_life_moves.csv \
+    | grep -q '^t_ns,migration_id,table,range_start,range_end,source,target$'
 head -1 target/figures/day_in_the_life_summary.csv \
     | grep -q '^mode,breach_intervals,breach_minutes,moves_admitted,moves_completed,peak_concurrent$'
 # The rebalanced day must have run >= 2 migrations concurrently.

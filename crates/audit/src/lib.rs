@@ -1,0 +1,2206 @@
+//! Cluster-wide protocol auditing: causal ownership timelines, online
+//! invariant checking, and breach "explain" reports.
+//!
+//! Rocksteady's safety argument rests on a handful of protocol
+//! invariants (§3): ownership flips atomically at the coordinator while
+//! the source keeps serving until its prepare, version floors only
+//! rise, every gathered record is replayed or superseded, and lineage
+//! dependencies pin crash-recovery order. The trace and profiler layers
+//! show *where time goes*; this crate continuously proves *the protocol
+//! did the right thing*.
+//!
+//! Producers (coordinator actor, server nodes, the rebalancer, YCSB
+//! clients) emit [`AuditEvent`]s through a shared [`AuditSink`] — the
+//! same zero-cost-when-disarmed handle shape as `Tracer`/`Profiler`: a
+//! disarmed sink is `None` and every emit is one branch, no clock
+//! reads, no allocation (callers guard payload construction with
+//! [`AuditSink::is_on`]). An armed sink is pure state mutation on the
+//! virtual clock, so arming can never perturb the event schedule —
+//! `events_processed()` and all other exports stay byte-identical.
+//!
+//! The online [`InvariantAuditor`] consumes each event as it is
+//! emitted, reconstructing per-tablet ownership timelines and checking
+//! five invariant classes (see [`invariants`]):
+//!
+//! 1. **single-owner** — at most one server is authoritative for any
+//!    key range at any instant, *modulo* the documented dual-serving
+//!    migration window (target admission → source prepare flip), which
+//!    must close before the migration commits;
+//! 2. **version-floor** — each master's version floor is monotone;
+//! 3. **conservation** — per migration, records gathered equals records
+//!    fed to replay; applied + superseded accounts for all of them
+//!    (none lost, none double-counted);
+//! 4. **lineage** — a lineage dependency is created before the commit
+//!    that uses it, dropped exactly once, and fully dropped when a
+//!    participant crashes;
+//! 5. **read-your-writes** — a client that saw `WriteOk{version}` never
+//!    subsequently reads an older version (or a miss) of that key.
+//!
+//! On top of the recorded stream sits the **explain engine**: given a
+//! migration id or an SLO-breach interval it walks the causal chain
+//! (rebalancer decision → admission → pull/replay pressure → outcome)
+//! and renders a ranked, deterministic JSON report; the full ownership-
+//! transfer history also exports as a DOT graph. All exports are
+//! integer-only and byte-identical across same-seed runs.
+
+#![deny(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rocksteady_common::{HashRange, KeyHash, MigrationId, Nanos, ServerId, TableId};
+use rocksteady_metrics::{Counter, Registry};
+
+/// The invariant catalog: index order is stable and shared by the
+/// per-invariant counters and the metrics labels.
+pub mod invariants {
+    /// Single authoritative owner per key range (modulo the dual window).
+    pub const SINGLE_OWNER: usize = 0;
+    /// Per-master version floors only rise.
+    pub const VERSION_FLOOR: usize = 1;
+    /// Gathered == replayed + superseded per migration.
+    pub const CONSERVATION: usize = 2;
+    /// Lineage deps: created before use, dropped exactly once.
+    pub const LINEAGE: usize = 3;
+    /// Per-client-session read-your-writes.
+    pub const READ_YOUR_WRITES: usize = 4;
+    /// Stable names, indexed by the constants above.
+    pub const NAMES: [&str; 5] = [
+        "single-owner",
+        "version-floor",
+        "conservation",
+        "lineage",
+        "read-your-writes",
+    ];
+}
+
+/// Why a lineage dependency was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The migration committed normally.
+    Commit,
+    /// A participant crashed; the coordinator's recovery plan dropped it.
+    Crash,
+}
+
+/// How a server came to claim serving authority over a range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimVia {
+    /// Crash-recovery replay finished; the range reopened on this master.
+    Recovery,
+}
+
+/// Why a server stopped claiming serving authority over a range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseVia {
+    /// The migration source executed PrepareMigration: the documented
+    /// dual-serving window closes here.
+    PrepareFlip,
+    /// The range entered crash recovery (`Recovering` blocks clients).
+    RecoveryBlock,
+    /// A rejected migration dropped its provisional tablet.
+    Abandon,
+}
+
+/// One audited protocol step. All payloads are plain integers/ids so
+/// recording never allocates beyond the event itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditKind {
+    // ------------------------------------------------ coordinator-side --
+    /// Setup: a tablet entered the coordinator map owned by `owner`.
+    TabletCreated {
+        /// Table the tablet belongs to.
+        table: TableId,
+        /// Covered hash range.
+        range: HashRange,
+        /// Initial owner.
+        owner: ServerId,
+    },
+    /// Metadata-only split of the tablet containing `at` (§3).
+    TabletSplit {
+        /// Table being split.
+        table: TableId,
+        /// Split point: the old tablet becomes `[start, at)` + `[at, end]`.
+        at: KeyHash,
+    },
+    /// The coordinator recorded a migration start: map ownership flipped
+    /// atomically from `source` to `target` (§3).
+    MigrationStart {
+        /// Migration id.
+        id: MigrationId,
+        /// Table under migration.
+        table: TableId,
+        /// Range under migration.
+        range: HashRange,
+        /// The source master.
+        source: ServerId,
+        /// The target master (the new map owner).
+        target: ServerId,
+    },
+    /// The coordinator recorded the migration's completion.
+    MigrationCommit {
+        /// Migration id.
+        id: MigrationId,
+        /// Table under migration.
+        table: TableId,
+        /// Range under migration.
+        range: HashRange,
+    },
+    /// The coordinator rejected a `MigrationStarting` (id reuse or range
+    /// overlap with an in-flight run).
+    MigrationRejected {
+        /// The rejected id.
+        id: MigrationId,
+    },
+    /// A baseline migration transferred ownership in one step (§2.3).
+    BaselineFlip {
+        /// Table transferred.
+        table: TableId,
+        /// Range transferred.
+        range: HashRange,
+        /// The old owner.
+        source: ServerId,
+        /// The new owner.
+        target: ServerId,
+    },
+    /// A lineage dependency was recorded (§3.4).
+    LineageAdded {
+        /// Owning migration.
+        id: MigrationId,
+        /// The dependent (migration source).
+        source: ServerId,
+        /// Whose log tail is depended upon (migration target).
+        target: ServerId,
+        /// First covered segment of the target's log tail.
+        from_segment: u64,
+    },
+    /// A lineage dependency was dropped.
+    LineageDropped {
+        /// Owning migration.
+        id: MigrationId,
+        /// Why it was dropped.
+        cause: DropCause,
+    },
+    /// The coordinator processed a crash report for `server`. Emitted
+    /// *after* the matching `LineageDropped { cause: Crash }` events so
+    /// the auditor can check the dead server's deps are fully gone.
+    ServerCrashed {
+        /// The dead server.
+        server: ServerId,
+    },
+    /// One recovery assignment of the crash plan.
+    RecoveryPlanned {
+        /// Table to recover.
+        table: TableId,
+        /// Range to recover.
+        range: HashRange,
+        /// Whose data is reconstructed.
+        crashed: ServerId,
+        /// The surviving master that replays and takes ownership.
+        recovery_master: ServerId,
+        /// Whether it merges onto an existing copy (lineage tail).
+        merge: bool,
+    },
+
+    // ------------------------------------------------------ master-side --
+    /// A migration target admitted run `id` and became locally
+    /// authoritative for the range (§3): the dual-serving window opens.
+    MigrationAdmitted {
+        /// Migration id.
+        id: MigrationId,
+        /// Table under migration.
+        table: TableId,
+        /// Range under migration.
+        range: HashRange,
+        /// The source it will pull from.
+        source: ServerId,
+        /// The admitting target.
+        target: ServerId,
+    },
+    /// A server began claiming serving authority over a range.
+    NodeClaim {
+        /// The claiming server.
+        server: ServerId,
+        /// Table.
+        table: TableId,
+        /// Range.
+        range: HashRange,
+        /// How the claim arose.
+        via: ClaimVia,
+    },
+    /// A server stopped claiming serving authority over a range.
+    NodeRelease {
+        /// The releasing server.
+        server: ServerId,
+        /// Table.
+        table: TableId,
+        /// Range.
+        range: HashRange,
+        /// Why it released.
+        via: ReleaseVia,
+    },
+    /// A master raised (or restated) its version floor.
+    VersionFloor {
+        /// The master.
+        server: ServerId,
+        /// The floor after the raise.
+        floor: u64,
+    },
+    /// The target received one batch of gathered records for run `id`.
+    Gathered {
+        /// Migration id.
+        id: MigrationId,
+        /// Pull partition (`u64::MAX` for PriorityPull batches).
+        partition: u64,
+        /// Records in the batch.
+        records: u64,
+        /// Whether this was a PriorityPull response.
+        priority: bool,
+    },
+    /// The target replayed one batch for run `id`.
+    Replayed {
+        /// Migration id.
+        id: MigrationId,
+        /// Records handed to `replay_batch`.
+        received: u64,
+        /// Records actually applied (the rest were version-superseded).
+        applied: u64,
+    },
+    /// The source serviced a PriorityPull (§3.3).
+    PriorityServed {
+        /// The serving source.
+        server: ServerId,
+        /// Hashes requested.
+        requested: u64,
+        /// Records returned (absent hashes are known-deleted).
+        records: u64,
+    },
+    /// The target finished run `id`: side logs committed, role flipped
+    /// to owner. Carries the manager's own gather totals so the auditor
+    /// can cross-check its event-accumulated counts.
+    MigrationFinished {
+        /// Migration id.
+        id: MigrationId,
+        /// The finishing target.
+        target: ServerId,
+        /// Records the manager counted from bulk pulls.
+        pull_records: u64,
+        /// Records the manager counted from priority pulls.
+        priority_records: u64,
+    },
+    /// The target abandoned run `id` (source died, rejected, or a
+    /// recovery plan superseded it).
+    MigrationAbandoned {
+        /// Migration id.
+        id: MigrationId,
+        /// The abandoning target.
+        target: ServerId,
+    },
+
+    // ------------------------------------------------- rebalancer-side --
+    /// The placement policy proposed a move (pre-admission).
+    RebalanceProposed {
+        /// Move source.
+        source: ServerId,
+        /// Move target.
+        target: ServerId,
+        /// Table.
+        table: TableId,
+        /// Range.
+        range: HashRange,
+    },
+    /// Admission control admitted the move and issued `MigrateTablet`.
+    RebalanceAdmitted {
+        /// The assigned migration id (`>= 1 << 32`).
+        id: MigrationId,
+        /// Move source.
+        source: ServerId,
+        /// Move target.
+        target: ServerId,
+        /// Table.
+        table: TableId,
+        /// Range.
+        range: HashRange,
+    },
+    /// The target answered the rebalancer's `MigrateTablet`.
+    RebalanceOutcome {
+        /// The issued migration id.
+        id: MigrationId,
+        /// Whether the run completed (vs. refused/abandoned).
+        completed: bool,
+    },
+
+    // ------------------------------------------------------ client-side --
+    /// A YCSB client saw `WriteOk { version }` for `hash`.
+    ClientWrite {
+        /// Client actor id.
+        client: u64,
+        /// Key hash written.
+        hash: KeyHash,
+        /// Version the server assigned.
+        version: u64,
+    },
+    /// A YCSB client completed a read of a key it previously wrote
+    /// (`version == 0` means the read missed).
+    ClientRead {
+        /// Client actor id.
+        client: u64,
+        /// Key hash read.
+        hash: KeyHash,
+        /// Version observed (0 = not found).
+        version: u64,
+    },
+}
+
+impl AuditKind {
+    /// Stable label for causal-chain rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AuditKind::TabletCreated { .. } => "tablet-created",
+            AuditKind::TabletSplit { .. } => "tablet-split",
+            AuditKind::MigrationStart { .. } => "migration-start",
+            AuditKind::MigrationCommit { .. } => "migration-commit",
+            AuditKind::MigrationRejected { .. } => "migration-rejected",
+            AuditKind::BaselineFlip { .. } => "baseline-flip",
+            AuditKind::LineageAdded { .. } => "lineage-added",
+            AuditKind::LineageDropped { .. } => "lineage-dropped",
+            AuditKind::ServerCrashed { .. } => "server-crashed",
+            AuditKind::RecoveryPlanned { .. } => "recovery-planned",
+            AuditKind::MigrationAdmitted { .. } => "migration-admitted",
+            AuditKind::NodeClaim { .. } => "node-claim",
+            AuditKind::NodeRelease { .. } => "node-release",
+            AuditKind::VersionFloor { .. } => "version-floor",
+            AuditKind::Gathered { .. } => "gathered",
+            AuditKind::Replayed { .. } => "replayed",
+            AuditKind::PriorityServed { .. } => "priority-served",
+            AuditKind::MigrationFinished { .. } => "migration-finished",
+            AuditKind::MigrationAbandoned { .. } => "migration-abandoned",
+            AuditKind::RebalanceProposed { .. } => "rebalance-proposed",
+            AuditKind::RebalanceAdmitted { .. } => "rebalance-admitted",
+            AuditKind::RebalanceOutcome { .. } => "rebalance-outcome",
+            AuditKind::ClientWrite { .. } => "client-write",
+            AuditKind::ClientRead { .. } => "client-read",
+        }
+    }
+}
+
+/// One recorded event: a kind stamped with virtual time. The sequence
+/// number is its index in the stream (emission order is deterministic).
+#[derive(Debug, Clone, Copy)]
+pub struct AuditEvent {
+    /// Virtual time of the step.
+    pub at: Nanos,
+    /// Stream position.
+    pub seq: u64,
+    /// The step itself.
+    pub kind: AuditKind,
+}
+
+/// One invariant violation, detected online at ingest time.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant broke (a name from [`invariants::NAMES`]).
+    pub invariant: &'static str,
+    /// Virtual time of the violating event.
+    pub at: Nanos,
+    /// Sequence number of the violating event.
+    pub seq: u64,
+    /// Human-readable description (integers only; deterministic).
+    pub detail: String,
+    /// Causal chain: sequence numbers of the events that led here, in
+    /// causal order, ending with the violating event.
+    pub chain: Vec<u64>,
+}
+
+/// Summary of what the auditor has seen and checked.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Events ingested.
+    pub events: u64,
+    /// Migration runs observed (admitted at a target).
+    pub migrations_tracked: u64,
+    /// Runs that committed with conservation fully verified.
+    pub migrations_verified: u64,
+    /// Runs abandoned (source died, rejected, superseded).
+    pub migrations_abandoned: u64,
+    /// Total violations across all invariants.
+    pub violations: u64,
+    /// Per-invariant `(name, checks_performed, violations)`.
+    pub per_invariant: Vec<(&'static str, u64, u64)>,
+}
+
+// ------------------------------------------------------- auditor state --
+
+/// One map-level ownership segment of a tablet's timeline.
+#[derive(Debug, Clone, Copy)]
+struct OwnerSegment {
+    from: Nanos,
+    owner: ServerId,
+    /// "normal" | "migrating" | "baseline" | "recovering".
+    state: &'static str,
+}
+
+/// Per-tablet reconstruction: map-level owner history plus the live
+/// node-level serving set.
+#[derive(Debug, Clone)]
+struct TabletTrack {
+    table: TableId,
+    range: HashRange,
+    opened: Nanos,
+    closed: Option<Nanos>,
+    segments: Vec<OwnerSegment>,
+    /// Servers currently claiming serving authority (sorted).
+    serving: Vec<ServerId>,
+    /// Open dual-serving window: `(migration, source, opened_seq)`.
+    window: Option<(MigrationId, ServerId, u64)>,
+}
+
+impl TabletTrack {
+    fn push_segment(&mut self, at: Nanos, owner: ServerId, state: &'static str) {
+        if let Some(last) = self.segments.last() {
+            if last.owner == owner && last.state == state {
+                return;
+            }
+        }
+        self.segments.push(OwnerSegment {
+            from: at,
+            owner,
+            state,
+        });
+    }
+}
+
+/// Per-migration causal + conservation bookkeeping.
+#[derive(Debug, Clone)]
+struct MigTrack {
+    table: TableId,
+    range: HashRange,
+    source: ServerId,
+    target: ServerId,
+    /// Whether a `MigrationAdmitted` (or `MigrationStart`) filled in the
+    /// endpoint fields above.
+    admitted: bool,
+    admitted_at: Nanos,
+    ended_at: Option<Nanos>,
+    /// 0 in-flight, 1 committed, 2 abandoned.
+    outcome: u8,
+    verified: bool,
+    gathered_bulk: u64,
+    gathered_prio: u64,
+    pulls: u64,
+    priority_pulls: u64,
+    replay_batches: u64,
+    replay_received: u64,
+    replay_applied: u64,
+    // Causal-chain anchors (event seqs).
+    rebalance_seq: Option<u64>,
+    admitted_seq: u64,
+    prepare_seq: Option<u64>,
+    started_seq: Option<u64>,
+    lineage_seq: Option<u64>,
+    finished_seq: Option<u64>,
+    abandoned_seq: Option<u64>,
+    commit_seq: Option<u64>,
+    drop_seq: Option<u64>,
+}
+
+impl Default for MigTrack {
+    fn default() -> Self {
+        MigTrack {
+            table: TableId(0),
+            range: HashRange::empty(),
+            source: ServerId(u32::MAX),
+            target: ServerId(u32::MAX),
+            admitted: false,
+            admitted_at: 0,
+            ended_at: None,
+            outcome: 0,
+            verified: false,
+            gathered_bulk: 0,
+            gathered_prio: 0,
+            pulls: 0,
+            priority_pulls: 0,
+            replay_batches: 0,
+            replay_received: 0,
+            replay_applied: 0,
+            rebalance_seq: None,
+            admitted_seq: 0,
+            prepare_seq: None,
+            started_seq: None,
+            lineage_seq: None,
+            finished_seq: None,
+            abandoned_seq: None,
+            commit_seq: None,
+            drop_seq: None,
+        }
+    }
+}
+
+impl MigTrack {
+    /// The control-plane chain (no data-plane noise), in causal order.
+    fn chain(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut push = |s: Option<u64>| {
+            if let Some(s) = s {
+                out.push(s);
+            }
+        };
+        push(self.rebalance_seq);
+        push(Some(self.admitted_seq));
+        push(self.prepare_seq);
+        push(self.lineage_seq);
+        push(self.started_seq);
+        push(self.finished_seq);
+        push(self.abandoned_seq);
+        push(self.commit_seq);
+        push(self.drop_seq);
+        out
+    }
+}
+
+/// The online checker: ingests each event as it is emitted and records
+/// violations immediately, with the causal chain that led there.
+#[derive(Debug, Default)]
+pub struct InvariantAuditor {
+    tablets: Vec<TabletTrack>,
+    /// Live tablet index by exact `(table, start, end)`.
+    live: HashMap<(u64, u64, u64), usize>,
+    migs: HashMap<u64, MigTrack>,
+    /// Live lineage deps: id -> (source, target, added_seq).
+    lineage: HashMap<u64, (ServerId, ServerId, u64)>,
+    /// Last floor sample per server: (floor, seq).
+    floors: HashMap<u32, (u64, u64)>,
+    /// Max confirmed written version per (client, hash) -> (version, seq).
+    written: HashMap<(u64, u64), (u64, u64)>,
+    /// Pending rebalancer admissions: migration id -> seq.
+    rebalance_admits: HashMap<u64, u64>,
+    checked: [u64; 5],
+    violated: [u64; 5],
+    violations: Vec<Violation>,
+}
+
+impl InvariantAuditor {
+    fn live_idx(&self, table: TableId, range: HashRange) -> Option<usize> {
+        self.live.get(&(table.0, range.start, range.end)).copied()
+    }
+
+    fn violate(&mut self, inv: usize, at: Nanos, seq: u64, detail: String, mut chain: Vec<u64>) {
+        self.violated[inv] += 1;
+        if chain.last() != Some(&seq) {
+            chain.push(seq);
+        }
+        self.violations.push(Violation {
+            invariant: invariants::NAMES[inv],
+            at,
+            seq,
+            detail,
+            chain,
+        });
+    }
+
+    /// Enforces the serving-set cardinality rule on tablet `idx` after a
+    /// mutation: more than one server is legal only inside an open dual
+    /// window (and then exactly two).
+    fn check_serving(&mut self, idx: usize, at: Nanos, seq: u64, extra_chain: Vec<u64>) {
+        self.checked[invariants::SINGLE_OWNER] += 1;
+        let t = &self.tablets[idx];
+        let n = t.serving.len();
+        let windowed = t.window.is_some();
+        if n > 2 || (n == 2 && !windowed) {
+            let servers: Vec<String> = t.serving.iter().map(|s| s.0.to_string()).collect();
+            let (table, range) = (t.table, t.range);
+            self.violate(
+                invariants::SINGLE_OWNER,
+                at,
+                seq,
+                format!(
+                    "{} servers [{}] authoritative for table {} range [{:#x}, {:#x}] outside a dual-serving window",
+                    n,
+                    servers.join(" "),
+                    table.0,
+                    range.start,
+                    range.end
+                ),
+                extra_chain,
+            );
+            // Reset to the most recent claimant so one bug does not
+            // cascade into a violation per subsequent event.
+            let keep = *self.tablets[idx].serving.last().expect("n > 0");
+            self.tablets[idx].serving = vec![keep];
+            self.tablets[idx].window = None;
+        }
+    }
+
+    fn ingest(&mut self, ev: &AuditEvent) {
+        let (at, seq) = (ev.at, ev.seq);
+        match ev.kind {
+            AuditKind::TabletCreated {
+                table,
+                range,
+                owner,
+            } => {
+                let idx = self.tablets.len();
+                self.tablets.push(TabletTrack {
+                    table,
+                    range,
+                    opened: at,
+                    closed: None,
+                    segments: vec![OwnerSegment {
+                        from: at,
+                        owner,
+                        state: "normal",
+                    }],
+                    serving: vec![owner],
+                    window: None,
+                });
+                self.live.insert((table.0, range.start, range.end), idx);
+            }
+            AuditKind::TabletSplit { table, at: split } => {
+                let found = self
+                    .tablets
+                    .iter()
+                    .enumerate()
+                    .find(|(i, t)| {
+                        t.closed.is_none()
+                            && t.table == table
+                            && t.range.contains(split)
+                            && t.range.start < split
+                            && self.live.get(&(table.0, t.range.start, t.range.end)) == Some(i)
+                    })
+                    .map(|(i, _)| i);
+                let Some(idx) = found else { return };
+                let parent = self.tablets[idx].clone();
+                self.tablets[idx].closed = Some(at);
+                self.live
+                    .remove(&(table.0, parent.range.start, parent.range.end));
+                for range in [
+                    HashRange {
+                        start: parent.range.start,
+                        end: split - 1,
+                    },
+                    HashRange {
+                        start: split,
+                        end: parent.range.end,
+                    },
+                ] {
+                    let child = self.tablets.len();
+                    let mut segs = Vec::new();
+                    if let Some(last) = parent.segments.last() {
+                        segs.push(OwnerSegment { from: at, ..*last });
+                    }
+                    self.tablets.push(TabletTrack {
+                        table,
+                        range,
+                        opened: at,
+                        closed: None,
+                        segments: segs,
+                        serving: parent.serving.clone(),
+                        window: parent.window,
+                    });
+                    self.live.insert((table.0, range.start, range.end), child);
+                }
+            }
+            AuditKind::MigrationAdmitted {
+                id,
+                table,
+                range,
+                source,
+                target,
+            } => {
+                let rebalance_seq = self.rebalance_admits.get(&id.0).copied();
+                self.migs.entry(id.0).or_default();
+                let m = self.migs.get_mut(&id.0).expect("inserted above");
+                m.table = table;
+                m.range = range;
+                m.source = source;
+                m.target = target;
+                m.admitted = true;
+                m.admitted_at = at;
+                m.admitted_seq = seq;
+                m.rebalance_seq = rebalance_seq;
+                if let Some(idx) = self.live_idx(table, range) {
+                    let window_clash = self.tablets[idx].window;
+                    if let Some((other, _, other_seq)) = window_clash {
+                        self.violate(
+                            invariants::SINGLE_OWNER,
+                            at,
+                            seq,
+                            format!(
+                                "migration {} admitted while migration {} still holds the dual-serving window on table {} range [{:#x}, {:#x}]",
+                                id.0, other.0, table.0, range.start, range.end
+                            ),
+                            vec![other_seq],
+                        );
+                    }
+                    let t = &mut self.tablets[idx];
+                    if !t.serving.contains(&target) {
+                        t.serving.push(target);
+                        t.serving.sort();
+                    }
+                    if t.serving.len() >= 2 && t.window.is_none() {
+                        t.window = Some((id, source, seq));
+                    }
+                    self.check_serving(idx, at, seq, vec![seq]);
+                }
+            }
+            AuditKind::NodeRelease {
+                server,
+                table,
+                range,
+                via,
+            } => {
+                if let Some(idx) = self.live_idx(table, range) {
+                    let t = &mut self.tablets[idx];
+                    t.serving.retain(|s| *s != server);
+                    if let Some((mid, src, _)) = t.window {
+                        if src == server {
+                            t.window = None;
+                            if let Some(m) = self.migs.get_mut(&mid.0) {
+                                if via == ReleaseVia::PrepareFlip {
+                                    m.prepare_seq = Some(seq);
+                                }
+                            }
+                        }
+                    }
+                    self.check_serving(idx, at, seq, vec![seq]);
+                }
+            }
+            AuditKind::NodeClaim {
+                server,
+                table,
+                range,
+                via: ClaimVia::Recovery,
+            } => {
+                if let Some(idx) = self.live_idx(table, range) {
+                    let t = &mut self.tablets[idx];
+                    if !t.serving.contains(&server) {
+                        t.serving.push(server);
+                        t.serving.sort();
+                    }
+                    t.push_segment(at, server, "normal");
+                    self.check_serving(idx, at, seq, vec![seq]);
+                }
+            }
+            AuditKind::MigrationStart {
+                id,
+                table,
+                range,
+                source,
+                target,
+            } => {
+                let m = self.migs.entry(id.0).or_default();
+                m.started_seq = Some(seq);
+                if !m.admitted {
+                    m.table = table;
+                    m.range = range;
+                    m.source = source;
+                    m.target = target;
+                    m.admitted = true;
+                    m.admitted_at = at;
+                    m.admitted_seq = seq;
+                }
+                if let Some(idx) = self.live_idx(table, range) {
+                    self.tablets[idx].push_segment(at, target, "migrating");
+                }
+            }
+            AuditKind::MigrationRejected { .. } => {}
+            AuditKind::MigrationCommit { id, table, range } => {
+                let chain = self.migs.get(&id.0).map(|m| m.chain()).unwrap_or_default();
+                if let Some(m) = self.migs.get_mut(&id.0) {
+                    m.commit_seq = Some(seq);
+                }
+                // Lineage "created before use": the commit is the use.
+                self.checked[invariants::LINEAGE] += 1;
+                if !self.lineage.contains_key(&id.0) {
+                    self.violate(
+                        invariants::LINEAGE,
+                        at,
+                        seq,
+                        format!(
+                            "migration {} committed with no live lineage dependency",
+                            id.0
+                        ),
+                        chain,
+                    );
+                }
+                if let Some(idx) = self.live_idx(table, range) {
+                    let owner = self.tablets[idx]
+                        .segments
+                        .last()
+                        .map(|s| s.owner)
+                        .unwrap_or(ServerId(0));
+                    self.tablets[idx].push_segment(at, owner, "normal");
+                }
+            }
+            AuditKind::BaselineFlip {
+                table,
+                range,
+                source,
+                target,
+            } => {
+                if let Some(idx) = self.live_idx(table, range) {
+                    let t = &mut self.tablets[idx];
+                    t.serving.retain(|s| *s != source);
+                    if !t.serving.contains(&target) {
+                        t.serving.push(target);
+                        t.serving.sort();
+                    }
+                    t.push_segment(at, target, "normal");
+                    self.check_serving(idx, at, seq, vec![seq]);
+                }
+            }
+            AuditKind::LineageAdded {
+                id,
+                source,
+                target,
+                from_segment: _,
+            } => {
+                self.checked[invariants::LINEAGE] += 1;
+                if self.lineage.contains_key(&id.0) {
+                    let prior = self.lineage[&id.0].2;
+                    self.violate(
+                        invariants::LINEAGE,
+                        at,
+                        seq,
+                        format!("lineage dependency for migration {} added twice", id.0),
+                        vec![prior],
+                    );
+                }
+                self.lineage.insert(id.0, (source, target, seq));
+                if let Some(m) = self.migs.get_mut(&id.0) {
+                    m.lineage_seq = Some(seq);
+                }
+            }
+            AuditKind::LineageDropped { id, cause: _ } => {
+                self.checked[invariants::LINEAGE] += 1;
+                match self.lineage.remove(&id.0) {
+                    Some(_) => {
+                        if let Some(m) = self.migs.get_mut(&id.0) {
+                            m.drop_seq = Some(seq);
+                        }
+                    }
+                    None => {
+                        let chain = self.migs.get(&id.0).map(|m| m.chain()).unwrap_or_default();
+                        self.violate(
+                            invariants::LINEAGE,
+                            at,
+                            seq,
+                            format!(
+                                "lineage dependency for migration {} dropped without being live (never created, or dropped twice)",
+                                id.0
+                            ),
+                            chain,
+                        );
+                    }
+                }
+            }
+            AuditKind::ServerCrashed { server } => {
+                // Fully-dropped-on-crash: by the time the crash event
+                // lands (it follows the plan's LineageDropped events), no
+                // live dep may involve the dead server.
+                self.checked[invariants::LINEAGE] += 1;
+                let mut stale: Vec<(u64, u64)> = self
+                    .lineage
+                    .iter()
+                    .filter(|(_, (s, t, _))| *s == server || *t == server)
+                    .map(|(id, (_, _, added))| (*id, *added))
+                    .collect();
+                stale.sort_unstable();
+                for (id, added) in stale {
+                    self.violate(
+                        invariants::LINEAGE,
+                        at,
+                        seq,
+                        format!(
+                            "lineage dependency for migration {} still live after crash of server {}",
+                            id, server.0
+                        ),
+                        vec![added],
+                    );
+                    self.lineage.remove(&id);
+                }
+                // The dead server stops serving everything; windows it
+                // participated in close with it.
+                for idx in 0..self.tablets.len() {
+                    if self.tablets[idx].closed.is_some() {
+                        continue;
+                    }
+                    self.tablets[idx].serving.retain(|s| *s != server);
+                    if let Some((mid, src, _)) = self.tablets[idx].window {
+                        let target = self.migs.get(&mid.0).map(|m| m.target);
+                        if src == server || target == Some(server) {
+                            self.tablets[idx].window = None;
+                        }
+                    }
+                }
+            }
+            AuditKind::RecoveryPlanned {
+                table,
+                range,
+                crashed: _,
+                recovery_master,
+                merge: _,
+            } => {
+                if let Some(idx) = self.live_idx(table, range) {
+                    self.tablets[idx].push_segment(at, recovery_master, "recovering");
+                }
+            }
+            AuditKind::VersionFloor { server, floor } => {
+                self.checked[invariants::VERSION_FLOOR] += 1;
+                if let Some(&(prev, prev_seq)) = self.floors.get(&server.0) {
+                    if floor < prev {
+                        self.violate(
+                            invariants::VERSION_FLOOR,
+                            at,
+                            seq,
+                            format!(
+                                "version floor on server {} regressed from {} to {}",
+                                server.0, prev, floor
+                            ),
+                            vec![prev_seq],
+                        );
+                    }
+                }
+                self.floors.insert(server.0, (floor, seq));
+            }
+            AuditKind::Gathered {
+                id,
+                partition: _,
+                records,
+                priority,
+            } => {
+                let m = self.migs.entry(id.0).or_default();
+                if priority {
+                    m.gathered_prio += records;
+                    m.priority_pulls += 1;
+                } else {
+                    m.gathered_bulk += records;
+                    m.pulls += 1;
+                }
+            }
+            AuditKind::Replayed {
+                id,
+                received,
+                applied,
+            } => {
+                let m = self.migs.entry(id.0).or_default();
+                m.replay_batches += 1;
+                m.replay_received += received;
+                m.replay_applied += applied;
+            }
+            AuditKind::PriorityServed { .. } => {}
+            AuditKind::MigrationFinished {
+                id,
+                target: _,
+                pull_records,
+                priority_records,
+            } => {
+                // Conservation: everything gathered was fed to replay,
+                // and the event-accumulated gather counts agree with the
+                // manager's own totals.
+                self.checked[invariants::CONSERVATION] += 1;
+                let (detail, chain, ok, ended) = {
+                    let m = self.migs.entry(id.0).or_default();
+                    m.finished_seq = Some(seq);
+                    m.ended_at = Some(at);
+                    m.outcome = 1;
+                    let gathered = m.gathered_bulk + m.gathered_prio;
+                    let ok = m.gathered_bulk == pull_records
+                        && m.gathered_prio == priority_records
+                        && m.replay_received == gathered
+                        && m.replay_applied <= m.replay_received;
+                    m.verified = ok;
+                    (
+                        format!(
+                            "migration {}: gathered {} (bulk {} vs manager {}, priority {} vs manager {}) but replay received {} applied {}",
+                            id.0,
+                            gathered,
+                            m.gathered_bulk,
+                            pull_records,
+                            m.gathered_prio,
+                            priority_records,
+                            m.replay_received,
+                            m.replay_applied
+                        ),
+                        m.chain(),
+                        ok,
+                        at,
+                    )
+                };
+                let _ = ended;
+                if !ok {
+                    self.violate(invariants::CONSERVATION, at, seq, detail, chain);
+                }
+                // The dual window must have closed before the commit: a
+                // source that never stopped serving is a split brain.
+                let (range, table, chain2) = {
+                    let m = &self.migs[&id.0];
+                    (m.range, m.table, m.chain())
+                };
+                if let Some(idx) = self.live_idx(table, range) {
+                    self.checked[invariants::SINGLE_OWNER] += 1;
+                    let open = self.tablets[idx].window.filter(|(mid, _, _)| *mid == id);
+                    if let Some((_, src, wseq)) = open {
+                        let mut chain = chain2;
+                        chain.push(wseq);
+                        self.violate(
+                            invariants::SINGLE_OWNER,
+                            at,
+                            seq,
+                            format!(
+                                "migration {} committed while source {} never released table {} range [{:#x}, {:#x}]: dual-serving window still open",
+                                id.0, src.0, table.0, range.start, range.end
+                            ),
+                            chain,
+                        );
+                        let t = &mut self.tablets[idx];
+                        t.window = None;
+                        t.serving.retain(|s| *s != src);
+                    }
+                }
+            }
+            AuditKind::MigrationAbandoned { id, target: _ } => {
+                let m = self.migs.entry(id.0).or_default();
+                m.abandoned_seq = Some(seq);
+                m.ended_at = Some(at);
+                m.outcome = 2;
+            }
+            AuditKind::RebalanceProposed { .. } => {}
+            AuditKind::RebalanceAdmitted { id, .. } => {
+                self.rebalance_admits.insert(id.0, seq);
+            }
+            AuditKind::RebalanceOutcome { .. } => {}
+            AuditKind::ClientWrite {
+                client,
+                hash,
+                version,
+            } => {
+                let entry = self.written.entry((client, hash)).or_insert((0, seq));
+                if version > entry.0 {
+                    *entry = (version, seq);
+                }
+            }
+            AuditKind::ClientRead {
+                client,
+                hash,
+                version,
+            } => {
+                if let Some(&(max, wseq)) = self.written.get(&(client, hash)) {
+                    self.checked[invariants::READ_YOUR_WRITES] += 1;
+                    if version < max {
+                        let what = if version == 0 {
+                            "a miss".to_string()
+                        } else {
+                            format!("version {version}")
+                        };
+                        self.violate(
+                            invariants::READ_YOUR_WRITES,
+                            at,
+                            seq,
+                            format!(
+                                "client {} read {} for hash {:#x} after its own confirmed write of version {}",
+                                client, what, hash, max
+                            ),
+                            vec![wseq],
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ the sink --
+
+/// Per-invariant metrics published into the shared registry (armed
+/// clusters only; see `ClusterConfig::audit`).
+#[derive(Debug, Clone)]
+struct AuditMetrics {
+    events: Counter,
+    verified: Counter,
+    violations: [Counter; 5],
+}
+
+/// Everything behind an armed sink: the append-only event log, the
+/// online checker, and (optionally) registered summary counters.
+#[derive(Debug, Default)]
+struct AuditCore {
+    events: Vec<AuditEvent>,
+    auditor: InvariantAuditor,
+    metrics: Option<AuditMetrics>,
+}
+
+/// Shared handle to the audit stream. Cloning shares the buffer; a
+/// disarmed sink ([`AuditSink::off`]) is `None` and every call is one
+/// branch.
+#[derive(Debug, Clone, Default)]
+pub struct AuditSink(Option<Rc<RefCell<AuditCore>>>);
+
+impl AuditSink {
+    /// A disarmed sink: every emit is a single branch.
+    pub fn off() -> Self {
+        AuditSink(None)
+    }
+
+    /// An armed sink with a fresh shared buffer and checker.
+    pub fn armed() -> Self {
+        AuditSink(Some(Rc::new(RefCell::new(AuditCore::default()))))
+    }
+
+    /// Whether the sink records. Guard payload construction with this.
+    pub fn is_on(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Registers the summary counters (`audit_events_total`,
+    /// `audit_violations_total{invariant=...}`,
+    /// `audit_migrations_verified_total`) in `reg` and keeps updating
+    /// them on every ingest. No-op when disarmed.
+    pub fn register_metrics(&self, reg: &Registry) {
+        let Some(core) = &self.0 else { return };
+        let violations = std::array::from_fn(|i| {
+            reg.counter(
+                "audit_violations_total",
+                "Protocol-invariant violations detected by the auditor",
+                &[("invariant", invariants::NAMES[i].to_string())],
+            )
+        });
+        core.borrow_mut().metrics = Some(AuditMetrics {
+            events: reg.counter(
+                "audit_events_total",
+                "Audit events ingested by the invariant auditor",
+                &[],
+            ),
+            verified: reg.counter(
+                "audit_migrations_verified_total",
+                "Migrations that committed with record conservation verified",
+                &[],
+            ),
+            violations,
+        });
+    }
+
+    /// Records one event at virtual time `at` and runs the online checks.
+    /// A disarmed sink returns immediately.
+    pub fn emit(&self, at: Nanos, kind: AuditKind) {
+        let Some(core) = &self.0 else { return };
+        let mut core = core.borrow_mut();
+        let seq = core.events.len() as u64;
+        let ev = AuditEvent { at, seq, kind };
+        core.events.push(ev);
+        let before = core.auditor.violations.len();
+        core.auditor.ingest(&ev);
+        let verified = matches!(ev.kind, AuditKind::MigrationFinished { id, .. }
+            if core.auditor.migs.get(&id.0).map(|m| m.verified) == Some(true));
+        if let Some(m) = &core.metrics {
+            m.events.inc();
+            if verified {
+                m.verified.inc();
+            }
+            let after = core.auditor.violations.len();
+            for v in &core.auditor.violations[before..after] {
+                let idx = invariants::NAMES
+                    .iter()
+                    .position(|n| *n == v.invariant)
+                    .expect("known invariant");
+                m.violations[idx].inc();
+            }
+        }
+    }
+
+    /// Number of events recorded so far (0 when disarmed).
+    pub fn events_len(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|c| c.borrow().events.len() as u64)
+            .unwrap_or(0)
+    }
+
+    /// All violations detected so far (empty when disarmed).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.0
+            .as_ref()
+            .map(|c| c.borrow().auditor.violations.clone())
+            .unwrap_or_default()
+    }
+
+    /// Summary of events, checks, and violations.
+    pub fn report(&self) -> AuditReport {
+        let Some(core) = &self.0 else {
+            return AuditReport {
+                per_invariant: invariants::NAMES.iter().map(|n| (*n, 0, 0)).collect(),
+                ..AuditReport::default()
+            };
+        };
+        self.report_inner(&core.borrow())
+    }
+
+    /// Runs `f` over the recorded event stream (`None` when disarmed).
+    pub fn with_events<R>(&self, f: impl FnOnce(&[AuditEvent]) -> R) -> Option<R> {
+        self.0.as_ref().map(|c| f(&c.borrow().events))
+    }
+
+    // ------------------------------------------------------ exporters --
+
+    /// The full audit record as deterministic JSON (integers only;
+    /// byte-identical across same-seed runs). `now` closes open timeline
+    /// segments.
+    pub fn export_json(&self, now: Nanos) -> String {
+        let Some(core) = &self.0 else {
+            return String::from("{\"schema\":\"rocksteady-audit-v1\",\"armed\":0}");
+        };
+        let core = core.borrow();
+        let a = &core.auditor;
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"schema\":\"rocksteady-audit-v1\",\"armed\":1,\"now\":");
+        out.push_str(&now.to_string());
+        let rep = self.report_inner(&core);
+        out.push_str(",\"summary\":{\"events\":");
+        out.push_str(&rep.events.to_string());
+        out.push_str(",\"migrations_tracked\":");
+        out.push_str(&rep.migrations_tracked.to_string());
+        out.push_str(",\"migrations_verified\":");
+        out.push_str(&rep.migrations_verified.to_string());
+        out.push_str(",\"migrations_abandoned\":");
+        out.push_str(&rep.migrations_abandoned.to_string());
+        out.push_str(",\"violations\":");
+        out.push_str(&rep.violations.to_string());
+        out.push_str("},\"invariants\":[");
+        for (i, (name, checked, violated)) in rep.per_invariant.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            out.push_str(name);
+            out.push_str("\",\"checked\":");
+            out.push_str(&checked.to_string());
+            out.push_str(",\"violations\":");
+            out.push_str(&violated.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"migrations\":[");
+        let mut ids: Vec<u64> = a.migs.keys().copied().collect();
+        ids.sort_unstable();
+        for (i, id) in ids.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let m = &a.migs[id];
+            out.push_str("{\"id\":");
+            out.push_str(&id.to_string());
+            out.push_str(",\"table\":");
+            out.push_str(&m.table.0.to_string());
+            out.push_str(",\"start\":");
+            out.push_str(&m.range.start.to_string());
+            out.push_str(",\"end\":");
+            out.push_str(&m.range.end.to_string());
+            out.push_str(",\"source\":");
+            out.push_str(&m.source.0.to_string());
+            out.push_str(",\"target\":");
+            out.push_str(&m.target.0.to_string());
+            out.push_str(",\"admitted_at\":");
+            out.push_str(&m.admitted_at.to_string());
+            out.push_str(",\"ended_at\":");
+            out.push_str(&m.ended_at.unwrap_or(0).to_string());
+            out.push_str(",\"outcome\":\"");
+            out.push_str(match m.outcome {
+                1 => "committed",
+                2 => "abandoned",
+                _ => "in-flight",
+            });
+            out.push_str("\",\"origin\":\"");
+            out.push_str(if m.rebalance_seq.is_some() {
+                "rebalancer"
+            } else {
+                "scripted"
+            });
+            out.push_str("\",\"gathered\":");
+            out.push_str(&(m.gathered_bulk + m.gathered_prio).to_string());
+            out.push_str(",\"replay_received\":");
+            out.push_str(&m.replay_received.to_string());
+            out.push_str(",\"replay_applied\":");
+            out.push_str(&m.replay_applied.to_string());
+            out.push_str(",\"superseded\":");
+            out.push_str(
+                &m.replay_received
+                    .saturating_sub(m.replay_applied)
+                    .to_string(),
+            );
+            out.push_str(",\"verified\":");
+            out.push_str(if m.verified { "1" } else { "0" });
+            out.push('}');
+        }
+        out.push_str("],\"timeline\":[");
+        let mut order: Vec<usize> = (0..a.tablets.len()).collect();
+        order.sort_by_key(|i| {
+            let t = &a.tablets[*i];
+            (t.table.0, t.range.start, t.opened, t.range.end)
+        });
+        for (i, idx) in order.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let t = &a.tablets[*idx];
+            out.push_str("{\"table\":");
+            out.push_str(&t.table.0.to_string());
+            out.push_str(",\"start\":");
+            out.push_str(&t.range.start.to_string());
+            out.push_str(",\"end\":");
+            out.push_str(&t.range.end.to_string());
+            out.push_str(",\"opened\":");
+            out.push_str(&t.opened.to_string());
+            out.push_str(",\"closed\":");
+            out.push_str(&t.closed.unwrap_or(now).to_string());
+            out.push_str(",\"segments\":[");
+            for (j, s) in t.segments.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let until = t
+                    .segments
+                    .get(j + 1)
+                    .map(|n| n.from)
+                    .or(t.closed)
+                    .unwrap_or(now);
+                out.push_str("{\"from\":");
+                out.push_str(&s.from.to_string());
+                out.push_str(",\"to\":");
+                out.push_str(&until.to_string());
+                out.push_str(",\"owner\":");
+                out.push_str(&s.owner.0.to_string());
+                out.push_str(",\"state\":\"");
+                out.push_str(s.state);
+                out.push_str("\"}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"violations\":[");
+        for (i, v) in a.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&self.violation_json(&core, v));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn report_inner(&self, core: &AuditCore) -> AuditReport {
+        let a = &core.auditor;
+        let mut tracked = 0;
+        let mut verified = 0;
+        let mut abandoned = 0;
+        for m in a.migs.values() {
+            tracked += 1;
+            if m.outcome == 1 && m.verified {
+                verified += 1;
+            }
+            if m.outcome == 2 {
+                abandoned += 1;
+            }
+        }
+        AuditReport {
+            events: core.events.len() as u64,
+            migrations_tracked: tracked,
+            migrations_verified: verified,
+            migrations_abandoned: abandoned,
+            violations: a.violations.len() as u64,
+            per_invariant: invariants::NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (*n, a.checked[i], a.violated[i]))
+                .collect(),
+        }
+    }
+
+    fn chain_json(&self, core: &AuditCore, chain: &[u64]) -> String {
+        let mut out = String::from("[");
+        for (i, seq) in chain.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"seq\":");
+            out.push_str(&seq.to_string());
+            if let Some(ev) = core.events.get(*seq as usize) {
+                out.push_str(",\"at\":");
+                out.push_str(&ev.at.to_string());
+                out.push_str(",\"event\":\"");
+                out.push_str(ev.kind.label());
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+
+    fn violation_json(&self, core: &AuditCore, v: &Violation) -> String {
+        let mut out = String::from("{\"invariant\":\"");
+        out.push_str(v.invariant);
+        out.push_str("\",\"at\":");
+        out.push_str(&v.at.to_string());
+        out.push_str(",\"seq\":");
+        out.push_str(&v.seq.to_string());
+        out.push_str(",\"detail\":\"");
+        out.push_str(&v.detail);
+        out.push_str("\",\"chain\":");
+        out.push_str(&self.chain_json(core, &v.chain));
+        out.push('}');
+        out
+    }
+
+    /// The ownership-transfer history as a DOT digraph: one node per
+    /// server, one edge per transfer (migration start, baseline flip, or
+    /// crash-recovery reassignment). Empty graph when disarmed.
+    pub fn export_dot(&self) -> String {
+        let mut out = String::from("digraph ownership {\n  rankdir=LR;\n");
+        let Some(core) = &self.0 else {
+            out.push_str("}\n");
+            return out;
+        };
+        let core = core.borrow();
+        let mut servers: Vec<u32> = Vec::new();
+        let mut edges: Vec<String> = Vec::new();
+        let note = |servers: &mut Vec<u32>, s: ServerId| {
+            if !servers.contains(&s.0) {
+                servers.push(s.0);
+            }
+        };
+        for ev in &core.events {
+            match ev.kind {
+                AuditKind::TabletCreated { owner, .. } => note(&mut servers, owner),
+                AuditKind::MigrationStart {
+                    id,
+                    table,
+                    range,
+                    source,
+                    target,
+                } => {
+                    note(&mut servers, source);
+                    note(&mut servers, target);
+                    edges.push(format!(
+                        "  \"s{}\" -> \"s{}\" [label=\"m{} t{} [{:#x},{:#x}] @{}\"];\n",
+                        source.0, target.0, id.0, table.0, range.start, range.end, ev.at
+                    ));
+                }
+                AuditKind::BaselineFlip {
+                    table,
+                    range,
+                    source,
+                    target,
+                } => {
+                    note(&mut servers, source);
+                    note(&mut servers, target);
+                    edges.push(format!(
+                        "  \"s{}\" -> \"s{}\" [label=\"baseline t{} [{:#x},{:#x}] @{}\" style=dashed];\n",
+                        source.0, target.0, table.0, range.start, range.end, ev.at
+                    ));
+                }
+                AuditKind::RecoveryPlanned {
+                    table,
+                    range,
+                    crashed,
+                    recovery_master,
+                    ..
+                } => {
+                    note(&mut servers, crashed);
+                    note(&mut servers, recovery_master);
+                    edges.push(format!(
+                        "  \"s{}\" -> \"s{}\" [label=\"recovery t{} [{:#x},{:#x}] @{}\" style=dotted];\n",
+                        crashed.0, recovery_master.0, table.0, range.start, range.end, ev.at
+                    ));
+                }
+                _ => {}
+            }
+        }
+        servers.sort_unstable();
+        for s in servers {
+            out.push_str(&format!("  \"s{s}\";\n"));
+        }
+        for e in edges {
+            out.push_str(&e);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    // -------------------------------------------------- explain engine --
+
+    /// Walks migration `id`'s causal chain — rebalancer decision (if
+    /// any), admission, prepare flip, lineage, registration, pull/replay
+    /// pressure, and outcome — as deterministic JSON. `None` when the
+    /// sink is disarmed or the id was never seen.
+    pub fn explain_migration(&self, id: MigrationId) -> Option<String> {
+        let core = self.0.as_ref()?.borrow();
+        let m = core.auditor.migs.get(&id.0)?;
+        let mut out = String::from("{\"kind\":\"migration\",\"id\":");
+        out.push_str(&id.0.to_string());
+        out.push_str(",\"outcome\":\"");
+        out.push_str(match m.outcome {
+            1 => "committed",
+            2 => "abandoned",
+            _ => "in-flight",
+        });
+        out.push_str("\",\"origin\":\"");
+        out.push_str(if m.rebalance_seq.is_some() {
+            "rebalancer"
+        } else {
+            "scripted"
+        });
+        out.push_str("\",\"verified\":");
+        out.push_str(if m.verified { "1" } else { "0" });
+        out.push_str(",\"source\":");
+        out.push_str(&m.source.0.to_string());
+        out.push_str(",\"target\":");
+        out.push_str(&m.target.0.to_string());
+        out.push_str(",\"chain\":");
+        out.push_str(&self.chain_json(&core, &m.chain()));
+        out.push_str(",\"pressure\":{\"pulls\":");
+        out.push_str(&m.pulls.to_string());
+        out.push_str(",\"pull_records\":");
+        out.push_str(&m.gathered_bulk.to_string());
+        out.push_str(",\"priority_pulls\":");
+        out.push_str(&m.priority_pulls.to_string());
+        out.push_str(",\"priority_records\":");
+        out.push_str(&m.gathered_prio.to_string());
+        out.push_str(",\"replay_batches\":");
+        out.push_str(&m.replay_batches.to_string());
+        out.push_str(",\"replay_applied\":");
+        out.push_str(&m.replay_applied.to_string());
+        out.push_str(",\"superseded\":");
+        out.push_str(
+            &m.replay_received
+                .saturating_sub(m.replay_applied)
+                .to_string(),
+        );
+        out.push_str("}}");
+        Some(out)
+    }
+
+    /// Ranks the causes active during an SLO-breach interval `[from,
+    /// to]`: migrations whose run overlapped the window (scored by
+    /// overlap duration and replay pressure inside it, with their full
+    /// causal chain back to the rebalancer decision that admitted them)
+    /// and server crashes. Deterministic JSON; `None` when disarmed or
+    /// when no audited cause overlapped the window at all.
+    pub fn explain_slo_breach(&self, from: Nanos, to: Nanos) -> Option<String> {
+        let core = self.0.as_ref()?.borrow();
+        let a = &core.auditor;
+        // (score desc, seq asc) ranking; all integer math.
+        let mut causes: Vec<(u64, u64, String)> = Vec::new();
+        let mut ids: Vec<u64> = a.migs.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let m = &a.migs[&id];
+            let end = m.ended_at.unwrap_or(to);
+            let begin = m.admitted_at;
+            let overlap = end.min(to).saturating_sub(begin.max(from));
+            if overlap == 0 || begin > to || end < from {
+                continue;
+            }
+            let mut replayed_in_window = 0u64;
+            for ev in &core.events {
+                if ev.at < from || ev.at > to {
+                    continue;
+                }
+                if let AuditKind::Replayed {
+                    id: rid, received, ..
+                } = ev.kind
+                {
+                    if rid.0 == id {
+                        replayed_in_window += received;
+                    }
+                }
+            }
+            // Replay pressure dominates; overlap breaks ties in µs.
+            let score = replayed_in_window * 1_000 + overlap / 1_000;
+            let mut j = String::from("{\"cause\":\"migration\",\"id\":");
+            j.push_str(&id.to_string());
+            j.push_str(",\"origin\":\"");
+            j.push_str(if m.rebalance_seq.is_some() {
+                "rebalancer"
+            } else {
+                "scripted"
+            });
+            j.push_str("\",\"overlap_ns\":");
+            j.push_str(&overlap.to_string());
+            j.push_str(",\"replayed_in_window\":");
+            j.push_str(&replayed_in_window.to_string());
+            j.push_str(",\"score\":");
+            j.push_str(&score.to_string());
+            j.push_str(",\"chain\":");
+            j.push_str(&self.chain_json(&core, &m.chain()));
+            j.push('}');
+            causes.push((score, m.admitted_seq, j));
+        }
+        for ev in &core.events {
+            if let AuditKind::ServerCrashed { server } = ev.kind {
+                // A crash shortly before or inside the window dominates
+                // any migration-pressure explanation.
+                let margin = to.saturating_sub(from);
+                if ev.at >= from.saturating_sub(margin) && ev.at <= to {
+                    let score = u64::MAX / 2;
+                    let mut j = String::from("{\"cause\":\"crash\",\"server\":");
+                    j.push_str(&server.0.to_string());
+                    j.push_str(",\"at\":");
+                    j.push_str(&ev.at.to_string());
+                    j.push_str(",\"score\":");
+                    j.push_str(&score.to_string());
+                    j.push_str(",\"chain\":");
+                    j.push_str(&self.chain_json(&core, &[ev.seq]));
+                    j.push('}');
+                    causes.push((score, ev.seq, j));
+                }
+            }
+        }
+        if causes.is_empty() {
+            return None;
+        }
+        causes.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+        let mut out = String::from("{\"kind\":\"slo-breach\",\"from\":");
+        out.push_str(&from.to_string());
+        out.push_str(",\"to\":");
+        out.push_str(&to.to_string());
+        out.push_str(",\"causes\":[");
+        for (i, (_, _, j)) in causes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rank\":");
+            out.push_str(&(i + 1).to_string());
+            out.push(',');
+            out.push_str(&j[1..]);
+        }
+        out.push_str("]}");
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = TableId(1);
+    const FULL: HashRange = HashRange {
+        start: 0,
+        end: u64::MAX,
+    };
+    const M: MigrationId = MigrationId(7);
+    const S0: ServerId = ServerId(0);
+    const S1: ServerId = ServerId(1);
+    const S2: ServerId = ServerId(2);
+
+    fn clean_migration(sink: &AuditSink) {
+        sink.emit(
+            0,
+            AuditKind::TabletCreated {
+                table: T,
+                range: FULL,
+                owner: S0,
+            },
+        );
+        sink.emit(
+            10,
+            AuditKind::MigrationAdmitted {
+                id: M,
+                table: T,
+                range: FULL,
+                source: S0,
+                target: S1,
+            },
+        );
+        sink.emit(
+            20,
+            AuditKind::NodeRelease {
+                server: S0,
+                table: T,
+                range: FULL,
+                via: ReleaseVia::PrepareFlip,
+            },
+        );
+        sink.emit(
+            25,
+            AuditKind::LineageAdded {
+                id: M,
+                source: S0,
+                target: S1,
+                from_segment: 3,
+            },
+        );
+        sink.emit(
+            30,
+            AuditKind::MigrationStart {
+                id: M,
+                table: T,
+                range: FULL,
+                source: S0,
+                target: S1,
+            },
+        );
+        sink.emit(
+            40,
+            AuditKind::Gathered {
+                id: M,
+                partition: 0,
+                records: 90,
+                priority: false,
+            },
+        );
+        sink.emit(
+            41,
+            AuditKind::Gathered {
+                id: M,
+                partition: u64::MAX,
+                records: 10,
+                priority: true,
+            },
+        );
+        sink.emit(
+            50,
+            AuditKind::Replayed {
+                id: M,
+                received: 10,
+                applied: 10,
+            },
+        );
+        sink.emit(
+            55,
+            AuditKind::Replayed {
+                id: M,
+                received: 90,
+                applied: 85,
+            },
+        );
+        sink.emit(
+            60,
+            AuditKind::MigrationFinished {
+                id: M,
+                target: S1,
+                pull_records: 90,
+                priority_records: 10,
+            },
+        );
+        sink.emit(
+            70,
+            AuditKind::MigrationCommit {
+                id: M,
+                table: T,
+                range: FULL,
+            },
+        );
+        sink.emit(
+            70,
+            AuditKind::LineageDropped {
+                id: M,
+                cause: DropCause::Commit,
+            },
+        );
+    }
+
+    #[test]
+    fn clean_run_verifies_with_zero_violations() {
+        let sink = AuditSink::armed();
+        clean_migration(&sink);
+        let rep = sink.report();
+        assert_eq!(rep.violations, 0, "{:?}", sink.violations());
+        assert_eq!(rep.migrations_verified, 1);
+        assert_eq!(rep.migrations_tracked, 1);
+        for (name, checked, violated) in &rep.per_invariant {
+            assert_eq!(*violated, 0, "{name}");
+            if *name != "version-floor" && *name != "read-your-writes" {
+                assert!(*checked > 0, "{name} never checked");
+            }
+        }
+    }
+
+    #[test]
+    fn disarmed_sink_records_nothing() {
+        let sink = AuditSink::off();
+        clean_migration(&sink);
+        assert!(!sink.is_on());
+        assert_eq!(sink.events_len(), 0);
+        assert_eq!(sink.report().violations, 0);
+        assert!(sink.explain_migration(M).is_none());
+    }
+
+    #[test]
+    fn single_owner_violation_when_source_never_flips() {
+        let sink = AuditSink::armed();
+        sink.emit(
+            0,
+            AuditKind::TabletCreated {
+                table: T,
+                range: FULL,
+                owner: S0,
+            },
+        );
+        sink.emit(
+            10,
+            AuditKind::MigrationAdmitted {
+                id: M,
+                table: T,
+                range: FULL,
+                source: S0,
+                target: S1,
+            },
+        );
+        // No PrepareFlip release: the dual window never closes.
+        sink.emit(
+            60,
+            AuditKind::MigrationFinished {
+                id: M,
+                target: S1,
+                pull_records: 0,
+                priority_records: 0,
+            },
+        );
+        let v = sink.violations();
+        assert!(
+            v.iter().any(|v| v.invariant == "single-owner"),
+            "no single-owner violation: {v:?}"
+        );
+        let so = v.iter().find(|v| v.invariant == "single-owner").unwrap();
+        assert!(
+            so.chain.len() >= 2,
+            "causal chain too short: {:?}",
+            so.chain
+        );
+    }
+
+    #[test]
+    fn single_owner_violation_on_third_claimant() {
+        let sink = AuditSink::armed();
+        sink.emit(
+            0,
+            AuditKind::TabletCreated {
+                table: T,
+                range: FULL,
+                owner: S0,
+            },
+        );
+        sink.emit(
+            10,
+            AuditKind::MigrationAdmitted {
+                id: M,
+                table: T,
+                range: FULL,
+                source: S0,
+                target: S1,
+            },
+        );
+        sink.emit(
+            15,
+            AuditKind::NodeClaim {
+                server: S2,
+                table: T,
+                range: FULL,
+                via: ClaimVia::Recovery,
+            },
+        );
+        assert!(sink
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "single-owner"));
+    }
+
+    #[test]
+    fn version_floor_regression_fires() {
+        let sink = AuditSink::armed();
+        sink.emit(
+            1,
+            AuditKind::VersionFloor {
+                server: S0,
+                floor: 100,
+            },
+        );
+        sink.emit(
+            2,
+            AuditKind::VersionFloor {
+                server: S0,
+                floor: 100,
+            },
+        );
+        sink.emit(
+            3,
+            AuditKind::VersionFloor {
+                server: S1,
+                floor: 5,
+            },
+        );
+        assert_eq!(sink.report().violations, 0);
+        sink.emit(
+            4,
+            AuditKind::VersionFloor {
+                server: S0,
+                floor: 99,
+            },
+        );
+        let v = sink.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "version-floor");
+        assert_eq!(v[0].chain, vec![1, 3]);
+    }
+
+    #[test]
+    fn conservation_violation_on_lost_records() {
+        let sink = AuditSink::armed();
+        sink.emit(
+            0,
+            AuditKind::TabletCreated {
+                table: T,
+                range: FULL,
+                owner: S0,
+            },
+        );
+        sink.emit(
+            10,
+            AuditKind::MigrationAdmitted {
+                id: M,
+                table: T,
+                range: FULL,
+                source: S0,
+                target: S1,
+            },
+        );
+        sink.emit(
+            20,
+            AuditKind::NodeRelease {
+                server: S0,
+                table: T,
+                range: FULL,
+                via: ReleaseVia::PrepareFlip,
+            },
+        );
+        sink.emit(
+            40,
+            AuditKind::Gathered {
+                id: M,
+                partition: 0,
+                records: 100,
+                priority: false,
+            },
+        );
+        sink.emit(
+            50,
+            AuditKind::Replayed {
+                id: M,
+                received: 90,
+                applied: 90,
+            },
+        );
+        sink.emit(
+            60,
+            AuditKind::MigrationFinished {
+                id: M,
+                target: S1,
+                pull_records: 100,
+                priority_records: 0,
+            },
+        );
+        let v = sink.violations();
+        assert!(v.iter().any(|v| v.invariant == "conservation"), "{v:?}");
+        assert_eq!(sink.report().migrations_verified, 0);
+    }
+
+    #[test]
+    fn lineage_lifecycle_violations_fire() {
+        let sink = AuditSink::armed();
+        // Dropped before created.
+        sink.emit(
+            5,
+            AuditKind::LineageDropped {
+                id: M,
+                cause: DropCause::Commit,
+            },
+        );
+        // Created, then still live at the owner's crash.
+        sink.emit(
+            10,
+            AuditKind::LineageAdded {
+                id: MigrationId(8),
+                source: S0,
+                target: S1,
+                from_segment: 0,
+            },
+        );
+        sink.emit(20, AuditKind::ServerCrashed { server: S1 });
+        let v = sink.violations();
+        assert_eq!(v.iter().filter(|v| v.invariant == "lineage").count(), 2);
+        // Crash processing removed the stale dep: a later crash is clean.
+        sink.emit(30, AuditKind::ServerCrashed { server: S0 });
+        assert_eq!(sink.violations().len(), 2);
+    }
+
+    #[test]
+    fn read_your_writes_violation_fires() {
+        let sink = AuditSink::armed();
+        sink.emit(
+            1,
+            AuditKind::ClientWrite {
+                client: 9,
+                hash: 0xabc,
+                version: 40,
+            },
+        );
+        sink.emit(
+            2,
+            AuditKind::ClientRead {
+                client: 9,
+                hash: 0xabc,
+                version: 40,
+            },
+        );
+        sink.emit(
+            3,
+            AuditKind::ClientRead {
+                client: 9,
+                hash: 0xdef,
+                version: 1,
+            },
+        );
+        assert_eq!(sink.report().violations, 0);
+        sink.emit(
+            4,
+            AuditKind::ClientRead {
+                client: 9,
+                hash: 0xabc,
+                version: 39,
+            },
+        );
+        sink.emit(
+            5,
+            AuditKind::ClientRead {
+                client: 9,
+                hash: 0xabc,
+                version: 0,
+            },
+        );
+        let v = sink.violations();
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.invariant == "read-your-writes"));
+        assert_eq!(v[0].chain, vec![0, 3]);
+    }
+
+    #[test]
+    fn explain_migration_walks_the_chain() {
+        let sink = AuditSink::armed();
+        clean_migration(&sink);
+        let j = sink.explain_migration(M).unwrap();
+        assert!(j.contains("\"outcome\":\"committed\""));
+        assert!(j.contains("\"verified\":1"));
+        assert!(j.contains("migration-admitted"));
+        assert!(j.contains("migration-commit"));
+        assert!(j.contains("\"pull_records\":90"));
+        assert!(sink.explain_migration(MigrationId(999)).is_none());
+    }
+
+    #[test]
+    fn explain_breach_ranks_crash_over_migration() {
+        let sink = AuditSink::armed();
+        clean_migration(&sink);
+        sink.emit(45, AuditKind::ServerCrashed { server: S2 });
+        let j = sink.explain_slo_breach(35, 65).unwrap();
+        let crash = j.find("\"cause\":\"crash\"").unwrap();
+        let mig = j.find("\"cause\":\"migration\"").unwrap();
+        assert!(crash < mig, "crash should rank first: {j}");
+        assert!(j.contains("\"rank\":1"));
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_structured() {
+        let build = || {
+            let sink = AuditSink::armed();
+            clean_migration(&sink);
+            (sink.export_json(100), sink.export_dot())
+        };
+        let (j1, d1) = build();
+        let (j2, d2) = build();
+        assert_eq!(j1, j2);
+        assert_eq!(d1, d2);
+        assert!(j1.starts_with("{\"schema\":\"rocksteady-audit-v1\""));
+        assert!(j1.contains("\"violations\":[]"));
+        assert!(j1.contains("\"timeline\":["));
+        assert!(d1.contains("\"s0\" -> \"s1\""));
+    }
+
+    #[test]
+    fn split_propagates_timeline_state() {
+        let sink = AuditSink::armed();
+        sink.emit(
+            0,
+            AuditKind::TabletCreated {
+                table: T,
+                range: FULL,
+                owner: S0,
+            },
+        );
+        let mid = u64::MAX / 2 + 1;
+        sink.emit(5, AuditKind::TabletSplit { table: T, at: mid });
+        let upper = HashRange {
+            start: mid,
+            end: u64::MAX,
+        };
+        sink.emit(
+            10,
+            AuditKind::MigrationAdmitted {
+                id: M,
+                table: T,
+                range: upper,
+                source: S0,
+                target: S1,
+            },
+        );
+        sink.emit(
+            20,
+            AuditKind::NodeRelease {
+                server: S0,
+                table: T,
+                range: upper,
+                via: ReleaseVia::PrepareFlip,
+            },
+        );
+        sink.emit(
+            60,
+            AuditKind::MigrationFinished {
+                id: M,
+                target: S1,
+                pull_records: 0,
+                priority_records: 0,
+            },
+        );
+        assert_eq!(sink.report().violations, 0, "{:?}", sink.violations());
+        let json = sink.export_json(100);
+        // Three timeline entries: the parent (closed) and two children.
+        assert_eq!(json.matches("\"opened\":").count(), 3);
+    }
+
+    #[test]
+    fn metrics_counters_track_the_verdict() {
+        let reg = Registry::new();
+        let sink = AuditSink::armed();
+        sink.register_metrics(&reg);
+        clean_migration(&sink);
+        sink.emit(
+            80,
+            AuditKind::VersionFloor {
+                server: S0,
+                floor: 10,
+            },
+        );
+        sink.emit(
+            81,
+            AuditKind::VersionFloor {
+                server: S0,
+                floor: 9,
+            },
+        );
+        let json = reg.snapshot(100).to_json();
+        assert!(json.contains("audit_events_total"));
+        assert!(json.contains("audit_migrations_verified_total"));
+        assert!(json.contains("audit_violations_total"));
+        let prom = reg.snapshot(100).to_prometheus();
+        assert!(prom.contains("audit_violations_total{invariant=\"version-floor\"} 1"));
+        assert!(prom.contains("audit_migrations_verified_total 1"));
+    }
+}

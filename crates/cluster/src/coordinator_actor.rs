@@ -13,6 +13,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use rocksteady_audit::{AuditKind, AuditSink, DropCause};
 use rocksteady_common::RpcId;
 use rocksteady_coordinator::Coordinator;
 use rocksteady_proto::{Body, Envelope, Request, Response};
@@ -28,16 +29,20 @@ pub struct CoordinatorActor {
     next_rpc: u64,
     /// Recoveries in flight: our RecoverTablet rpc ids.
     pending_recoveries: Vec<RpcId>,
+    /// Protocol auditing (zero-cost when disarmed).
+    audit: AuditSink,
 }
 
 impl CoordinatorActor {
-    /// Creates the actor around shared state.
-    pub fn new(state: CoordHandle, dir: Directory) -> Self {
+    /// Creates the actor around shared state; `audit` receives every
+    /// tablet-map edit, lineage add/drop, and migration start/commit.
+    pub fn new(state: CoordHandle, dir: Directory, audit: AuditSink) -> Self {
         CoordinatorActor {
             state,
             dir,
             next_rpc: 1,
             pending_recoveries: Vec::new(),
+            audit,
         }
     }
 
@@ -62,6 +67,32 @@ impl CoordinatorActor {
                     target,
                     lineage_from_segment,
                 );
+                if self.audit.is_on() {
+                    if ok {
+                        self.audit.emit(
+                            ctx.now(),
+                            AuditKind::LineageAdded {
+                                id,
+                                source,
+                                target,
+                                from_segment: lineage_from_segment,
+                            },
+                        );
+                        self.audit.emit(
+                            ctx.now(),
+                            AuditKind::MigrationStart {
+                                id,
+                                table,
+                                range,
+                                source,
+                                target,
+                            },
+                        );
+                    } else {
+                        self.audit
+                            .emit(ctx.now(), AuditKind::MigrationRejected { id });
+                    }
+                }
                 if ok {
                     Response::Ok
                 } else {
@@ -75,9 +106,21 @@ impl CoordinatorActor {
                 source,
                 target,
             } => {
-                self.state
+                let ok = self
+                    .state
                     .borrow_mut()
                     .migration_complete(id, table, range, source, target);
+                if ok && self.audit.is_on() {
+                    self.audit
+                        .emit(ctx.now(), AuditKind::MigrationCommit { id, table, range });
+                    self.audit.emit(
+                        ctx.now(),
+                        AuditKind::LineageDropped {
+                            id,
+                            cause: DropCause::Commit,
+                        },
+                    );
+                }
                 Response::Ok
             }
             Request::BaselineOwnershipTransfer {
@@ -86,15 +129,75 @@ impl CoordinatorActor {
                 source,
                 target,
             } => {
-                let mut state = self.state.borrow_mut();
-                // Mark + complete: the baseline transfers ownership in one
-                // step at the end (§2.3).
-                state.baseline_starting(table, range, source, target);
-                state.baseline_complete(table, range, source, target);
+                let flipped = {
+                    let mut state = self.state.borrow_mut();
+                    // Mark + complete: the baseline transfers ownership in
+                    // one step at the end (§2.3).
+                    state.baseline_starting(table, range, source, target);
+                    state.baseline_complete(table, range, source, target)
+                };
+                if flipped && self.audit.is_on() {
+                    self.audit.emit(
+                        ctx.now(),
+                        AuditKind::BaselineFlip {
+                            table,
+                            range,
+                            source,
+                            target,
+                        },
+                    );
+                }
                 Response::Ok
             }
             Request::ReportCrash { server } => {
+                let deps_before: Vec<rocksteady_common::MigrationId> = if self.audit.is_on() {
+                    self.state
+                        .borrow()
+                        .lineage_deps()
+                        .iter()
+                        .map(|d| d.id)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 let assignments = self.state.borrow_mut().handle_crash(server);
+                if self.audit.is_on() {
+                    // The crash plan drops every dep involving the dead
+                    // server; the auditor checks exactly that, so the
+                    // drops must land before the crash event itself.
+                    let deps_after: Vec<rocksteady_common::MigrationId> = self
+                        .state
+                        .borrow()
+                        .lineage_deps()
+                        .iter()
+                        .map(|d| d.id)
+                        .collect();
+                    for id in deps_before {
+                        if !deps_after.contains(&id) {
+                            self.audit.emit(
+                                ctx.now(),
+                                AuditKind::LineageDropped {
+                                    id,
+                                    cause: DropCause::Crash,
+                                },
+                            );
+                        }
+                    }
+                    self.audit
+                        .emit(ctx.now(), AuditKind::ServerCrashed { server });
+                    for a in &assignments {
+                        self.audit.emit(
+                            ctx.now(),
+                            AuditKind::RecoveryPlanned {
+                                table: a.table,
+                                range: a.range,
+                                crashed: a.crashed,
+                                recovery_master: a.recovery_master,
+                                merge: a.merge,
+                            },
+                        );
+                    }
+                }
                 let backups: Vec<_> = self.state.borrow().alive_servers();
                 // Membership update: every surviving server must stop
                 // waiting on the dead one (replication acks, pulls).

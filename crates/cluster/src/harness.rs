@@ -6,6 +6,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use rocksteady::MigrationConfig;
+use rocksteady_audit::{AuditKind, AuditReport, AuditSink};
 use rocksteady_common::{
     key_hash, CostModel, HashRange, KeyHash, MigrationId, Nanos, ServerId, TableId, SECOND,
 };
@@ -92,6 +93,15 @@ pub struct ClusterConfig {
     /// schedule — and `events_processed()` — is byte-identical to a
     /// build predating the rebalancer.
     pub rebalancer: Option<RebalancerConfig>,
+    /// Arm the cluster-wide protocol auditor (`rocksteady-audit`): the
+    /// coordinator, every server, the rebalancer, and YCSB clients emit
+    /// ownership/lineage/migration/version-floor events into one shared
+    /// stream, checked online against the Rocksteady invariants and
+    /// exportable as a causal "explain" report. Off by default; armed,
+    /// every emission is pure state mutation (no timers, no clock
+    /// perturbation), so `events_processed()` and all existing exports
+    /// stay byte-identical.
+    pub audit: bool,
 }
 
 impl Default for ClusterConfig {
@@ -116,6 +126,7 @@ impl Default for ClusterConfig {
             profiling: false,
             scheduler: SchedulerKind::default(),
             rebalancer: None,
+            audit: false,
         }
     }
 }
@@ -202,11 +213,19 @@ impl ClusterBuilder {
         } else {
             Profiler::off()
         };
+        let audit = if cfg.audit {
+            let a = AuditSink::armed();
+            a.register_metrics(&metrics);
+            a
+        } else {
+            AuditSink::off()
+        };
 
         // Actor 0: coordinator.
         let coordinator_actor = sim.add_actor(Box::new(CoordinatorActor::new(
             Rc::clone(&coord),
             self.dir.clone(),
+            audit.clone(),
         )));
         debug_assert_eq!(coordinator_actor, 0);
 
@@ -254,6 +273,7 @@ impl ClusterBuilder {
                 stats,
                 trace.clone(),
                 profiler.clone(),
+                audit.clone(),
             )));
             debug_assert_eq!(actor, 1 + i);
         }
@@ -293,6 +313,7 @@ impl ClusterBuilder {
                 stats_list,
                 Rc::clone(&slo),
                 Rc::clone(&rebalancer),
+                audit.clone(),
             )));
         }
 
@@ -313,7 +334,9 @@ impl ClusterBuilder {
                 ClientSpec::Ycsb(mut c) => {
                     c.seed ^= derived;
                     sim.add_actor(Box::new(
-                        YcsbClient::new(c, stats).with_trace(trace.clone()),
+                        YcsbClient::new(c, stats)
+                            .with_trace(trace.clone())
+                            .with_audit(audit.clone()),
                     ));
                 }
                 ClientSpec::Spread(mut c) => {
@@ -341,6 +364,7 @@ impl ClusterBuilder {
             backups_of,
             trace,
             profiler,
+            audit,
             cfg,
         }
     }
@@ -378,6 +402,8 @@ pub struct Cluster {
     /// The shared per-core activity ledger (disarmed unless
     /// `cfg.profiling`).
     pub profiler: Profiler,
+    /// The shared protocol-audit stream (disarmed unless `cfg.audit`).
+    pub audit: AuditSink,
     /// The configuration the cluster was built with.
     pub cfg: ClusterConfig,
 }
@@ -397,6 +423,16 @@ impl Cluster {
             self.node(*owner)
                 .master
                 .add_tablet(table, *range, TabletRole::Owner);
+            if self.audit.is_on() {
+                self.audit.emit(
+                    self.now(),
+                    AuditKind::TabletCreated {
+                        table,
+                        range: *range,
+                        owner: *owner,
+                    },
+                );
+            }
         }
     }
 
@@ -477,6 +513,10 @@ impl Cluster {
             .expect("split: no tablet covers the split point");
         assert!(self.coord.borrow_mut().split_tablet(table, at));
         assert!(self.node(owner).master.split_tablet(table, at).is_some());
+        if self.audit.is_on() {
+            self.audit
+                .emit(self.now(), AuditKind::TabletSplit { table, at });
+        }
     }
 
     /// Runs until virtual time `t`.
@@ -658,6 +698,46 @@ impl Cluster {
     pub fn tail_blame_report(&self) -> Option<TailBlameReport> {
         let sla = self.cfg.sla?;
         Some(self.trace.with_events(|events| tail_blame(events, sla)))
+    }
+
+    /// The auditor's verdict over everything emitted so far: event and
+    /// per-invariant check/violation counts, migration outcomes, and
+    /// every violation with its causal chain. Empty when the cluster
+    /// was built with `audit: false`.
+    pub fn audit_report(&self) -> AuditReport {
+        self.audit.report()
+    }
+
+    /// The full audit stream — summary, per-invariant verdicts,
+    /// per-migration accounting, ownership timelines, and violations
+    /// with causal chains — as deterministic JSON (schema
+    /// `rocksteady-audit-v1`). Byte-identical across same-seed runs.
+    pub fn export_audit_json(&self) -> String {
+        self.audit.export_json(self.now())
+    }
+
+    /// The ownership-transfer graph (which tablets moved between which
+    /// servers, and how) as Graphviz DOT. Byte-identical across
+    /// same-seed runs.
+    pub fn export_audit_dot(&self) -> String {
+        self.audit.export_dot()
+    }
+
+    /// Ranks the audited causes most likely responsible for an SLO
+    /// breach observed in `[from, to]` (virtual nanoseconds): crashes
+    /// and migrations whose replay/pull pressure overlapped the window,
+    /// each with its causal chain. `None` when auditing is off or
+    /// nothing overlapped the window.
+    pub fn explain_slo_breach(&self, from: Nanos, to: Nanos) -> Option<String> {
+        self.audit.explain_slo_breach(from, to)
+    }
+
+    /// The causal story of one migration — origin (scripted vs
+    /// rebalancer), decision → admission → pulls/replay → outcome —
+    /// as deterministic JSON. `None` when auditing is off or the id
+    /// was never seen.
+    pub fn explain_migration(&self, id: MigrationId) -> Option<String> {
+        self.audit.explain_migration(id)
     }
 
     /// Reads a key directly from whichever master currently owns it

@@ -26,6 +26,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use rocksteady_audit::{AuditKind, AuditSink};
 use rocksteady_common::{MigrationId, Nanos, RpcId, ServerId, SECOND};
 use rocksteady_proto::{Body, Envelope, Request, Response, TabletState};
 use rocksteady_rebalancer::{
@@ -113,6 +114,10 @@ pub struct RebalancerActor {
     in_flight: HashMap<RpcId, IssuedMove>,
     next_rpc: u64,
     next_mig: u64,
+    /// Protocol auditing (zero-cost when disarmed): proposals,
+    /// admissions, and outcomes anchor the explain engine's causal
+    /// chains.
+    audit: AuditSink,
 }
 
 impl RebalancerActor {
@@ -124,6 +129,7 @@ impl RebalancerActor {
         mut server_stats: Vec<(ServerId, StatsHandle)>,
         slo: SloHandle,
         out: RebalancerHandle,
+        audit: AuditSink,
     ) -> Self {
         server_stats.sort_by_key(|(id, _)| *id);
         RebalancerActor {
@@ -140,6 +146,7 @@ impl RebalancerActor {
             in_flight: HashMap::new(),
             next_rpc: 1,
             next_mig: 0,
+            audit,
         }
     }
 
@@ -204,6 +211,19 @@ impl RebalancerActor {
         let proposals = self.policy.propose(&view);
         self.out.borrow_mut().ticks += 1;
         self.out.borrow_mut().proposed += proposals.len() as u64;
+        if self.audit.is_on() {
+            for p in &proposals {
+                self.audit.emit(
+                    now,
+                    AuditKind::RebalanceProposed {
+                        source: p.source,
+                        target: p.target,
+                        table: p.table,
+                        range: p.range,
+                    },
+                );
+            }
+        }
         let admitted = self.caps.admit(&view.in_flight, proposals);
         for p in admitted {
             self.next_mig += 1;
@@ -220,6 +240,18 @@ impl RebalancerActor {
             out.admitted += 1;
             out.moves.push(issued);
             drop(out);
+            if self.audit.is_on() {
+                self.audit.emit(
+                    now,
+                    AuditKind::RebalanceAdmitted {
+                        id,
+                        source: p.source,
+                        target: p.target,
+                        table: p.table,
+                        range: p.range,
+                    },
+                );
+            }
             ctx.send(
                 self.dir.actor_of(p.target),
                 Envelope::req(
@@ -263,7 +295,16 @@ impl Actor<Envelope> for RebalancerActor {
                     } else {
                         out.rejected += 1;
                     }
-                    let _ = mv;
+                    drop(out);
+                    if self.audit.is_on() {
+                        self.audit.emit(
+                            ctx.now(),
+                            AuditKind::RebalanceOutcome {
+                                id: mv.id,
+                                completed: ok,
+                            },
+                        );
+                    }
                 }
             }
         }

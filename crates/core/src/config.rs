@@ -30,6 +30,13 @@ pub struct MigrationConfig {
     /// microseconds", §3); the server adds random jitter up to this
     /// amount again.
     pub retry_after_ns: Nanos,
+    /// Test-only fault injection: when set, a source answering
+    /// `PrepareMigration` returns its version ceiling but *skips* the
+    /// ownership flip to `MigratingOutTo`, so it keeps serving the range
+    /// past the dual-serving window. Exists solely to prove the protocol
+    /// auditor detects a split brain; never set outside tests.
+    #[doc(hidden)]
+    pub test_skip_source_flip: bool,
 }
 
 impl Default for MigrationConfig {
@@ -42,6 +49,7 @@ impl Default for MigrationConfig {
             sync_priority_pulls: false,
             background_pulls: true,
             retry_after_ns: 30_000,
+            test_skip_source_flip: false,
         }
     }
 }

@@ -22,6 +22,7 @@ use rocksteady::{
     Action, BaselineAction, BaselineMigration, MigrationManager, MissOutcome, ReplayBatch,
     RetryCause,
 };
+use rocksteady_audit::{AuditKind, AuditSink, ReleaseVia};
 use rocksteady_backup::BackupService;
 use rocksteady_common::{KeyHash, MigrationId, Nanos, RpcId, ServerId, TableId};
 use rocksteady_logstore::SideLog;
@@ -336,19 +337,26 @@ pub struct ServerNode {
     // Profiling (same zero-cost-off contract as `trace`): the per-core
     // activity ledger every charge lands in.
     profiler: Profiler,
+
+    // Protocol auditing (same zero-cost-off contract): ownership
+    // transitions, version-floor raises, and gather/replay counts feed
+    // the cluster-wide invariant auditor.
+    audit: AuditSink,
 }
 
 impl ServerNode {
     /// Creates a server; `dir` provides actor wiring, `stats` is shared
-    /// with the harness, `trace` with the trace exporter, and `profiler`
-    /// with the activity-ledger exporter (pass [`Tracer::off`] /
-    /// [`Profiler::off`] to compile those paths down to one branch).
+    /// with the harness, `trace` with the trace exporter, `profiler`
+    /// with the activity-ledger exporter, and `audit` with the protocol
+    /// auditor (pass [`Tracer::off`] / [`Profiler::off`] /
+    /// [`AuditSink::off`] to compile those paths down to one branch).
     pub fn new(
         cfg: ServerConfig,
         dir: Directory,
         stats: StatsHandle,
         trace: Tracer,
         profiler: Profiler,
+        audit: AuditSink,
     ) -> Self {
         // Register every core up front so never-scheduled cores still
         // export (as all-idle).
@@ -388,6 +396,7 @@ impl ServerNode {
             trace,
             rpc_spans: FxHashMap::default(),
             profiler,
+            audit,
             cfg,
         }
     }
@@ -611,13 +620,30 @@ impl ServerNode {
                 range,
                 target,
             } => {
-                let resp = match rocksteady::source::handle_prepare(
-                    &mut self.master,
-                    table,
-                    range,
-                    target,
-                ) {
-                    Some(version_ceiling) => Response::PrepareMigrationOk { version_ceiling },
+                // Test-only fault injection (see `MigrationConfig`):
+                // answer with the ceiling but keep serving the range, so
+                // the audit layer's single-owner check has a real split
+                // brain to catch.
+                let resp = if self.cfg.migration.test_skip_source_flip {
+                    Some(self.master.version_ceiling())
+                } else {
+                    rocksteady::source::handle_prepare(&mut self.master, table, range, target)
+                };
+                let resp = match resp {
+                    Some(version_ceiling) => {
+                        if self.audit.is_on() && !self.cfg.migration.test_skip_source_flip {
+                            self.audit.emit(
+                                ctx.now(),
+                                AuditKind::NodeRelease {
+                                    server: self.cfg.id,
+                                    table,
+                                    range,
+                                    via: ReleaseVia::PrepareFlip,
+                                },
+                            );
+                        }
+                        Response::PrepareMigrationOk { version_ceiling }
+                    }
                     None => Response::Err(Status::UnknownTablet),
                 };
                 self.respond(ctx, src, rpc, resp);
@@ -655,6 +681,18 @@ impl ServerNode {
                 let source_actor = self.dir.actor_of(source);
                 let first = mgr.begin();
                 self.stats.begin_migration_run(id, ctx.now());
+                if self.audit.is_on() {
+                    self.audit.emit(
+                        ctx.now(),
+                        AuditKind::MigrationAdmitted {
+                            id,
+                            table,
+                            range,
+                            source,
+                            target: self.cfg.id,
+                        },
+                    );
+                }
                 let mig_trace = self.trace.is_on().then(|| MigTrace {
                     started: ctx.now(),
                     phase_start: ctx.now(),
@@ -710,10 +748,24 @@ impl ServerNode {
                 // replay would let it carry a version below what the
                 // dead participant already acknowledged (§3.4).
                 if merge {
-                    if !self
+                    if self
                         .master
                         .set_tablet_role(table, range, TabletRole::Recovering)
                     {
+                        // We were serving this range (e.g. as a migration
+                        // target); replay now blocks it.
+                        if self.audit.is_on() {
+                            self.audit.emit(
+                                ctx.now(),
+                                AuditKind::NodeRelease {
+                                    server: self.cfg.id,
+                                    table,
+                                    range,
+                                    via: ReleaseVia::RecoveryBlock,
+                                },
+                            );
+                        }
+                    } else {
                         self.master.add_tablet(table, range, TabletRole::Recovering);
                     }
                     // A migration we were running for this range is moot:
@@ -807,6 +859,15 @@ impl ServerNode {
         match (pending, resp) {
             (Pending::Prepare { mig }, Response::PrepareMigrationOk { version_ceiling }) => {
                 self.master.raise_version_floor(version_ceiling);
+                if self.audit.is_on() {
+                    self.audit.emit(
+                        ctx.now(),
+                        AuditKind::VersionFloor {
+                            server: self.cfg.id,
+                            floor: self.master.version_ceiling(),
+                        },
+                    );
+                }
                 let prepared = match self.run_mut(mig) {
                     Some(run) => Some((run.mgr.on_prepared(), run.mgr.phase().name())),
                     None => None,
@@ -854,6 +915,17 @@ impl ServerNode {
                         ],
                     );
                 }
+                if self.audit.is_on() {
+                    self.audit.emit(
+                        ctx.now(),
+                        AuditKind::Gathered {
+                            id: mig,
+                            partition: partition as u64,
+                            records: records.len() as u64,
+                            priority: false,
+                        },
+                    );
+                }
                 if let Some(run) = self.run_mut(mig) {
                     run.mgr.on_pull_response(partition, records, next, wire);
                 }
@@ -878,6 +950,17 @@ impl ServerNode {
                             ("records", records.len() as u64),
                             ("resp_nic", nic),
                         ],
+                    );
+                }
+                if self.audit.is_on() {
+                    self.audit.emit(
+                        ctx.now(),
+                        AuditKind::Gathered {
+                            id: mig,
+                            partition: u64::MAX,
+                            records: records.len() as u64,
+                            priority: true,
+                        },
                     );
                 }
                 if let Some(run) = self.run_mut(mig) {
@@ -1088,7 +1171,9 @@ impl ServerNode {
         let service_ns = match task {
             Task::Rpc { src, rpc, req } => self.exec_rpc(ctx, worker, src, rpc, req),
             Task::BaselineStep => self.exec_baseline_step(ctx, worker),
-            Task::RecoveryReplay { recovery } => self.exec_recovery_replay(worker, recovery),
+            Task::RecoveryReplay { recovery } => {
+                self.exec_recovery_replay(ctx.now(), worker, recovery)
+            }
             Task::CleanerPass => self.exec_cleaner_pass(),
         };
         if let Some(act) = activity {
@@ -1540,6 +1625,16 @@ impl ServerNode {
                     wire += r.wire_size();
                 }
                 self.stats.bytes_migrated_out.add(wire);
+                if self.audit.is_on() {
+                    self.audit.emit(
+                        ctx.now(),
+                        AuditKind::PriorityServed {
+                            server: self.cfg.id,
+                            requested: hashes.len() as u64,
+                            records: records.len() as u64,
+                        },
+                    );
+                }
                 self.defer_send(worker, src, rpc, Response::PriorityPullOk { records });
                 service
             }
@@ -1560,6 +1655,15 @@ impl ServerNode {
                         self.master
                             .replay_batch(&records, ReplayDest::MainLog, &mut work);
                     self.stats.records_replayed.add(replayed as u64);
+                    if self.audit.is_on() {
+                        self.audit.emit(
+                            ctx.now(),
+                            AuditKind::VersionFloor {
+                                server: self.cfg.id,
+                                floor: self.master.version_ceiling(),
+                            },
+                        );
+                    }
                 }
                 if replay && rereplicate {
                     self.workers[worker].held = true;
@@ -1728,6 +1832,15 @@ impl ServerNode {
             .master
             .replay_batch(&records, ReplayDest::MainLog, &mut work);
         self.stats.records_replayed.add(replayed as u64);
+        if self.audit.is_on() {
+            self.audit.emit(
+                ctx.now(),
+                AuditKind::VersionFloor {
+                    server: self.cfg.id,
+                    floor: self.master.version_ceiling(),
+                },
+            );
+        }
         // The worker was blocked the whole round trip; charge the replay
         // on top.
         self.stats.worker_busy_ns.add(service);
@@ -1864,7 +1977,7 @@ impl ServerNode {
                         continue;
                     };
                     self.workers[worker].busy = true;
-                    let service = self.exec_replay(worker, idx, batch);
+                    let service = self.exec_replay(ctx.now(), worker, idx, batch);
                     if self.profiler.is_on() {
                         self.workers[worker].ledger_op = Some((Activity::Replay, ctx.now()));
                     }
@@ -1881,7 +1994,7 @@ impl ServerNode {
         }
     }
 
-    fn exec_replay(&mut self, worker: usize, idx: usize, batch: ReplayBatch) -> Nanos {
+    fn exec_replay(&mut self, now: Nanos, worker: usize, idx: usize, batch: ReplayBatch) -> Nanos {
         let m = self.cfg.cost.clone();
         // Each worker replays into its own per-run side log: zero
         // contention (§3.1.3), and overlapping runs never mix side
@@ -1905,6 +2018,24 @@ impl ServerNode {
             .master
             .replay_batch(&batch.records, ReplayDest::Side(side), &mut work);
         self.stats.records_replayed.add(replayed as u64);
+        if self.audit.is_on() {
+            self.audit.emit(
+                now,
+                AuditKind::Replayed {
+                    id: run_id,
+                    received: batch.records.len() as u64,
+                    applied: replayed as u64,
+                },
+            );
+            // replay_batch raised the floor above every version it saw.
+            self.audit.emit(
+                now,
+                AuditKind::VersionFloor {
+                    server: self.cfg.id,
+                    floor: self.master.version_ceiling(),
+                },
+            );
+        }
         self.workers[worker].replay_partition = Some(batch.partition);
         self.workers[worker]
             .deferred
@@ -1968,6 +2099,26 @@ impl ServerNode {
         // plan (`Recovering` role) or crash handling owns its fate.
         if reason == "mig:abandoned-rejected" {
             self.master.drop_tablet(run.mgr.table, run.mgr.range);
+            if self.audit.is_on() {
+                self.audit.emit(
+                    ctx.now(),
+                    AuditKind::NodeRelease {
+                        server: self.cfg.id,
+                        table: run.mgr.table,
+                        range: run.mgr.range,
+                        via: ReleaseVia::Abandon,
+                    },
+                );
+            }
+        }
+        if self.audit.is_on() {
+            self.audit.emit(
+                ctx.now(),
+                AuditKind::MigrationAbandoned {
+                    id,
+                    target: self.cfg.id,
+                },
+            );
         }
         // If the migration never registered, its requester is still
         // waiting on MigrateTablet — tell it to try again later.
@@ -2033,6 +2184,17 @@ impl ServerNode {
         let rpc = self.alloc_rpc_to(dst, Pending::MigCompleteAck);
         self.send(ctx, dst, Envelope::req(rpc, req));
         self.stats.finish_migration_run(id, ctx.now());
+        if self.audit.is_on() {
+            self.audit.emit(
+                ctx.now(),
+                AuditKind::MigrationFinished {
+                    id,
+                    target: self.cfg.id,
+                    pull_records: run.mgr.stats.pull_records,
+                    priority_records: run.mgr.stats.priority_records,
+                },
+            );
+        }
         if let Some(mt) = run.mig_trace.take() {
             let now = ctx.now();
             let pid = ctx.self_id() as u64;
@@ -2130,7 +2292,7 @@ impl ServerNode {
 
     // ---------------------------------------------------------- recovery --
 
-    fn exec_recovery_replay(&mut self, worker: usize, recovery: u64) -> Nanos {
+    fn exec_recovery_replay(&mut self, now: Nanos, worker: usize, recovery: u64) -> Nanos {
         let m = self.cfg.cost.clone();
         let Some(rec) = self.recoveries.remove(&recovery) else {
             return m.op_fixed_ns;
@@ -2180,6 +2342,24 @@ impl ServerNode {
         // participant acknowledged; clients may come back now.
         self.master
             .set_tablet_role(rec.table, rec.range, TabletRole::Owner);
+        if self.audit.is_on() {
+            self.audit.emit(
+                now,
+                AuditKind::NodeClaim {
+                    server: self.cfg.id,
+                    table: rec.table,
+                    range: rec.range,
+                    via: rocksteady_audit::ClaimVia::Recovery,
+                },
+            );
+            self.audit.emit(
+                now,
+                AuditKind::VersionFloor {
+                    server: self.cfg.id,
+                    floor: self.master.version_ceiling(),
+                },
+            );
+        }
         let (dst, rpc) = rec.coordinator_rpc;
         self.workers[worker].deferred.push(Deferred::Send(
             dst,

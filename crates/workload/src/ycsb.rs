@@ -9,6 +9,7 @@
 //! paper shows in Figure 9.
 
 use bytes::Bytes;
+use rocksteady_audit::{AuditKind, AuditSink};
 use rocksteady_common::rng::Prng;
 use rocksteady_common::zipf::{KeyDist, KeySampler};
 use rocksteady_common::FxHashMap;
@@ -121,6 +122,14 @@ pub struct YcsbClient {
     pending_arrivals: u64,
     value: Bytes,
     trace: Tracer,
+    /// Protocol auditing (zero-cost when disarmed): confirmed writes and
+    /// read-backs feed the auditor's read-your-writes spot checks.
+    audit: AuditSink,
+    /// Per-key max confirmed write `(version, confirmed_at)`, kept only
+    /// while the audit sink is armed. A read is spot-checked only when it
+    /// was *issued after* that confirmation — in-flight reads racing the
+    /// write are legitimately allowed to see the older version.
+    confirmed: FxHashMap<KeyHash, (u64, Nanos)>,
 }
 
 impl YcsbClient {
@@ -157,6 +166,8 @@ impl YcsbClient {
             pending_arrivals: 0,
             value,
             trace: Tracer::off(),
+            audit: AuditSink::off(),
+            confirmed: FxHashMap::default(),
             cfg,
         }
     }
@@ -167,6 +178,18 @@ impl YcsbClient {
     pub fn with_trace(mut self, trace: Tracer) -> Self {
         self.trace = trace;
         self
+    }
+
+    /// Arms protocol auditing: confirmed writes and subsequent reads of
+    /// the same keys are reported for read-your-writes spot checks.
+    pub fn with_audit(mut self, audit: AuditSink) -> Self {
+        self.audit = audit;
+        self
+    }
+
+    /// The cached key hash for `rank` (populated by the first issue).
+    fn hash_of(&self, rank: u64) -> Option<KeyHash> {
+        self.key_cache.get(&rank).map(|(h, _)| *h)
     }
 
     fn arm_arrival(&mut self, ctx: &mut Ctx<'_, Envelope>) {
@@ -281,6 +304,35 @@ impl YcsbClient {
         self.drain_arrivals(ctx);
     }
 
+    /// Reports a completed read (version 0 = miss) for read-your-writes
+    /// spot checking, but only when this key has a confirmed write and
+    /// the read attempt was issued after that confirmation — earlier
+    /// reads may legitimately observe the pre-write version.
+    fn audit_read(&mut self, ctx: &Ctx<'_, Envelope>, op_id: u64, version: u64) {
+        if !self.audit.is_on() {
+            return;
+        }
+        let Some(op) = self.ops.get(&op_id) else {
+            return;
+        };
+        let Some(hash) = self.hash_of(op.rank) else {
+            return;
+        };
+        let Some(&(_, confirmed_at)) = self.confirmed.get(&hash) else {
+            return;
+        };
+        if op.issued > confirmed_at {
+            self.audit.emit(
+                ctx.now(),
+                AuditKind::ClientRead {
+                    client: ctx.self_id() as u64,
+                    hash,
+                    version,
+                },
+            );
+        }
+    }
+
     fn on_op_response(&mut self, ctx: &mut Ctx<'_, Envelope>, op_id: u64, resp: Response) {
         match resp {
             Response::WriteOk { version } => {
@@ -289,13 +341,40 @@ impl YcsbClient {
                         .borrow_mut()
                         .confirmed_writes
                         .push((op.rank, version));
+                    if self.audit.is_on() {
+                        if let Some(hash) = self.hash_of(op.rank) {
+                            let entry = self.confirmed.entry(hash).or_insert((0, 0));
+                            if version > entry.0 {
+                                *entry = (version, ctx.now());
+                            }
+                            self.audit.emit(
+                                ctx.now(),
+                                AuditKind::ClientWrite {
+                                    client: ctx.self_id() as u64,
+                                    hash,
+                                    version,
+                                },
+                            );
+                        }
+                    }
                 }
                 self.complete(ctx, op_id, true);
             }
-            Response::ReadOk { .. } | Response::DeleteOk { .. } => {
+            Response::ReadOk { version, .. } => {
+                self.audit_read(ctx, op_id, version);
                 self.complete(ctx, op_id, true);
             }
-            Response::Err(Status::NotFound) => self.complete(ctx, op_id, false),
+            Response::DeleteOk { .. } => {
+                self.complete(ctx, op_id, true);
+            }
+            Response::Err(Status::NotFound) => {
+                if let Some(op) = self.ops.get(&op_id) {
+                    if op.kind == OpKind::Read {
+                        self.audit_read(ctx, op_id, 0);
+                    }
+                }
+                self.complete(ctx, op_id, false)
+            }
             Response::Err(Status::Retry { after }) => {
                 self.stats.borrow_mut().retries.inc();
                 if let Some(op) = self.ops.get_mut(&op_id) {

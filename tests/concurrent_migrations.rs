@@ -259,6 +259,85 @@ fn crash_of_one_participant_leaves_the_other_migration_unharmed() {
     verify_all_readable(&mut cluster, KEYS);
 }
 
+/// Source-crash variant, with the protocol auditor armed: kill
+/// migration 2's *source* while both migrations are mid-flight. The
+/// coordinator must drop every lineage dependency involving the dead
+/// server (the auditor's lineage invariant checks exactly that at the
+/// crash event), the surviving migration's timeline must stay clean
+/// and conservation-verified, and the explain engine must pin a breach
+/// window around the crash on the crash, not on migration pressure.
+#[test]
+fn source_crash_drops_dead_lineage_and_leaves_survivor_verified() {
+    let mut cfg = four_server_config();
+    cfg.audit = true;
+    let mut b = ClusterBuilder::new(cfg);
+    let dir = b.directory();
+    let mut ycsb = YcsbConfig::ycsb_b(dir, TABLE, KEYS, 40_000.0);
+    ycsb.read_fraction = 0.5;
+    b.add_ycsb(ycsb);
+    disjoint_pair_script(&mut b);
+    // Kill migration 2's *source* (server 1, which owns q2 and q3)
+    // 100 us after the starts, while both runs are pulling.
+    let crash_at = 10 * MILLISECOND + 100_000;
+    b.at(
+        crash_at,
+        ControlCmd::Kill {
+            server: ServerId(1),
+            detect_after: 200_000,
+        },
+    );
+    let mut cluster = b.build();
+    setup_quarters(&mut cluster);
+    cluster.run_until(2 * SECOND);
+
+    // The survivor finished; the orphaned run never did.
+    assert!(
+        cluster
+            .migration_finished(ServerId(2), MigrationId(1))
+            .is_some(),
+        "surviving migration was disturbed by the source crash"
+    );
+    assert!(
+        cluster
+            .migration_finished(ServerId(3), MigrationId(2))
+            .is_none(),
+        "crash was meant to interrupt migration 2's source"
+    );
+
+    // No lineage dependency involving the dead server survived.
+    let coord = cluster.coord.borrow();
+    assert!(coord
+        .lineage_deps()
+        .iter()
+        .all(|d| d.source != ServerId(1) && d.target != ServerId(1)));
+    drop(coord);
+
+    // The auditor watched the whole thing and found nothing wrong:
+    // in particular its lineage check (stale deps at crash time) and
+    // single-owner check (windows closed by the crash) stayed green,
+    // and the survivor's record conservation was verified.
+    let report = cluster.audit_report();
+    assert_eq!(
+        report.violations,
+        0,
+        "auditor flagged the crash handling: {:?}",
+        cluster.audit.violations()
+    );
+    assert!(report.migrations_verified >= 1, "survivor never verified");
+    assert!(report.migrations_abandoned >= 1, "orphan never abandoned");
+
+    // A breach window around the crash blames the crash first.
+    let explain = cluster
+        .explain_slo_breach(crash_at, crash_at + 10 * MILLISECOND)
+        .expect("no explanation for the crash window");
+    let crash_pos = explain.find("\"cause\":\"crash\"").expect("crash absent");
+    if let Some(mig_pos) = explain.find("\"cause\":\"migration\"") {
+        assert!(crash_pos < mig_pos, "crash not ranked first: {explain}");
+    }
+
+    verify_all_readable(&mut cluster, KEYS);
+}
+
 #[test]
 fn concurrent_migration_schedule_is_deterministic() {
     let a = run_disjoint_pair(7);

@@ -13,11 +13,12 @@ use rocksteady_common::{MigrationId, ServerId, MILLISECOND};
 use rocksteady_simnet::SchedulerKind;
 use rocksteady_workload::YcsbConfig;
 
-fn digest(seed: u64) -> (u64, u64, u64, u64, u64, String) {
+fn digest(seed: u64) -> (u64, u64, u64, u64, u64, String, String) {
     let mut cfg = common::test_config();
     cfg.seed = seed;
     cfg.tracing = true;
     cfg.profiling = true;
+    cfg.audit = true;
     let mut b = rocksteady_cluster::ClusterBuilder::new(cfg);
     let dir = b.directory();
     b.add_ycsb(YcsbConfig::ycsb_b(dir, TABLE, 5_000, 50_000.0));
@@ -46,6 +47,7 @@ fn digest(seed: u64) -> (u64, u64, u64, u64, u64, String) {
         reads.percentile(0.999),
         replayed,
         cluster.export_folded(),
+        cluster.export_audit_json(),
     )
 }
 
@@ -56,12 +58,14 @@ fn identical_seeds_identical_traces() {
 }
 
 /// Full-experiment digest under an explicit scheduler: event count plus
-/// the byte-exact trace and profiler exports the swap must preserve.
-fn sched_digest(kind: SchedulerKind) -> (u64, String, String) {
+/// the byte-exact trace, profiler, and audit exports the swap must
+/// preserve.
+fn sched_digest(kind: SchedulerKind) -> (u64, String, String, String) {
     let mut cfg = common::test_config();
     cfg.seed = 1234;
     cfg.tracing = true;
     cfg.profiling = true;
+    cfg.audit = true;
     cfg.scheduler = kind;
     let mut b = rocksteady_cluster::ClusterBuilder::new(cfg);
     let dir = b.directory();
@@ -84,6 +88,7 @@ fn sched_digest(kind: SchedulerKind) -> (u64, String, String) {
         cluster.sim.events_processed(),
         cluster.export_trace_json(),
         cluster.export_folded(),
+        cluster.export_audit_json(),
     )
 }
 
@@ -98,6 +103,7 @@ fn scheduler_swap_is_byte_identical() {
     assert_eq!(cal.0, heap.0, "events_processed diverged across schedulers");
     assert_eq!(cal.1, heap.1, "trace export diverged across schedulers");
     assert_eq!(cal.2, heap.2, "folded profile diverged across schedulers");
+    assert_eq!(cal.3, heap.3, "audit export diverged across schedulers");
 }
 
 /// Equal-deadline events must be delivered in push (FIFO) order, on both
