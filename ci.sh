@@ -47,6 +47,9 @@ test -s target/quickstart-metrics.prom
 grep -q '# TYPE node_ops_served counter' target/quickstart-metrics.prom
 grep -q 'client_read_latency_ns{client="0",quantile="0.999"}' target/quickstart-metrics.prom
 grep -q 'slo_breach_intervals_total' target/quickstart-metrics.prom
+grep -q 'slo_burn_rate_fast' target/quickstart-metrics.prom
+grep -q 'slo_burn_rate_slow' target/quickstart-metrics.prom
+grep -q 'trace_events_dropped_total' target/quickstart-metrics.prom
 
 echo "==> figure benches export CSV through the shared exporter"
 for fig in fig05_bottlenecks fig09_10_11_timelines fig12_skew fig13_14_priority_pulls; do
@@ -75,10 +78,23 @@ grep -q 'audit_events_total' target/quickstart-metrics.prom
 grep -q 'audit_violations_total{invariant="conservation"} 0' target/quickstart-metrics.prom
 grep -q 'audit_migrations_verified_total 1' target/quickstart-metrics.prom
 
-echo "==> metrics + profiler + audit crates deny missing docs"
+echo "==> metrics + profiler + audit + flightrec crates deny missing docs"
 grep -q '#!\[deny(missing_docs)\]' crates/metrics/src/lib.rs
 grep -q '#!\[deny(missing_docs)\]' crates/profiler/src/lib.rs
 grep -q '#!\[deny(missing_docs)\]' crates/audit/src/lib.rs
+grep -q '#!\[deny(missing_docs)\]' crates/flightrec/src/lib.rs
+
+echo "==> flight recorder smoke: fault-injected quickstart exports one incident bundle"
+rm -f target/quickstart-incident.json
+ROCKSTEADY_QUICKSTART_FAULT=1 cargo run --release --example quickstart
+test -s target/quickstart-incident.json
+grep -q '"schema":"rocksteady-incident-v1"' target/quickstart-incident.json
+grep -q '"trigger":"migration-stall"' target/quickstart-incident.json
+# The frozen trace ring made it into the bundle, with drop accounting.
+grep -q '"trace":{"window_ns":' target/quickstart-incident.json
+grep -q '"traceEvents":\[{' target/quickstart-incident.json
+grep -q '"dropped":' target/quickstart-incident.json
+grep -q '"audit":{"dropped":' target/quickstart-incident.json
 
 echo "==> examples: crash_recovery"
 cargo run --release --example crash_recovery

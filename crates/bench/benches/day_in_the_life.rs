@@ -122,6 +122,17 @@ fn run_day(rebalance: bool, s: &Scale) -> Cluster {
     // guaranteed non-perturbing, and the day must end with zero
     // invariant violations (checked below).
     cfg.audit = true;
+    // So does the flight recorder: its watchdog evaluates the anomaly
+    // detectors on every sampling interval, and a healthy day — even a
+    // rebalanced one full of migrations — must trip none of them. The
+    // SLO-burn detector is deliberately left out: this scenario runs
+    // the cluster at the edge of its SLA on purpose (breach-minutes is
+    // the headline metric), so a burn alert would be a true positive,
+    // not a watchdog bug. The four progress/health detectors must stay
+    // silent through nine admission-controlled migrations.
+    let mut fr = rocksteady_cluster::FlightRecorderConfig::default();
+    fr.detectors.slo_burn = None;
+    cfg.flight_recorder = Some(fr);
     let mut b = ClusterBuilder::new(cfg);
     let dir = b.directory();
     for i in 0..CLIENTS {
@@ -304,6 +315,22 @@ fn main() {
                 "auditor found zero violations over the {mode} day \
                  ({} events checked)",
                 audit.events
+            ),
+        );
+    }
+    // The flight recorder watched both days too: routine migration under
+    // drifting load is exactly the anomaly-free regime, so any incident
+    // bundle here is a false positive.
+    for (mode, cluster) in [("static", &off), ("rebalanced", &on)] {
+        let triggers: Vec<&str> = cluster.incident_log().iter().map(|i| i.trigger).collect();
+        ok &= check(
+            triggers.is_empty(),
+            &format!(
+                "flight recorder stayed quiet over the {mode} day \
+                 ({} incidents{}{})",
+                triggers.len(),
+                if triggers.is_empty() { "" } else { ": " },
+                triggers.join(", "),
             ),
         );
     }

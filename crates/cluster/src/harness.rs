@@ -27,11 +27,15 @@ use rocksteady_workload::{
     ClientStatsHandle, ScanClient, ScanConfig, SpreadClient, SpreadConfig, YcsbClient, YcsbConfig,
 };
 
+use rocksteady_flightrec::FlightRecorderConfig;
+
 use crate::control::{ControlActor, ControlEvent};
 use crate::coordinator_actor::{CoordHandle, CoordinatorActor};
+use crate::incident::{incidents_to_json, Incident};
 use crate::rebalancer::{RebalancerActor, RebalancerConfig, RebalancerHandle, RebalancerReport};
 use crate::sampler::{SamplerActor, SnapshotLogHandle, UtilSeries, UtilSeriesHandle};
 use crate::slo::{SloHandle, SloMonitor, SloReport};
+use crate::watchdog::{IncidentLogHandle, WatchdogActor, WatchdogWiring};
 
 /// Topology + hardware parameters for one simulated cluster.
 #[derive(Debug, Clone)]
@@ -102,6 +106,17 @@ pub struct ClusterConfig {
     /// perturbation), so `events_processed()` and all existing exports
     /// stay byte-identical.
     pub audit: bool,
+    /// Arm the always-on flight recorder (`rocksteady-flightrec`): ring
+    /// capacities for the trace/audit buffers, a watchdog detector
+    /// catalog evaluated every sampling interval, and triggered
+    /// incident-bundle export (see [`crate::watchdog`]). The watchdog
+    /// actor itself is *always* installed on the sampling cadence —
+    /// like the sampler and SLO monitor — so arming only swaps pure
+    /// state mutation into its ticks: `events_processed()` is
+    /// byte-identical armed or disarmed. With the default
+    /// [`FlightRecorderConfig`] (no ring capacities), the trace and
+    /// profiler exports are byte-identical too.
+    pub flight_recorder: Option<FlightRecorderConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -127,6 +142,7 @@ impl Default for ClusterConfig {
             scheduler: SchedulerKind::default(),
             rebalancer: None,
             audit: false,
+            flight_recorder: None,
         }
     }
 }
@@ -203,22 +219,34 @@ impl ClusterBuilder {
         let metrics = Registry::new();
         let snapshots: SnapshotLogHandle = Rc::new(RefCell::new(Vec::new()));
         let slo: SloHandle = Rc::new(RefCell::new(SloReport::default()));
-        let trace = if cfg.tracing {
-            Tracer::armed()
-        } else {
-            Tracer::off()
+        // Ring capacities from the flight recorder (when armed) bound
+        // the trace/audit buffers; without them the armed recorder
+        // reads whatever `tracing`/`audit` produced, so its presence
+        // never changes an existing export.
+        let fr_trace_cap = cfg.flight_recorder.as_ref().and_then(|f| f.trace_capacity);
+        let fr_audit_cap = cfg.flight_recorder.as_ref().and_then(|f| f.audit_capacity);
+        let trace = match fr_trace_cap {
+            Some(capacity) => Tracer::with_capacity(capacity),
+            None if cfg.tracing => Tracer::armed(),
+            None => Tracer::off(),
         };
         let profiler = if cfg.profiling {
             Profiler::armed()
         } else {
             Profiler::off()
         };
-        let audit = if cfg.audit {
-            let a = AuditSink::armed();
-            a.register_metrics(&metrics);
-            a
-        } else {
-            AuditSink::off()
+        let audit = match fr_audit_cap {
+            Some(capacity) => {
+                let a = AuditSink::with_capacity(capacity);
+                a.register_metrics(&metrics);
+                a
+            }
+            None if cfg.audit => {
+                let a = AuditSink::armed();
+                a.register_metrics(&metrics);
+                a
+            }
+            None => AuditSink::off(),
         };
 
         // Actor 0: coordinator.
@@ -296,6 +324,32 @@ impl ClusterBuilder {
             Rc::clone(&slo),
         )));
 
+        // Flight-recorder watchdog: always installed on the sampling
+        // cadence so arming cannot shift the event schedule; the armed
+        // core only adds pure state mutation per tick.
+        let incidents: IncidentLogHandle = Rc::new(RefCell::new(Vec::new()));
+        let watchdog = match cfg.flight_recorder.clone() {
+            Some(fr) => WatchdogActor::armed(
+                cfg.sample_interval,
+                fr,
+                WatchdogWiring {
+                    slo: Rc::clone(&slo),
+                    server_stats: server_stats
+                        .iter()
+                        .map(|(id, h)| (*id, Rc::clone(h)))
+                        .collect(),
+                    coord: Rc::clone(&coord),
+                    registry: metrics.clone(),
+                    trace: trace.clone(),
+                    profiler: profiler.clone(),
+                    audit: audit.clone(),
+                    incidents: Rc::clone(&incidents),
+                },
+            ),
+            None => WatchdogActor::disarmed(cfg.sample_interval),
+        };
+        sim.add_actor(Box::new(watchdog));
+
         // Autonomous rebalancer, only when armed: installing an actor —
         // even an idle one — would shift actor ids and the event
         // schedule, and the disarmed harness must stay byte-identical
@@ -365,6 +419,7 @@ impl ClusterBuilder {
             trace,
             profiler,
             audit,
+            incidents,
             cfg,
         }
     }
@@ -404,6 +459,9 @@ pub struct Cluster {
     pub profiler: Profiler,
     /// The shared protocol-audit stream (disarmed unless `cfg.audit`).
     pub audit: AuditSink,
+    /// Incident bundles exported by the flight-recorder watchdog
+    /// (always empty unless `cfg.flight_recorder` is armed).
+    pub incidents: IncidentLogHandle,
     /// The configuration the cluster was built with.
     pub cfg: ClusterConfig,
 }
@@ -738,6 +796,24 @@ impl Cluster {
     /// was never seen.
     pub fn explain_migration(&self, id: MigrationId) -> Option<String> {
         self.audit.explain_migration(id)
+    }
+
+    /// Number of incident bundles the flight-recorder watchdog has
+    /// exported (always 0 unless `cfg.flight_recorder` is armed).
+    pub fn incident_count(&self) -> usize {
+        self.incidents.borrow().len()
+    }
+
+    /// A snapshot of the exported incidents (time, trigger, bundle).
+    pub fn incident_log(&self) -> Vec<Incident> {
+        self.incidents.borrow().clone()
+    }
+
+    /// Every exported incident bundle as one JSON array (schema
+    /// `rocksteady-incident-v1` per element; `[]` when nothing fired).
+    /// Byte-identical across same-seed runs.
+    pub fn export_incidents_json(&self) -> String {
+        incidents_to_json(&self.incidents.borrow())
     }
 
     /// Reads a key directly from whichever master currently owns it

@@ -15,16 +15,23 @@
 pub mod control;
 pub mod coordinator_actor;
 pub mod harness;
+pub mod incident;
 pub mod rebalancer;
 pub mod sampler;
 pub mod slo;
+pub mod watchdog;
 
 pub use control::{ControlCmd, ControlEvent};
 pub use coordinator_actor::CoordinatorActor;
 pub use harness::{Cluster, ClusterBuilder, ClusterConfig};
+pub use incident::{incidents_to_json, summarize, Incident, INCIDENT_SCHEMA};
 pub use rebalancer::{
     IssuedMove, RebalancerActor, RebalancerConfig, RebalancerHandle, RebalancerReport,
     REBALANCER_MIG_BASE,
+};
+pub use rocksteady_flightrec::{
+    DetectorConfig, DetectorReading, DispatchOvercommitConfig, FlightRecorderConfig,
+    LineageAgeConfig, MigrationStallConfig, ReplayBacklogConfig, SloBurnConfig,
 };
 pub use rocksteady_profiler::{
     core_label, critical_path, tail_blame, Activity, CoreLedger, CoreProfile,
@@ -37,3 +44,4 @@ pub use rocksteady_rebalancer::{
 pub use rocksteady_simnet::SchedulerKind;
 pub use sampler::{SnapshotLogHandle, UtilPoint, UtilSeries, UtilSeriesHandle};
 pub use slo::{SloHandle, SloMonitor, SloReport};
+pub use watchdog::{IncidentLogHandle, WatchdogActor, WatchdogWiring, TRACE_DROPPED_FAMILY};

@@ -47,6 +47,12 @@ pub struct SloReport {
     /// Intervals so far whose p99.9 exceeded the SLA. Empty windows
     /// never count: no reads completed, so no client saw a violation.
     pub breach_intervals: u64,
+    /// Fast-window burn rate: permille of the non-empty intervals in
+    /// the last 1 s of virtual time that breached the SLA (0 when no
+    /// non-empty interval fell in the window).
+    pub burn_fast_permille: u64,
+    /// Slow-window burn rate: same, over the last 10 s.
+    pub burn_slow_permille: u64,
 }
 
 impl SloReport {
@@ -84,6 +90,11 @@ pub struct SloMonitor {
     g_headroom: Gauge,
     g_sla: Gauge,
     c_breaches: Counter,
+    g_burn_fast: Gauge,
+    g_burn_slow: Gauge,
+    /// Per-interval outcomes, most recent last, trimmed to the slow
+    /// window: `None` for an empty interval, `Some(breached)` otherwise.
+    history: std::collections::VecDeque<Option<bool>>,
 }
 
 impl SloMonitor {
@@ -117,6 +128,16 @@ impl SloMonitor {
             "intervals whose windowed p99.9 exceeded the SLA",
             &no,
         );
+        let g_burn_fast = registry.gauge(
+            "slo_burn_rate_fast",
+            "permille of non-empty intervals in the last 1s whose p99.9 breached the SLA",
+            &no,
+        );
+        let g_burn_slow = registry.gauge(
+            "slo_burn_rate_slow",
+            "permille of non-empty intervals in the last 10s whose p99.9 breached the SLA",
+            &no,
+        );
         g_p50.set(-1);
         g_p999.set(-1);
         g_sla.set(sla.map_or(-1, |s| s as i64));
@@ -132,7 +153,45 @@ impl SloMonitor {
             g_headroom,
             g_sla,
             c_breaches,
+            g_burn_fast,
+            g_burn_slow,
+            history: std::collections::VecDeque::new(),
         }
+    }
+
+    /// Intervals covering `window_ns` of virtual time (at least one).
+    fn window_intervals(&self, window_ns: Nanos) -> usize {
+        (window_ns / self.interval.max(1)).max(1) as usize
+    }
+
+    /// Burn rate over the trailing `n` intervals of `self.history`:
+    /// breached per non-empty, in permille. Empty intervals carry no
+    /// client observations so they dilute neither window.
+    fn burn_permille(&self, n: usize) -> u64 {
+        let tail = self.history.len().saturating_sub(n);
+        let mut breached = 0u64;
+        let mut non_empty = 0u64;
+        for b in self.history.iter().skip(tail).flatten() {
+            non_empty += 1;
+            if *b {
+                breached += 1;
+            }
+        }
+        (breached * 1000).checked_div(non_empty).unwrap_or(0)
+    }
+
+    /// Pushes this interval's outcome and republishes both burn gauges.
+    fn record_burn(&mut self, outcome: Option<bool>) -> (u64, u64) {
+        let slow_n = self.window_intervals(10 * rocksteady_common::SECOND);
+        self.history.push_back(outcome);
+        while self.history.len() > slow_n {
+            self.history.pop_front();
+        }
+        let fast = self.burn_permille(self.window_intervals(rocksteady_common::SECOND));
+        let slow = self.burn_permille(slow_n);
+        self.g_burn_fast.set(fast as i64);
+        self.g_burn_slow.set(slow as i64);
+        (fast, slow)
     }
 
     fn evaluate(&mut self, now: Nanos) {
@@ -151,19 +210,31 @@ impl SloMonitor {
             // never count a breach (no client observed anything).
             report.p50 = 0;
             report.p999 = 0;
+            drop(report);
+            let (fast, slow) = self.record_burn(None);
+            let mut report = self.out.borrow_mut();
+            report.burn_fast_permille = fast;
+            report.burn_slow_permille = slow;
             return;
         }
         report.p50 = window.percentile(0.5);
         report.p999 = window.percentile(0.999);
         self.g_p50.set(report.p50 as i64);
         self.g_p999.set(report.p999 as i64);
+        let mut breached = false;
         if let Some(sla) = self.sla {
             let headroom = sla as i64 - report.p999 as i64;
             self.g_headroom.set(headroom);
             if headroom < 0 {
                 report.breach_intervals = self.c_breaches.inc();
+                breached = true;
             }
         }
+        drop(report);
+        let (fast, slow) = self.record_burn(Some(breached));
+        let mut report = self.out.borrow_mut();
+        report.burn_fast_permille = fast;
+        report.burn_slow_permille = slow;
         let _ = &self.g_sla; // published once at construction
     }
 }
@@ -239,6 +310,78 @@ mod tests {
         assert_eq!(r.p999, 0);
         assert_eq!(r.breach_intervals, 1, "empty window counted a breach");
         assert_eq!(r.headroom(), None);
+    }
+
+    #[test]
+    fn burn_rates_window_breach_fractions() {
+        let reg = Registry::new();
+        let h = reg.histogram("client_read_latency_ns", "r", &[("client", "0".into())]);
+        // 1 ms interval → fast window = 1000 intervals, slow = 10000.
+        let (mut m, out) = monitor(&reg, Some(50_000));
+
+        // 10 breaching intervals out of 10 non-empty → 1000 permille.
+        for i in 1..=10u64 {
+            for _ in 0..50 {
+                h.record(500_000);
+            }
+            m.evaluate(i * MILLISECOND);
+        }
+        {
+            let r = out.borrow();
+            assert_eq!(r.burn_fast_permille, 1000);
+            assert_eq!(r.burn_slow_permille, 1000);
+        }
+
+        // 10 clean intervals → half the non-empty window breached.
+        for i in 11..=20u64 {
+            for _ in 0..50 {
+                h.record(5_000);
+            }
+            m.evaluate(i * MILLISECOND);
+        }
+        {
+            let r = out.borrow();
+            assert_eq!(r.burn_fast_permille, 500);
+            assert_eq!(r.burn_slow_permille, 500);
+        }
+
+        // Empty intervals dilute neither window.
+        for i in 21..=30u64 {
+            m.evaluate(i * MILLISECOND);
+        }
+        let r = out.borrow();
+        assert_eq!(r.burn_fast_permille, 500);
+        // The gauges track the report.
+        let snap = reg.snapshot(30 * MILLISECOND);
+        let json = snap.to_json();
+        assert!(json.contains("\"name\":\"slo_burn_rate_fast\""), "{json}");
+        assert!(json.contains("\"name\":\"slo_burn_rate_slow\""), "{json}");
+    }
+
+    #[test]
+    fn fast_window_recovers_before_slow_window() {
+        let reg = Registry::new();
+        let h = reg.histogram("client_read_latency_ns", "r", &[("client", "0".into())]);
+        // 100 ms interval → fast window = 10 intervals, slow = 100.
+        let out: SloHandle = Rc::new(RefCell::new(SloReport::default()));
+        let mut m = SloMonitor::new(
+            100 * MILLISECOND,
+            reg.clone(),
+            Some(50_000),
+            Rc::clone(&out),
+        );
+        // 5 breaching intervals, then 10 clean ones: the fast window
+        // (last 10) ends mostly clean while the slow window remembers.
+        for i in 1..=15u64 {
+            let lat = if i <= 5 { 500_000 } else { 5_000 };
+            for _ in 0..50 {
+                h.record(lat);
+            }
+            m.evaluate(i * 100 * MILLISECOND);
+        }
+        let r = out.borrow();
+        assert_eq!(r.burn_fast_permille, 0, "fast window is all clean");
+        assert_eq!(r.burn_slow_permille, 333, "slow window remembers 5/15");
     }
 
     #[test]

@@ -37,6 +37,19 @@ pub struct MigrationConfig {
     /// auditor detects a split brain; never set outside tests.
     #[doc(hidden)]
     pub test_skip_source_flip: bool,
+    /// Test-only fault injection: the source silently drops every
+    /// `Pull` and `PriorityPull` request (never responds), so gather
+    /// makes no progress and the migration hangs in flight. Exists
+    /// solely to prove the flight recorder's stall detector fires;
+    /// never set outside tests.
+    #[doc(hidden)]
+    pub test_drop_pulls: bool,
+    /// Test-only fault injection: the target accepts pulled batches but
+    /// never schedules replay for them, so records pile up between
+    /// gather and replay. Exists solely to prove the flight recorder's
+    /// replay-backlog detector fires; never set outside tests.
+    #[doc(hidden)]
+    pub test_defer_replay: bool,
 }
 
 impl Default for MigrationConfig {
@@ -50,6 +63,8 @@ impl Default for MigrationConfig {
             background_pulls: true,
             retry_after_ns: 30_000,
             test_skip_source_flip: false,
+            test_drop_pulls: false,
+            test_defer_replay: false,
         }
     }
 }

@@ -841,9 +841,67 @@ impl DeltaScraper {
     }
 }
 
+/// Renders a scrape pass as a deterministic JSON array — the metrics
+/// slice embedded in flight-recorder incident bundles. Entries keep the
+/// scraper's `(name, labels)` order; integers only, so same-seed runs
+/// produce byte-identical output.
+pub fn deltas_to_json(deltas: &[CounterDelta]) -> String {
+    let mut out = String::with_capacity(32 + deltas.len() * 64);
+    out.push('[');
+    for (i, d) in deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        out.push_str(d.name);
+        out.push('"');
+        if !d.labels.is_empty() {
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in d.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(k);
+                out.push_str("\":\"");
+                out.push_str(v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push_str(",\"total\":");
+        out.push_str(&d.total.to_string());
+        out.push_str(",\"delta\":");
+        out.push_str(&d.delta.to_string());
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deltas_render_as_deterministic_json() {
+        let reg = Registry::new();
+        let c = reg.counter("requests_total", "requests", &[("server", "3".into())]);
+        let plain = reg.counter("ticks_total", "ticks", &[]);
+        c.add(7);
+        plain.add(2);
+        let mut s = DeltaScraper::new();
+        let json = deltas_to_json(&s.scrape(&reg));
+        assert_eq!(
+            json,
+            "[{\"name\":\"requests_total\",\"labels\":{\"server\":\"3\"},\
+             \"total\":7,\"delta\":7},\
+             {\"name\":\"ticks_total\",\"total\":2,\"delta\":2}]"
+        );
+        c.add(3);
+        let json2 = deltas_to_json(&s.scrape(&reg));
+        assert!(json2.contains("\"total\":10,\"delta\":3"), "{json2}");
+    }
 
     #[test]
     fn counter_gauge_stamp_histo_basics() {

@@ -324,6 +324,10 @@ pub struct ServerNode {
     // other migrations, which needs no state here (pull service is
     // stateless on the source).
     migrations: Vec<MigrationRun>,
+    /// Replay batches swallowed by the `test_defer_replay` fault hook:
+    /// held here (never replayed) so the gather→replay backlog grows
+    /// while pulls keep flowing. Always empty outside fault tests.
+    deferred_replay_faults: Vec<ReplayBatch>,
     baseline: Option<BaselineRun>,
     /// In-flight crash recoveries, keyed by the coordinator's RPC id
     /// (several tablets may recover onto this master concurrently).
@@ -391,6 +395,7 @@ impl ServerNode {
             ack_groups: FxHashMap::default(),
             next_group: 1,
             migrations: Vec::new(),
+            deferred_replay_faults: Vec::new(),
             baseline: None,
             recoveries: FxHashMap::default(),
             trace,
@@ -926,6 +931,7 @@ impl ServerNode {
                         },
                     );
                 }
+                self.stats.migration_gathered(mig, records.len() as u64);
                 if let Some(run) = self.run_mut(mig) {
                     run.mgr.on_pull_response(partition, records, next, wire);
                 }
@@ -963,6 +969,7 @@ impl ServerNode {
                         },
                     );
                 }
+                self.stats.migration_gathered(mig, records.len() as u64);
                 if let Some(run) = self.run_mut(mig) {
                     run.mgr.on_priority_pull_response(&hashes, records);
                 }
@@ -1593,6 +1600,13 @@ impl ServerNode {
                 cursor,
                 budget_bytes,
             } => {
+                if self.cfg.migration.test_drop_pulls {
+                    // Fault injection: swallow the Pull without answering.
+                    // The target's gather pipeline never advances and the
+                    // migration hangs in flight — the stall the flight
+                    // recorder's watchdog must catch.
+                    return m.pull_fixed_ns;
+                }
                 self.stats.pulls_served.add(1);
                 let (records, next, gwork) = rocksteady::source::handle_pull(
                     &self.master,
@@ -1613,6 +1627,12 @@ impl ServerNode {
                 service
             }
             Request::PriorityPull { table, hashes } => {
+                if self.cfg.migration.test_drop_pulls {
+                    // Fault injection: priority pulls stall too —
+                    // otherwise client traffic into the migrating range
+                    // trickles gather progress and masks the stall.
+                    return m.priority_pull_fixed_ns;
+                }
                 self.stats.priority_pulls_served.add(1);
                 let (records, _gwork) =
                     rocksteady::source::handle_priority_pull(&self.master, table, &hashes);
@@ -1972,6 +1992,15 @@ impl ServerNode {
                     self.send(ctx, dst, Envelope::req(rpc, req));
                 }
                 Action::Replay(batch) => {
+                    if self.cfg.migration.test_defer_replay {
+                        // Fault injection: accept the batch but never
+                        // replay it. The manager already pipelined the
+                        // partition's next Pull, so gather keeps running
+                        // while the replay counters stay flat — the
+                        // backlog the flight recorder must catch.
+                        self.deferred_replay_faults.push(batch);
+                        continue;
+                    }
                     let Some(worker) = self.idle_worker_any() else {
                         debug_assert!(false, "manager scheduled replay with no idle worker");
                         continue;
@@ -2018,6 +2047,8 @@ impl ServerNode {
             .master
             .replay_batch(&batch.records, ReplayDest::Side(side), &mut work);
         self.stats.records_replayed.add(replayed as u64);
+        self.stats
+            .migration_replayed(run_id, batch.records.len() as u64, replayed as u64);
         if self.audit.is_on() {
             self.audit.emit(
                 now,

@@ -91,7 +91,10 @@ pub struct NodeStats {
     pub migration_runs: Rc<RefCell<BTreeMap<u64, MigrationRunStamps>>>,
 }
 
-/// Start/finish/abandon stamps for one migration run on one node.
+/// Start/finish/abandon stamps plus gather/replay progress counters for
+/// one migration run on one node. The progress counters are what the
+/// flight recorder's stall and backlog detectors watch: a run that is
+/// in flight while none of them advance is wedged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MigrationRunStamps {
     /// Virtual time the run started on this node.
@@ -100,6 +103,19 @@ pub struct MigrationRunStamps {
     pub finished_at: Option<Nanos>,
     /// Virtual time the run was abandoned, if it was.
     pub abandoned_at: Option<Nanos>,
+    /// Records gathered over the wire (bulk + priority pulls).
+    pub gathered: u64,
+    /// Records handed to replay batches.
+    pub replay_received: u64,
+    /// Records actually applied by replay (version-max survivors).
+    pub replay_applied: u64,
+}
+
+impl MigrationRunStamps {
+    /// Whether the run is still in flight on this node.
+    pub fn in_flight(&self) -> bool {
+        self.finished_at.is_none() && self.abandoned_at.is_none()
+    }
 }
 
 impl NodeStats {
@@ -233,8 +249,27 @@ impl NodeStats {
                 started_at: now,
                 finished_at: None,
                 abandoned_at: None,
+                gathered: 0,
+                replay_received: 0,
+                replay_applied: 0,
             },
         );
+    }
+
+    /// Credits `records` gathered over the wire to migration `id`.
+    pub fn migration_gathered(&self, id: MigrationId, records: u64) {
+        if let Some(r) = self.migration_runs.borrow_mut().get_mut(&id.0) {
+            r.gathered += records;
+        }
+    }
+
+    /// Credits a replay batch (`received` records in, `applied`
+    /// surviving version-max) to migration `id`.
+    pub fn migration_replayed(&self, id: MigrationId, received: u64, applied: u64) {
+        if let Some(r) = self.migration_runs.borrow_mut().get_mut(&id.0) {
+            r.replay_received += received;
+            r.replay_applied += applied;
+        }
     }
 
     /// Stamps migration `id` finished on this node.
@@ -394,5 +429,28 @@ mod tests {
         let h2 = Rc::clone(&h);
         h.finish_migration_run(m2, 50);
         assert_eq!(h2.migration_run(m2).unwrap().finished_at, Some(50));
+    }
+
+    #[test]
+    fn progress_counters_accumulate_per_run() {
+        let s = NodeStats::detached();
+        let (m1, m2) = (MigrationId(1), MigrationId(2));
+        s.begin_migration_run(m1, 10);
+        s.begin_migration_run(m2, 20);
+        s.migration_gathered(m1, 100);
+        s.migration_gathered(m1, 50);
+        s.migration_replayed(m1, 120, 115);
+        s.migration_gathered(m2, 7);
+        let r1 = s.migration_run(m1).unwrap();
+        assert_eq!(r1.gathered, 150);
+        assert_eq!(r1.replay_received, 120);
+        assert_eq!(r1.replay_applied, 115);
+        assert!(r1.in_flight());
+        assert_eq!(s.migration_run(m2).unwrap().gathered, 7);
+        // Progress for an unknown run is ignored, not invented.
+        s.migration_gathered(MigrationId(99), 1);
+        assert!(s.migration_run(MigrationId(99)).is_none());
+        s.finish_migration_run(m1, 30);
+        assert!(!s.migration_run(m1).unwrap().in_flight());
     }
 }

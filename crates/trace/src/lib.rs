@@ -131,6 +131,12 @@ pub struct TraceBuf {
     /// without giving up the buffer (benches trace only the migration
     /// window this way).
     recording: bool,
+    /// Ring mode: when `Some(n)`, the buffer holds at most `n` events
+    /// and the oldest half is discarded in one memmove when it fills —
+    /// amortized O(1) per push with a contiguous event slice.
+    capacity: Option<usize>,
+    /// Events discarded by ring compaction since arming.
+    dropped: u64,
 }
 
 /// Validation result: what a well-formed trace contained.
@@ -158,7 +164,37 @@ impl Tracer {
         Tracer(Some(Rc::new(RefCell::new(TraceBuf {
             events: Vec::new(),
             recording: true,
+            capacity: None,
+            dropped: 0,
         }))))
+    }
+
+    /// An armed tracer in **ring mode**: the buffer holds at most
+    /// `capacity` events. When it fills, the oldest `capacity/2` events
+    /// are discarded in one memmove and counted in [`Tracer::dropped`].
+    /// Because the buffer is completion-ordered, dropping a prefix
+    /// cannot break nesting or ordering, so [`Tracer::validate`] still
+    /// passes on a wrapped buffer.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer(Some(Rc::new(RefCell::new(TraceBuf {
+            events: Vec::new(),
+            recording: true,
+            capacity: Some(capacity.max(2)),
+            dropped: 0,
+        }))))
+    }
+
+    /// Events discarded by ring compaction (0 when unbounded or off).
+    pub fn dropped(&self) -> u64 {
+        match &self.0 {
+            Some(buf) => buf.borrow().dropped,
+            None => 0,
+        }
+    }
+
+    /// The ring capacity, if this tracer is in ring mode.
+    pub fn capacity(&self) -> Option<usize> {
+        self.0.as_ref().and_then(|buf| buf.borrow().capacity)
     }
 
     /// Whether events would currently be recorded. Callers building
@@ -184,6 +220,13 @@ impl Tracer {
         if let Some(buf) = &self.0 {
             let mut buf = buf.borrow_mut();
             if buf.recording {
+                if let Some(cap) = buf.capacity {
+                    if buf.events.len() >= cap {
+                        let evict = (cap / 2).max(1);
+                        buf.events.drain(..evict);
+                        buf.dropped += evict as u64;
+                    }
+                }
                 buf.events.push(ev);
             }
         }
@@ -303,6 +346,18 @@ impl Tracer {
     /// strings.
     pub fn export_chrome_json(&self) -> String {
         self.with_events(Self::format_chrome_json)
+    }
+
+    /// Exports only the events completing at or after `since` — the
+    /// incident bundle's "last N ms" trace slice. Same format as
+    /// [`Tracer::export_chrome_json`].
+    pub fn export_chrome_json_since(&self, since: Nanos) -> String {
+        self.with_events(|events| {
+            // Completion order means the suffix starting at the first
+            // event with `ts + dur >= since` is exactly the window.
+            let start = events.partition_point(|ev| ev.ts + ev.dur < since);
+            Self::format_chrome_json(&events[start..])
+        })
     }
 
     fn format_chrome_json(events: &[TraceEvent]) -> String {
@@ -512,6 +567,60 @@ mod tests {
         t.instant("late", "m", 1, 0, 100, vec![]);
         t.instant("early", "m", 1, 0, 50, vec![]);
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn ring_mode_bounds_memory_and_counts_drops() {
+        let t = Tracer::with_capacity(8);
+        assert_eq!(t.capacity(), Some(8));
+        for i in 0..100u64 {
+            t.instant("tick", "m", 1, 0, i * 10, vec![("i", i)]);
+        }
+        assert!(t.len() <= 8, "len {} exceeds capacity", t.len());
+        assert_eq!(t.dropped() + t.len() as u64, 100);
+        // The survivors are the most recent suffix.
+        t.with_events(|e| {
+            assert_eq!(e.last().unwrap().arg("i"), Some(99));
+            let first = e.first().unwrap().arg("i").unwrap();
+            assert_eq!(first, t.dropped());
+        });
+    }
+
+    #[test]
+    fn wrapped_ring_still_validates_and_exports_chrome_json() {
+        let t = Tracer::with_capacity(16);
+        // Nested span pairs: child then parent, pushed at completion,
+        // enough of them that the ring wraps several times.
+        for i in 0..50u64 {
+            let base = i * 100;
+            t.span("child", "m", 1, 9, base, 40, vec![]);
+            t.span("parent", "m", 1, 9, base, 90, vec![]);
+        }
+        assert!(t.dropped() > 0, "ring never wrapped");
+        let s = t.validate().expect("wrapped ring must stay valid");
+        assert!(s.events <= 16);
+        let json = t.export_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"name\":\"parent\""));
+    }
+
+    #[test]
+    fn since_export_takes_the_completion_suffix() {
+        let t = Tracer::armed();
+        t.span("old", "m", 1, 1, 0, 10, vec![]);
+        t.span("new", "m", 1, 1, 100, 10, vec![]);
+        let json = t.export_chrome_json_since(50);
+        assert!(!json.contains("\"name\":\"old\""), "{json}");
+        assert!(json.contains("\"name\":\"new\""), "{json}");
+    }
+
+    #[test]
+    fn unbounded_tracer_reports_no_capacity() {
+        let t = Tracer::armed();
+        assert_eq!(t.capacity(), None);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(Tracer::off().capacity(), None);
     }
 
     #[test]

@@ -14,6 +14,11 @@ use std::rc::Rc;
 use rocksteady_common::{Nanos, TimeSeries, SECOND};
 use rocksteady_metrics::{Counter, Histo, Registry};
 
+/// Counter family for `Retry` responses received by clients. The
+/// flight-recorder watchdog scrapes this family by name, so it lives in
+/// a shared const rather than a string literal.
+pub const CLIENT_RETRIES_FAMILY: &str = "client_retries";
+
 /// Per-client measurements, shared with the harness.
 #[derive(Debug)]
 pub struct ClientStats {
@@ -76,7 +81,7 @@ impl ClientStats {
                 &l,
             ),
             not_found: reg.counter("client_not_found", "operations that ended in NotFound", &l),
-            retries: reg.counter("client_retries", "Retry responses received", &l),
+            retries: reg.counter(CLIENT_RETRIES_FAMILY, "Retry responses received", &l),
             map_refreshes: reg.counter(
                 "client_map_refreshes",
                 "map refreshes triggered by UnknownTablet",

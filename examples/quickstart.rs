@@ -8,13 +8,22 @@
 //! servers, a YCSB client, one Rocksteady migration of half the key
 //! space, and verification that every record survived the move.
 
-use rocksteady_cluster::{ClusterBuilder, ClusterConfig, ControlCmd};
+use rocksteady_cluster::{
+    summarize, ClusterBuilder, ClusterConfig, ControlCmd, FlightRecorderConfig,
+};
 use rocksteady_common::time::fmt_nanos;
 use rocksteady_common::{HashRange, MigrationId, ServerId, TableId, MILLISECOND, SECOND};
 use rocksteady_workload::core::primary_key;
 use rocksteady_workload::YcsbConfig;
 
 fn main() {
+    // Fault-injection demo (used by CI): stall a migration on purpose
+    // and show the flight recorder export exactly one incident bundle.
+    if std::env::var("ROCKSTEADY_QUICKSTART_FAULT").is_ok() {
+        fault_demo();
+        return;
+    }
+
     let table = TableId(1);
     let keys: u64 = 10_000;
     let mid = u64::MAX / 2 + 1;
@@ -38,6 +47,11 @@ fn main() {
         profiling: true,
         audit: true,
         sla: Some(300_000), // p99.9 reads under 300 us
+        // Always-on flight recorder: watchdog detectors every sampling
+        // interval, incident bundles on trigger. The default config
+        // keeps the trace/audit buffers unbounded, so every other
+        // export stays byte-identical to a recorder-less run.
+        flight_recorder: Some(FlightRecorderConfig::default()),
         ..ClusterConfig::default()
     });
     let dir = builder.directory();
@@ -235,4 +249,110 @@ fn main() {
         .explain_migration(MigrationId(1))
         .expect("audited migration");
     println!("explain: {story}");
+
+    // 13. Why did the SLO burn? When the monitor counted breach
+    //     intervals, ask the auditor to rank the causes active during
+    //     the run — the top suspect is (of course) the migration.
+    if slo.breach_intervals > 0 {
+        if let Some(breach) = cluster.explain_slo_breach(0, cluster.now()) {
+            println!("slo breach suspect: {}", top_cause(&breach));
+        }
+    }
+
+    // 14. The flight recorder. Its watchdog evaluated five anomaly
+    //     detectors (migration stall, replay backlog, SLO burn,
+    //     dispatch overcommit, lineage age) on every sampling interval
+    //     of this run — a healthy migration trips none of them. Run
+    //     with ROCKSTEADY_QUICKSTART_FAULT=1 to watch a deliberately
+    //     stalled migration produce an incident bundle.
+    let final_slo = cluster.slo_report();
+    println!(
+        "flight recorder: {} incidents (burn fast {}‰ / slow {}‰)",
+        cluster.incident_count(),
+        final_slo.burn_fast_permille,
+        final_slo.burn_slow_permille,
+    );
+}
+
+/// The top-ranked cause of an `explain_slo_breach` report, without its
+/// causal chain (which quickly dwarfs a terminal line).
+fn top_cause(breach: &str) -> &str {
+    let start = breach.find("\"causes\":[").map(|i| i + 10).unwrap_or(0);
+    let end = breach[start..]
+        .find(",\"chain\"")
+        .map(|i| start + i)
+        .unwrap_or(breach.len());
+    &breach[start..end]
+}
+
+/// Deliberately stall a migration (the source swallows every bulk Pull)
+/// and let the flight recorder catch it: exactly one incident bundle,
+/// triggered by the migration-stall detector, lands in
+/// `target/quickstart-incident.json`.
+fn fault_demo() {
+    let table = TableId(1);
+    let keys: u64 = 5_000;
+    let mid = u64::MAX / 2 + 1;
+    let upper = HashRange {
+        start: mid,
+        end: u64::MAX,
+    };
+
+    // Bounded rings: the recorder works from fixed memory, and the
+    // bundle's drop counters show the compaction at work.
+    let fr = FlightRecorderConfig {
+        trace_capacity: Some(4096),
+        audit_capacity: Some(1024),
+        ..FlightRecorderConfig::default()
+    };
+    let mut cfg = ClusterConfig {
+        servers: 3,
+        workers: 4,
+        replicas: 2,
+        sample_interval: 10 * MILLISECOND,
+        series_interval: 100 * MILLISECOND,
+        audit: true,
+        sla: Some(300_000),
+        flight_recorder: Some(fr),
+        ..ClusterConfig::default()
+    };
+    // The fault: the source drops every bulk Pull on the floor, so
+    // gather never advances and the migration hangs forever.
+    cfg.migration.test_drop_pulls = true;
+
+    let mut builder = ClusterBuilder::new(cfg);
+    let dir = builder.directory();
+    builder.add_ycsb(YcsbConfig::ycsb_b(dir, table, keys, 20_000.0));
+    builder.at(
+        50 * MILLISECOND,
+        ControlCmd::Migrate {
+            id: MigrationId(1),
+            table,
+            range: upper,
+            source: ServerId(0),
+            target: ServerId(1),
+        },
+    );
+
+    let mut cluster = builder.build();
+    cluster.create_table(table, &[(HashRange::full(), ServerId(0))]);
+    cluster.load_table(table, keys, 30, 100);
+    cluster.seed_backups();
+    cluster.split_tablet(table, mid);
+
+    // 20 stalled sampling intervals trip the detector; run well past it.
+    cluster.run_until(2 * SECOND);
+
+    let incidents = cluster.incident_log();
+    assert_eq!(incidents.len(), 1, "expected exactly one incident");
+    assert_eq!(incidents[0].trigger, "migration-stall");
+    let path = "target/quickstart-incident.json";
+    std::fs::write(path, &incidents[0].bundle).expect("write incident bundle");
+    println!("{}", summarize(&incidents[0]));
+    println!(
+        "bundle: {} bytes -> {path} (trace dropped {}, audit dropped {})",
+        incidents[0].bundle.len(),
+        cluster.trace.dropped(),
+        cluster.audit.dropped(),
+    );
 }
