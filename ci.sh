@@ -30,7 +30,7 @@ cargo test -q --workspace
 echo "==> examples: quickstart (exports a trace + metrics + profile)"
 rm -f target/quickstart-trace.json target/quickstart-metrics.json target/quickstart-metrics.prom \
     target/quickstart-profile.folded target/quickstart-critical-path.json \
-    target/quickstart-audit.json target/quickstart-audit.dot
+    target/quickstart-audit.json target/quickstart-audit.dot target/quickstart-journeys.json
 cargo run --release --example quickstart
 
 echo "==> trace smoke: target/quickstart-trace.json"
@@ -50,6 +50,28 @@ grep -q 'slo_breach_intervals_total' target/quickstart-metrics.prom
 grep -q 'slo_burn_rate_fast' target/quickstart-metrics.prom
 grep -q 'slo_burn_rate_slow' target/quickstart-metrics.prom
 grep -q 'trace_events_dropped_total' target/quickstart-metrics.prom
+
+echo "==> journeys smoke: target/quickstart-journeys.json"
+test -s target/quickstart-journeys.json
+grep -q '"schema":"rocksteady-journeys-v1"' target/quickstart-journeys.json
+python3 - <<'EOF'
+import json
+doc = json.load(open('target/quickstart-journeys.json'))
+journeys = doc['journeys']
+assert journeys, 'no journeys reconstructed'
+assert any(j['hops_n'] >= 3 for j in journeys), \
+    'no journey with >= 3 hops (none crossed the migration?)'
+assert any(j['telescoped'] for j in journeys), 'no telescoped journey'
+for j in journeys:
+    if not j['telescoped']:
+        continue
+    total = sum(h['net_in'] + h['queue'] + h['service'] + h['hold']
+                + h['net_out'] + h['gap_before']
+                for h in j['hops'] if h['on_path'])
+    assert total == j['e2e'], \
+        f"journey {j['trace']} does not telescope: {total} != {j['e2e']}"
+print(f"journeys gate: {len(journeys)} journeys, telescoping integer-exact")
+EOF
 
 echo "==> figure benches export CSV through the shared exporter"
 for fig in fig05_bottlenecks fig09_10_11_timelines fig12_skew fig13_14_priority_pulls; do
@@ -128,6 +150,17 @@ peak=$(awk -F, '$1 == "rebalanced" { print $6 }' target/figures/day_in_the_life_
 [ "${peak:-0}" -ge 2 ] || { echo "FAIL: peak concurrent migrations ${peak:-0} < 2"; exit 1; }
 test -s target/figures/day_in_the_life_latency.csv
 head -1 target/figures/day_in_the_life_latency.csv | grep -q '^mode,t_ns,p50_ns,p999_ns$'
+
+echo "==> bench baseline schema gate: BENCH_*.json"
+python3 - <<'EOF'
+import json
+for path in ('BENCH_micro.json', 'BENCH_simkernel.json'):
+    doc = json.load(open(path))
+    for key in ('results', 'seed_baseline'):
+        val = doc.get(key)
+        assert isinstance(val, list) and val, f'{path}: {key} missing or empty'
+print('bench baseline schemas OK')
+EOF
 
 echo "==> allocation gate: migration gather/replay path"
 cargo test -q --test alloc_gate

@@ -17,8 +17,9 @@ use rocksteady_bench::{
 };
 use rocksteady_cluster::{Cluster, ClusterBuilder, ClusterConfig, ControlCmd};
 use rocksteady_common::time::fmt_nanos;
-use rocksteady_common::{MigrationId, Nanos, ServerId, MILLISECOND, SECOND};
+use rocksteady_common::{Histogram, MigrationId, Nanos, ServerId, MILLISECOND, SECOND};
 use rocksteady_workload::YcsbConfig;
+use std::collections::HashSet;
 
 const KEYS: u64 = 300_000;
 const CLIENTS: usize = 8;
@@ -118,6 +119,62 @@ fn out_traced(out: &Out) -> bool {
         > 0
 }
 
+/// One decomposition series: label, reads, queue/service/hold.
+type DecompSeries = (&'static str, u64, Histogram, Histogram, Histogram);
+
+/// Splits the server-side read decomposition by whether the read's
+/// journey crossed the live migration (needed retries, or had a
+/// PriorityPull issued on its behalf). The split shows where the
+/// post-flip tail actually comes from: clean reads keep their
+/// pre-migration profile while crossing reads absorb the queue/hold
+/// cost of the miss path.
+fn decomp_split(out: &Out) -> Vec<DecompSeries> {
+    let crossed: HashSet<u64> = out
+        .cluster
+        .journeys()
+        .iter()
+        .filter(|j| j.crossed_migration())
+        .map(|j| j.trace)
+        .collect();
+    out.cluster.trace.with_events(|events| {
+        let mut series: Vec<DecompSeries> = vec![
+            (
+                "clean",
+                0,
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+            ),
+            (
+                "crossed_migration",
+                0,
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+            ),
+        ];
+        for ev in events {
+            if ev.name != "read" || ev.cat != "rpc" {
+                continue;
+            }
+            let (Some(trace), Some(q), Some(sv), Some(h)) = (
+                ev.arg("trace"),
+                ev.arg("queue"),
+                ev.arg("service"),
+                ev.arg("hold"),
+            ) else {
+                continue;
+            };
+            let row = &mut series[usize::from(crossed.contains(&trace))];
+            row.1 += 1;
+            row.2.record(q);
+            row.3.record(sv);
+            row.4.record(h);
+        }
+        series
+    })
+}
+
 /// Median-latency jitter: buckets whose median exceeds 1.5x the
 /// pre-migration median (Figure 13b's visual signature).
 fn median_jitter(out: &Out, pre_median: u64) -> usize {
@@ -186,6 +243,18 @@ fn main() {
             pp_batch.count(),
             fmt_nanos(pp_batch.percentile(0.5)),
         );
+        // Journey-derived split: the same three segments, separated by
+        // whether the read crossed the live migration.
+        let split = decomp_split(out);
+        for (label, reads, q, sv, h) in &split {
+            println!(
+                "trace[{label}]: {reads} reads — median queue {} / service {} / hold {} (99.9th hold {})",
+                fmt_nanos(q.percentile(0.5)),
+                fmt_nanos(sv.percentile(0.5)),
+                fmt_nanos(h.percentile(0.5)),
+                fmt_nanos(h.percentile(0.999)),
+            );
+        }
         println!();
 
         // Machine-readable series for re-plotting.
@@ -194,6 +263,23 @@ fn main() {
         } else {
             "async_batched"
         };
+        export_csv(
+            &format!("fig13_decomp_{s}"),
+            "series,reads,queue_p50_ns,service_p50_ns,hold_p50_ns,hold_p999_ns",
+            &split
+                .iter()
+                .map(|(label, reads, q, sv, h)| {
+                    vec![
+                        (*label).to_string(),
+                        reads.to_string(),
+                        q.percentile(0.5).to_string(),
+                        sv.percentile(0.5).to_string(),
+                        h.percentile(0.5).to_string(),
+                        h.percentile(0.999).to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
         export_csv(
             &format!("fig13_latency_{s}"),
             "t_ns,p50_ns,p999_ns",
@@ -310,6 +396,15 @@ fn main() {
     ok &= check(
         out_traced(&asynchronous) && out_traced(&synchronous),
         "traces captured reads during the migration window",
+    );
+    let crossed_reads = |out: &Out| decomp_split(out)[1].1;
+    ok &= check(
+        crossed_reads(&asynchronous) > 0 && crossed_reads(&synchronous) > 0,
+        &format!(
+            "journey split captured migration-crossing reads (async {}, sync {})",
+            crossed_reads(&asynchronous),
+            crossed_reads(&synchronous)
+        ),
     );
     ok &= check(
         pp_rpcs(&synchronous) >= pp_rpcs(&asynchronous),

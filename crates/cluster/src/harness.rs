@@ -21,6 +21,7 @@ use rocksteady_proto::Envelope;
 use rocksteady_server::stats::{registered_stats, StatsHandle};
 use rocksteady_server::{MigrationRunStamps, ServerConfig, ServerNode};
 use rocksteady_simnet::{Directory, NicConfig, SchedulerKind, Simulation};
+use rocksteady_trace::journey::{self, Journey};
 use rocksteady_trace::Tracer;
 use rocksteady_workload::stats::registered_client_stats;
 use rocksteady_workload::{
@@ -756,6 +757,48 @@ impl Cluster {
     pub fn tail_blame_report(&self) -> Option<TailBlameReport> {
         let sla = self.cfg.sla?;
         Some(self.trace.with_events(|events| tail_blame(events, sla)))
+    }
+
+    /// Reconstructs every cross-node request journey recorded so far:
+    /// one [`Journey`] per trace id, its client attempts matched to the
+    /// per-server latency-decomposition instants they caused (including
+    /// the off-path PriorityPull a waiting read spawned). Empty when
+    /// tracing is off. Sorted by trace id; byte-stable per seed.
+    pub fn journeys(&self) -> Vec<Journey> {
+        let dropped = self.trace.dropped();
+        self.trace
+            .with_events(|events| journey::reconstruct(events, dropped))
+    }
+
+    /// The journey of one specific operation, by trace id. `None` when
+    /// tracing is off or no attempt of that operation was recorded.
+    pub fn request_journey(&self, trace: rocksteady_common::TraceId) -> Option<Journey> {
+        let dropped = self.trace.dropped();
+        self.trace
+            .with_events(|events| journey::find(events, dropped, trace.0))
+    }
+
+    /// Every reconstructed journey as the deterministic
+    /// `rocksteady-journeys-v1` JSON document. Byte-identical across
+    /// same-seed runs and across the scheduler swap.
+    pub fn export_journeys_json(&self) -> String {
+        journey::export_json(&self.journeys(), self.trace.dropped())
+    }
+
+    /// The `k` slowest journeys that breached `cfg.sla` — the tail's
+    /// full causal chains, not just its segment histogram. Slowest
+    /// first; ties broken by trace id (a deterministic reservoir, no
+    /// RNG). `None` without an SLA; empty when tracing is off.
+    pub fn tail_blame_chains(&self, k: usize) -> Option<Vec<String>> {
+        let sla = self.cfg.sla?;
+        let journeys = self.journeys();
+        let slow: Vec<Journey> = journeys.into_iter().filter(|j| j.e2e > sla).collect();
+        Some(
+            journey::slowest(&slow, k)
+                .iter()
+                .map(|j| format!("e2e={}ns attempts={} {}", j.e2e, j.attempts, j.chain()))
+                .collect(),
+        )
     }
 
     /// The auditor's verdict over everything emitted so far: event and

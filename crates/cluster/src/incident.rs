@@ -14,7 +14,7 @@ use rocksteady_common::Nanos;
 use rocksteady_flightrec::{push_escaped, DetectorReading, FlightRecorderConfig};
 use rocksteady_metrics::{deltas_to_json, CounterDelta};
 use rocksteady_profiler::{core_label, Activity, Profiler};
-use rocksteady_trace::Tracer;
+use rocksteady_trace::{journey, Tracer};
 
 /// Schema tag stamped into every bundle.
 pub const INCIDENT_SCHEMA: &str = "rocksteady-incident-v1";
@@ -147,6 +147,20 @@ pub fn build_bundle(cfg: &FlightRecorderConfig, inp: &BundleInputs<'_>) -> Strin
         out.push_str(&tail);
     }
     out.push_str("]}");
+
+    // The trigger window's slowest request journeys: the cross-node
+    // causal chains of the requests this incident actually hurt. The
+    // trace ring is completion-ordered, so the window is a suffix.
+    out.push_str(",\"journeys\":");
+    let journeys_json = inp.trace.with_events(|events| {
+        let from = events.partition_point(|e| e.ts + e.dur < since);
+        let all = journey::reconstruct(&events[from..], inp.trace.dropped());
+        journey::export_json(
+            &journey::slowest(&all, cfg.bundle_journeys),
+            inp.trace.dropped(),
+        )
+    });
+    out.push_str(&journeys_json);
 
     // Causal explain, when the audit layer could produce one. The
     // explain output is itself JSON; embed verbatim.

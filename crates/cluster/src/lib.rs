@@ -42,6 +42,7 @@ pub use rocksteady_rebalancer::{
     PlacementPolicy, ServerLoad, TabletInfo,
 };
 pub use rocksteady_simnet::SchedulerKind;
+pub use rocksteady_trace::journey::{Hop, Journey, JOURNEYS_SCHEMA};
 pub use sampler::{SnapshotLogHandle, UtilPoint, UtilSeries, UtilSeriesHandle};
 pub use slo::{SloHandle, SloMonitor, SloReport};
 pub use watchdog::{IncidentLogHandle, WatchdogActor, WatchdogWiring, TRACE_DROPPED_FAMILY};

@@ -71,6 +71,82 @@ pub type KeyHash = u64;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RpcId(pub u64);
 
+/// Identifies one end-to-end client request across every node it touches.
+///
+/// Minted once by the client that issues the operation (deterministically
+/// from its actor id and per-client operation counter — no wall clock, no
+/// RNG) and inherited by every RPC done on that operation's behalf:
+/// retries keep the original id, and a PriorityPull issued for a waiting
+/// read carries the read's id to the source. `TraceId(0)` means "no
+/// causal context" (control-plane and infrastructure traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The absent trace id carried by un-attributed traffic.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Deterministically derives the trace id for operation `op` of the
+    /// client running as simulation actor `client`. Actor ids are small
+    /// and op counters start at 1, so `(client + 1) << 40 | op` is unique
+    /// cluster-wide and never zero.
+    #[must_use]
+    pub fn mint(client: u64, op: u64) -> TraceId {
+        TraceId(((client + 1) << 40) | (op & 0xff_ffff_ffff))
+    }
+
+    /// Whether this is a real minted id (not [`TraceId::NONE`]).
+    #[must_use]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace-{:x}", self.0)
+    }
+}
+
+/// Dapper-style causal context riding every RPC envelope.
+///
+/// Contributes zero wire bytes in the simulator (it models header slack
+/// inside the fixed message header), so carrying it unconditionally can
+/// never perturb the event schedule — only trace-armed runs *record* it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CausalCtx {
+    /// The journey this RPC belongs to ([`TraceId::NONE`] if unattributed).
+    pub trace_id: TraceId,
+    /// Low 32 bits of the rpc id of the span that caused this one
+    /// (0 when the client mints a fresh context).
+    pub parent_span: u32,
+    /// Causal depth: the client's attempt counter on first issue, and
+    /// +1 for every inherited fan-out (e.g. the PriorityPull issued on
+    /// behalf of a waiting read).
+    pub hop: u32,
+}
+
+impl CausalCtx {
+    /// The empty context carried by control-plane traffic.
+    pub const NONE: CausalCtx = CausalCtx {
+        trace_id: TraceId::NONE,
+        parent_span: 0,
+        hop: 0,
+    };
+
+    /// Derives the context for an RPC issued *on behalf of* the request
+    /// identified by `parent_rpc` carrying `self` — same journey, one
+    /// hop deeper.
+    #[must_use]
+    pub fn child(self, parent_rpc: u64) -> CausalCtx {
+        CausalCtx {
+            trace_id: self.trace_id,
+            parent_span: parent_rpc as u32,
+            hop: self.hop + 1,
+        }
+    }
+}
+
 /// Hashes a primary key to its [`KeyHash`].
 ///
 /// This is a from-scratch implementation of the 64-bit finalizer-strength
@@ -199,5 +275,32 @@ mod tests {
         assert_eq!(TableId(9).to_string(), "table-9");
         assert_eq!(IndexId(2).to_string(), "index-2");
         assert_eq!(MigrationId(7).to_string(), "mig-7");
+        assert_eq!(TraceId(0xab).to_string(), "trace-ab");
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for client in 0..8u64 {
+            for op in 1..=256u64 {
+                let t = TraceId::mint(client, op);
+                assert!(t.is_some(), "minted id must never be NONE");
+                assert!(seen.insert(t), "collision for client {client} op {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn causal_child_keeps_trace_and_deepens() {
+        let root = CausalCtx {
+            trace_id: TraceId::mint(2, 7),
+            parent_span: 0,
+            hop: 1,
+        };
+        let child = root.child(0x1_2345_6789);
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.hop, 2);
+        assert_eq!(child.parent_span, 0x2345_6789);
+        assert_eq!(CausalCtx::NONE.trace_id, TraceId::NONE);
     }
 }

@@ -30,7 +30,9 @@ pub mod zipf;
 pub use cost::CostModel;
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use hist::{Histogram, TimeSeries};
-pub use ids::{key_hash, IndexId, KeyHash, MigrationId, RpcId, ServerId, TableId};
+pub use ids::{
+    key_hash, CausalCtx, IndexId, KeyHash, MigrationId, RpcId, ServerId, TableId, TraceId,
+};
 pub use range::{HashRange, ScanCursor};
 pub use time::{Nanos, MICROSECOND, MILLISECOND, SECOND};
 pub use wire::{SimMessage, WireSized};

@@ -188,6 +188,9 @@ pub struct FlightRecorderConfig {
     pub bundle_trace_window_ns: Nanos,
     /// How many trailing audit events the bundle embeds.
     pub audit_tail_events: usize,
+    /// How many of the trigger window's slowest request journeys the
+    /// bundle embeds (full cross-node causal chains, slowest first).
+    pub bundle_journeys: usize,
     /// Global incident cooldown: after a bundle is exported, no further
     /// bundle (from any detector) until this much virtual time passes —
     /// one incident produces one bundle.
@@ -208,6 +211,7 @@ impl Default for FlightRecorderConfig {
             audit_capacity: None,
             bundle_trace_window_ns: 50 * rocksteady_common::MILLISECOND,
             audit_tail_events: 64,
+            bundle_journeys: 3,
             incident_cooldown_ns: SECOND,
             detector_cooldown_ns: SECOND,
             detectors: DetectorConfig::default(),

@@ -9,7 +9,7 @@
 use bytes::Bytes;
 use rocksteady_common::ids::IndexId;
 use rocksteady_common::{
-    HashRange, KeyHash, MigrationId, Nanos, RpcId, ScanCursor, ServerId, TableId,
+    CausalCtx, HashRange, KeyHash, MigrationId, Nanos, RpcId, ScanCursor, ServerId, TableId,
 };
 
 use crate::record::{batch_wire_size, Record};
@@ -549,6 +549,13 @@ pub struct Envelope {
     /// is the NIC serialization + queueing delay, which the profiler's
     /// critical-path analysis separates from propagation.
     pub departed_at: Nanos,
+    /// Dapper-style causal context: the journey this message belongs to.
+    /// Rides every envelope unconditionally (requests carry the issuing
+    /// operation's context, responses echo their request's) but models
+    /// header slack — it contributes zero wire bytes, so carrying it can
+    /// never change the event schedule. [`CausalCtx::NONE`] for
+    /// control-plane and infrastructure traffic.
+    pub ctx: CausalCtx,
 }
 
 impl Envelope {
@@ -559,6 +566,7 @@ impl Envelope {
             body: Body::Req(request),
             sent_at: 0,
             departed_at: 0,
+            ctx: CausalCtx::NONE,
         }
     }
 
@@ -569,7 +577,17 @@ impl Envelope {
             body: Body::Resp(response),
             sent_at: 0,
             departed_at: 0,
+            ctx: CausalCtx::NONE,
         }
+    }
+
+    /// Attaches a causal context (builder-style, for the data-path call
+    /// sites that have one; everything else defaults to
+    /// [`CausalCtx::NONE`]).
+    #[must_use]
+    pub fn with_ctx(mut self, ctx: CausalCtx) -> Self {
+        self.ctx = ctx;
+        self
     }
 
     /// Total bytes on the wire.
@@ -669,5 +687,19 @@ mod tests {
         assert_eq!(env.wire_size(), MSG_HEADER_BYTES + 32);
         let env = Envelope::resp(RpcId(9), Response::Ok);
         assert_eq!(env.wire_size(), MSG_HEADER_BYTES + 16);
+    }
+
+    #[test]
+    fn causal_ctx_rides_free_of_wire_bytes() {
+        use rocksteady_common::TraceId;
+        let bare = Envelope::req(RpcId(1), Request::GetTabletMap);
+        let ctxed = Envelope::req(RpcId(1), Request::GetTabletMap).with_ctx(CausalCtx {
+            trace_id: TraceId::mint(3, 42),
+            parent_span: 0,
+            hop: 1,
+        });
+        assert_eq!(bare.wire_size(), ctxed.wire_size());
+        assert_eq!(bare.ctx, CausalCtx::NONE);
+        assert!(ctxed.ctx.trace_id.is_some());
     }
 }

@@ -24,7 +24,7 @@ use rocksteady::{
 };
 use rocksteady_audit::{AuditKind, AuditSink, ReleaseVia};
 use rocksteady_backup::BackupService;
-use rocksteady_common::{KeyHash, MigrationId, Nanos, RpcId, ServerId, TableId};
+use rocksteady_common::{CausalCtx, KeyHash, MigrationId, Nanos, RpcId, ServerId, TableId};
 use rocksteady_logstore::SideLog;
 use rocksteady_master::{MasterService, OpError, ReplayDest, TabletRole, Work};
 use rocksteady_profiler::{Activity, Profiler};
@@ -61,6 +61,10 @@ enum Task {
         src: ActorId,
         rpc: RpcId,
         req: Request,
+        /// Causal context the request arrived with; inherited by any
+        /// RPC this task issues on the requester's behalf (e.g. the
+        /// PriorityPull a read miss spawns) and echoed on the response.
+        cctx: CausalCtx,
     },
     /// One baseline-migration scan step (source).
     BaselineStep,
@@ -108,6 +112,10 @@ struct WorkerState {
     /// Open activity-ledger charge for the task on this core:
     /// (activity, start). `Some` only while the profiler is armed.
     ledger_op: Option<(Activity, Nanos)>,
+    /// Causal context of the RPC currently on this core
+    /// ([`CausalCtx::NONE`] for system tasks); [`ServerNode::defer_send`]
+    /// echoes it on the response envelope.
+    cur_ctx: CausalCtx,
 }
 
 /// What an outstanding outbound RPC means to us.
@@ -148,6 +156,8 @@ struct SyncWait {
     table: TableId,
     hash: KeyHash,
     key: Bytes,
+    /// The blocked read's causal context, echoed on its response.
+    cctx: CausalCtx,
 }
 
 /// A group of replication acks someone waits on.
@@ -177,6 +187,11 @@ struct MigrationRun {
     pull_span_start: FxHashMap<u64, (Nanos, usize)>,
     /// Outstanding PriorityPull rpc → (send time, batch size).
     pp_span_start: FxHashMap<u64, (Nanos, u64)>,
+    /// Causal context of the waiting read that asked for each hash, so
+    /// the batched PriorityPull that eventually covers it inherits the
+    /// read's trace id (first hash in batch order wins as the batch's
+    /// representative — deterministic, no clock, no RNG).
+    pp_ctx: FxHashMap<KeyHash, CausalCtx>,
 }
 
 struct BaselineRun {
@@ -219,6 +234,9 @@ struct RpcSpan {
     /// NIC serialization + queueing delay of the inbound request
     /// (`departed_at - sent_at`, stamped by the kernel).
     nic_in: Nanos,
+    /// Causal context the request carried; stamped as `trace`/`hop`
+    /// args on the decomposition instant so journeys can be stitched.
+    cctx: CausalCtx,
 }
 
 /// Arrival stamps of an inbound request, captured once on the dispatch
@@ -231,6 +249,8 @@ struct InStamps {
     arrived: Nanos,
     /// Inbound NIC serialization + queueing (`departed_at - sent_at`).
     nic_in: Nanos,
+    /// Causal context the request envelope carried.
+    cctx: CausalCtx,
 }
 
 /// Wall-clock anchors of the in-progress migration's trace spans.
@@ -474,6 +494,23 @@ impl ServerNode {
         self.send(ctx, dst, Envelope::resp(rpc, resp));
     }
 
+    /// Like [`Self::respond`], but echoes the request's causal context
+    /// on the response envelope (used where the worker's current-task
+    /// context is not in scope, e.g. the sync PriorityPull completion).
+    fn respond_ctx(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope>,
+        dst: ActorId,
+        rpc: RpcId,
+        resp: Response,
+        cctx: CausalCtx,
+    ) {
+        if self.trace.is_on() {
+            self.finalize_rpc_span(ctx.now(), ctx.self_id(), dst, rpc);
+        }
+        self.send(ctx, dst, Envelope::resp(rpc, resp).with_ctx(cctx));
+    }
+
     /// Emits the per-RPC latency-decomposition instant when a response
     /// is handed to the NIC. The four server-side segments telescope:
     /// `net_in + queue + service + hold = resp_sent − sent_at`, so a
@@ -489,27 +526,41 @@ impl ServerNode {
         // A hold can be cut short by a failover arriving mid-service;
         // saturate rather than underflow in that corner.
         let service_end = span.service_end.min(now);
-        self.trace.instant(
-            span.name,
-            "rpc",
-            self_id as u64,
-            lanes::RPC,
-            now,
-            vec![
-                ("src", dst as u64),
-                ("rpc", rpc.0),
-                ("sent_at", span.sent_at),
-                ("arrived", span.arrived),
-                ("assigned", span.assigned),
-                ("service_end", service_end),
-                ("resp_sent", now),
-                ("net_in", span.arrived - span.sent_at),
-                ("nic_in", span.nic_in),
-                ("queue", span.assigned - span.arrived),
-                ("service", service_end - span.assigned),
-                ("hold", now - service_end),
-            ],
-        );
+        let mut args = vec![
+            ("src", dst as u64),
+            ("rpc", rpc.0),
+            ("sent_at", span.sent_at),
+            ("arrived", span.arrived),
+            ("assigned", span.assigned),
+            ("service_end", service_end),
+            ("resp_sent", now),
+            ("net_in", span.arrived - span.sent_at),
+            ("nic_in", span.nic_in),
+            ("queue", span.assigned - span.arrived),
+            ("service", service_end - span.assigned),
+            ("hold", now - service_end),
+        ];
+        if span.cctx.trace_id.is_some() {
+            args.push(("trace", span.cctx.trace_id.0));
+            args.push(("hop", span.cctx.hop as u64));
+        }
+        self.trace
+            .instant(span.name, "rpc", self_id as u64, lanes::RPC, now, args);
+        // Close the flow edge the requester opened at send time: the
+        // arrow ties the client's (or PriorityPull issuer's) lane to
+        // this server's decomposition instant in the chrome view.
+        if span.cctx.trace_id.is_some() {
+            self.trace.flow(
+                "rpc-flow",
+                "flow",
+                self_id as u64,
+                lanes::RPC,
+                now,
+                false,
+                span.cctx.trace_id.0 ^ rpc.0,
+                vec![("trace", span.cctx.trace_id.0)],
+            );
+        }
     }
 
     /// The one place retry hints are computed (satellite: previously
@@ -562,6 +613,7 @@ impl ServerNode {
             sent_at: env.sent_at,
             arrived,
             nic_in: env.departed_at.saturating_sub(env.sent_at),
+            cctx: env.ctx,
         };
         match env.body {
             Body::Req(req) => self.on_request(ctx, src, env.rpc, req, stamps),
@@ -711,6 +763,7 @@ impl ServerNode {
                     mig_trace,
                     pull_span_start: FxHashMap::default(),
                     pp_span_start: FxHashMap::default(),
+                    pp_ctx: FxHashMap::default(),
                 });
                 self.run_migration_actions(ctx, id, vec![first]);
             }
@@ -841,6 +894,7 @@ impl ServerNode {
                             assigned: 0,
                             service_end: 0,
                             nic_in: stamps.nic_in,
+                            cctx: stamps.cctx,
                         },
                     );
                 }
@@ -849,6 +903,7 @@ impl ServerNode {
                     src,
                     rpc,
                     req: other,
+                    cctx: stamps.cctx,
                 });
             }
         }
@@ -1167,7 +1222,7 @@ impl ServerNode {
         };
         let span_key = if self.trace.is_on() {
             match &task {
-                Task::Rpc { src, rpc, req } => Some((req.name(), Some((*src, rpc.0)))),
+                Task::Rpc { src, rpc, req, .. } => Some((req.name(), Some((*src, rpc.0)))),
                 Task::BaselineStep => Some(("baseline-step", None)),
                 Task::RecoveryReplay { .. } => Some(("recovery-replay", None)),
                 Task::CleanerPass => Some(("cleaner", None)),
@@ -1176,7 +1231,15 @@ impl ServerNode {
             None
         };
         let service_ns = match task {
-            Task::Rpc { src, rpc, req } => self.exec_rpc(ctx, worker, src, rpc, req),
+            Task::Rpc {
+                src,
+                rpc,
+                req,
+                cctx,
+            } => {
+                self.workers[worker].cur_ctx = cctx;
+                self.exec_rpc(ctx, worker, src, rpc, req, cctx)
+            }
             Task::BaselineStep => self.exec_baseline_step(ctx, worker),
             Task::RecoveryReplay { recovery } => {
                 self.exec_recovery_replay(ctx.now(), worker, recovery)
@@ -1437,6 +1500,7 @@ impl ServerNode {
         src: ActorId,
         rpc: RpcId,
         req: Request,
+        cctx: CausalCtx,
     ) -> Nanos {
         let m = self.cfg.cost.clone();
         let mut work = Work::default();
@@ -1463,6 +1527,7 @@ impl ServerNode {
                             key_hash,
                             err,
                             service + work.service_ns(&m),
+                            cctx,
                         );
                     }
                 }
@@ -1743,6 +1808,7 @@ impl ServerNode {
         _key_hash: KeyHash,
         err: OpError,
         service: Nanos,
+        cctx: CausalCtx,
     ) -> Nanos {
         match err {
             OpError::NotYetHere { hash } => {
@@ -1769,8 +1835,24 @@ impl ServerNode {
                                 table,
                                 hash,
                                 key,
+                                cctx,
                             }),
                         );
+                        // The pull is issued on the blocked read's
+                        // behalf: same trace id, one hop deeper.
+                        let pp_ctx = cctx.child(rpc.0);
+                        if self.trace.is_on() && pp_ctx.trace_id.is_some() {
+                            self.trace.flow(
+                                "rpc-flow",
+                                "flow",
+                                ctx.self_id() as u64,
+                                lanes::PRIORITY_PULL,
+                                ctx.now(),
+                                true,
+                                pp_ctx.trace_id.0 ^ pp.0,
+                                vec![("trace", pp_ctx.trace_id.0)],
+                            );
+                        }
                         self.send(
                             ctx,
                             source_actor,
@@ -1780,13 +1862,23 @@ impl ServerNode {
                                     table,
                                     hashes: vec![hash],
                                 },
-                            ),
+                            )
+                            .with_ctx(pp_ctx),
                         );
                         return service;
                     }
                 }
                 let outcome = match covering.and_then(|(id, _)| self.run_mut(id)) {
-                    Some(run) => run.mgr.on_read_miss(hash),
+                    Some(run) => {
+                        let outcome = run.mgr.on_read_miss(hash);
+                        // Remember who asked: the batched PriorityPull
+                        // that eventually covers this hash inherits the
+                        // waiting read's context (first waiter wins).
+                        if matches!(outcome, MissOutcome::Wait) && cctx.trace_id.is_some() {
+                            run.pp_ctx.entry(hash).or_insert(cctx.child(rpc.0));
+                        }
+                        outcome
+                    }
                     None => MissOutcome::Wait,
                 };
                 let resp = match outcome {
@@ -1871,7 +1963,7 @@ impl ServerNode {
             Ok((value, version)) => Response::ReadOk { value, version },
             Err(_) => Response::Err(Status::NotFound),
         };
-        self.respond(ctx, wait.client, wait.client_rpc, resp);
+        self.respond_ctx(ctx, wait.client, wait.client_rpc, resp, wait.cctx);
         self.release_worker(ctx, wait.worker);
     }
 
@@ -1978,6 +2070,21 @@ impl ServerNode {
                         let run = &self.migrations[idx];
                         (run.mgr.table, run.source_actor)
                     };
+                    // The batch is issued on behalf of the reads waiting
+                    // on its hashes; the first hash (batch order) with a
+                    // recorded context represents the batch so the
+                    // source-side span joins that read's journey.
+                    let mut pp_ctx = CausalCtx::NONE;
+                    {
+                        let run = &mut self.migrations[idx];
+                        for h in &hashes {
+                            if let Some(c) = run.pp_ctx.remove(h) {
+                                if !pp_ctx.trace_id.is_some() {
+                                    pp_ctx = c;
+                                }
+                            }
+                        }
+                    }
                     let req = Request::PriorityPull {
                         table,
                         hashes: hashes.clone(),
@@ -1988,8 +2095,20 @@ impl ServerNode {
                         self.migrations[idx]
                             .pp_span_start
                             .insert(rpc.0, (ctx.now(), batch));
+                        if pp_ctx.trace_id.is_some() {
+                            self.trace.flow(
+                                "rpc-flow",
+                                "flow",
+                                ctx.self_id() as u64,
+                                lanes::PRIORITY_PULL,
+                                ctx.now(),
+                                true,
+                                pp_ctx.trace_id.0 ^ rpc.0,
+                                vec![("trace", pp_ctx.trace_id.0)],
+                            );
+                        }
                     }
-                    self.send(ctx, dst, Envelope::req(rpc, req));
+                    self.send(ctx, dst, Envelope::req(rpc, req).with_ctx(pp_ctx));
                 }
                 Action::Replay(batch) => {
                     if self.cfg.migration.test_defer_replay {
@@ -2560,9 +2679,11 @@ impl ServerNode {
     }
 
     fn defer_send(&mut self, worker: usize, dst: ActorId, rpc: RpcId, resp: Response) {
-        self.workers[worker]
-            .deferred
-            .push(Deferred::Send(dst, Envelope::resp(rpc, resp)));
+        let cctx = self.workers[worker].cur_ctx;
+        self.workers[worker].deferred.push(Deferred::Send(
+            dst,
+            Envelope::resp(rpc, resp).with_ctx(cctx),
+        ));
     }
 }
 

@@ -38,6 +38,8 @@ use std::rc::Rc;
 
 use rocksteady_common::{Histogram, Nanos};
 
+pub mod journey;
+
 /// The lane-ID (`tid`) convention shared by every producer and consumer
 /// of the trace buffer.
 ///
@@ -92,6 +94,14 @@ pub enum Phase {
     Instant,
     /// Counter sample (`"C"`): a monotonic value.
     Counter,
+    /// Flow start (`"s"`): the producing end of a causal link. Carries
+    /// the journey's trace id in the `flow` arg (exported as the chrome
+    /// flow `id`), so per-RPC instants on different nodes chain into one
+    /// cross-node causal graph.
+    FlowStart,
+    /// Flow end (`"f"`): the consuming end of a causal link (same `flow`
+    /// arg convention as [`Phase::FlowStart`]).
+    FlowEnd,
 }
 
 /// One recorded event. All names are `&'static str` so recording never
@@ -279,6 +289,41 @@ impl Tracer {
         });
     }
 
+    /// Records one end of a causal flow link at `ts` (the current
+    /// virtual time, keeping the buffer completion-ordered). `start`
+    /// selects [`Phase::FlowStart`] (the cause: a request leaving its
+    /// sender) vs [`Phase::FlowEnd`] (the effect: the answering node
+    /// finishing it); `flow_id` is the journey's trace id and binds the
+    /// two ends together in chrome://tracing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn flow(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        pid: u64,
+        tid: u64,
+        ts: Nanos,
+        start: bool,
+        flow_id: u64,
+        mut args: Vec<(&'static str, u64)>,
+    ) {
+        args.insert(0, ("flow", flow_id));
+        self.push(TraceEvent {
+            name,
+            cat,
+            ph: if start {
+                Phase::FlowStart
+            } else {
+                Phase::FlowEnd
+            },
+            ts,
+            dur: 0,
+            pid,
+            tid,
+            args,
+        });
+    }
+
     /// Records a counter sample: `name` has `value` as of `ts`.
     pub fn counter(&self, name: &'static str, pid: u64, ts: Nanos, value: u64) {
         self.push(TraceEvent {
@@ -376,6 +421,8 @@ impl Tracer {
                 Phase::Span => "X",
                 Phase::Instant => "i",
                 Phase::Counter => "C",
+                Phase::FlowStart => "s",
+                Phase::FlowEnd => "f",
             });
             out.push_str("\",\"ts\":");
             push_us(&mut out, ev.ts);
@@ -385,6 +432,15 @@ impl Tracer {
             }
             if ev.ph == Phase::Instant {
                 out.push_str(",\"s\":\"t\"");
+            }
+            if matches!(ev.ph, Phase::FlowStart | Phase::FlowEnd) {
+                // Chrome flow events bind by top-level id; the journey's
+                // trace id is recorded as the leading `flow` arg.
+                out.push_str(",\"id\":");
+                out.push_str(&ev.arg("flow").unwrap_or(0).to_string());
+                if ev.ph == Phase::FlowEnd {
+                    out.push_str(",\"bp\":\"e\"");
+                }
             }
             out.push_str(",\"pid\":");
             out.push_str(&ev.pid.to_string());
@@ -621,6 +677,22 @@ mod tests {
         assert_eq!(t.capacity(), None);
         assert_eq!(t.dropped(), 0);
         assert_eq!(Tracer::off().capacity(), None);
+    }
+
+    #[test]
+    fn flow_events_export_chrome_phases_and_ids() {
+        let t = Tracer::armed();
+        t.flow("journey", "flow", 7, 0, 100, true, 0xbeef, vec![("hop", 1)]);
+        t.flow("journey", "flow", 3, 0, 250, false, 0xbeef, vec![]);
+        let json = t.export_chrome_json();
+        assert!(json.contains("\"ph\":\"s\""), "{json}");
+        assert!(json.contains("\"ph\":\"f\""), "{json}");
+        assert!(json.contains("\"id\":48879"), "{json}");
+        assert!(json.contains("\"bp\":\"e\""), "{json}");
+        // Zero-duration flow events keep the buffer valid and are not
+        // subject to span nesting.
+        t.span("svc", "worker", 7, 1, 0, 300, vec![]);
+        t.validate().expect("flow events must not break validation");
     }
 
     #[test]

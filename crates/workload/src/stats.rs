@@ -37,6 +37,11 @@ pub struct ClientStats {
     pub not_found: Counter,
     /// `Retry` responses received (reads racing migration, §3.3).
     pub retries: Counter,
+    /// Read RPC *attempts* issued (first issues plus every retry and
+    /// re-route). Latency histograms count each operation exactly once,
+    /// first-issue → final-success; this counter is where the extra
+    /// attempts show up, so `read_attempts − reads` = retry volume.
+    pub read_attempts: Counter,
     /// Map refreshes triggered by `UnknownTablet`.
     pub map_refreshes: Counter,
     /// RPCs that timed out and were re-issued.
@@ -59,6 +64,7 @@ impl ClientStats {
             write_hist: Histo::default(),
             not_found: Counter::default(),
             retries: Counter::default(),
+            read_attempts: Counter::default(),
             map_refreshes: Counter::default(),
             timeouts: Counter::default(),
             confirmed_writes: Vec::new(),
@@ -82,6 +88,11 @@ impl ClientStats {
             ),
             not_found: reg.counter("client_not_found", "operations that ended in NotFound", &l),
             retries: reg.counter(CLIENT_RETRIES_FAMILY, "Retry responses received", &l),
+            read_attempts: reg.counter(
+                "client_read_attempts_total",
+                "read RPC attempts issued (first issues + retries)",
+                &l,
+            ),
             map_refreshes: reg.counter(
                 "client_map_refreshes",
                 "map refreshes triggered by UnknownTablet",

@@ -13,7 +13,7 @@ use rocksteady_audit::{AuditKind, AuditSink};
 use rocksteady_common::rng::Prng;
 use rocksteady_common::zipf::{KeyDist, KeySampler};
 use rocksteady_common::FxHashMap;
-use rocksteady_common::{key_hash, KeyHash, Nanos, RpcId, TableId};
+use rocksteady_common::{key_hash, CausalCtx, KeyHash, Nanos, RpcId, TableId, TraceId};
 use rocksteady_proto::{Body, Envelope, Request, Response, Status};
 use rocksteady_simnet::{Actor, Ctx, Directory, Event};
 use rocksteady_trace::Tracer;
@@ -98,6 +98,10 @@ struct Op {
     rpc: Option<RpcId>,
     /// Retry attempts so far (drives exponential back-off).
     retries: u32,
+    /// RPC attempts issued for this operation (first issue = 1). Also
+    /// the `hop` stamped into the attempt's [`CausalCtx`], so journey
+    /// reconstruction can order attempts without trusting timestamps.
+    attempts: u32,
 }
 
 /// The YCSB client actor.
@@ -221,6 +225,7 @@ impl YcsbClient {
                     issued: 0,
                     rpc: None,
                     retries: 0,
+                    attempts: 0,
                 },
             );
             self.issue(ctx, id);
@@ -259,6 +264,8 @@ impl YcsbClient {
             self.core.request_map(ctx);
             return;
         };
+        let kind = op.kind;
+        let attempt = op.attempts + 1;
         let req = match op.kind {
             OpKind::Read => Request::Read {
                 table: self.cfg.table,
@@ -274,11 +281,36 @@ impl YcsbClient {
         };
         let rpc = self.core.alloc_rpc();
         let dst = self.core.actor_of(owner);
-        ctx.send(dst, Envelope::req(rpc, req));
+        // Every attempt of one operation carries the same minted trace
+        // id; the hop field is the attempt number, so downstream spans
+        // (and the PriorityPull a read miss spawns) chain back to the
+        // exact attempt that caused them.
+        let cctx = CausalCtx {
+            trace_id: TraceId::mint(ctx.self_id() as u64, op_id),
+            parent_span: 0,
+            hop: attempt,
+        };
+        if self.trace.is_on() {
+            self.trace.flow(
+                "rpc-flow",
+                "flow",
+                ctx.self_id() as u64,
+                0,
+                ctx.now(),
+                true,
+                cctx.trace_id.0 ^ rpc.0,
+                vec![("trace", cctx.trace_id.0), ("attempt", attempt as u64)],
+            );
+        }
+        ctx.send(dst, Envelope::req(rpc, req).with_ctx(cctx));
         self.rpc_to_op.insert(rpc, op_id);
         let op = self.ops.get_mut(&op_id).expect("checked above");
         op.rpc = Some(rpc);
         op.issued = ctx.now();
+        op.attempts = attempt;
+        if kind == OpKind::Read {
+            self.stats.borrow_mut().read_attempts.inc();
+        }
         ctx.timer(self.cfg.rpc_timeout, (op_id << 8) | TOK_TIMEOUT);
     }
 
@@ -408,6 +440,18 @@ impl YcsbClient {
     }
 }
 
+/// Maps a response to the journey status code recorded on `rpc-client`
+/// attempt instants (see `rocksteady_trace::journey::status`).
+fn status_code(resp: &Response) -> u64 {
+    match resp {
+        Response::Err(Status::Retry { .. }) => 1,
+        Response::Err(Status::UnknownTablet) => 2,
+        Response::Err(Status::NotFound) => 3,
+        Response::Err(_) => 4,
+        _ => 0,
+    }
+}
+
 impl Actor<Envelope> for YcsbClient {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
@@ -449,6 +493,9 @@ impl Actor<Envelope> for YcsbClient {
                                     ("issued", op.issued),
                                     ("completed", now),
                                     ("e2e", now - op.issued),
+                                    ("trace", TraceId::mint(ctx.self_id() as u64, op_id).0),
+                                    ("attempt", op.attempts as u64),
+                                    ("status", status_code(&resp)),
                                 ],
                             );
                         }

@@ -33,7 +33,8 @@ fn main() {
     };
 
     // 1. Declare the cluster: 3 servers, 4 worker cores each, 2 backups
-    //    per master, plus one YCSB-B client offering 20k ops/s. Tracing
+    //    per master, plus one YCSB-B client offering 100k ops/s — hot
+    //    enough that reads race the migration's ownership flip. Tracing
     //    is on: every RPC and migration phase lands in a deterministic
     //    chrome://tracing timeline.
     let mut builder = ClusterBuilder::new(ClusterConfig {
@@ -55,7 +56,7 @@ fn main() {
         ..ClusterConfig::default()
     });
     let dir = builder.directory();
-    builder.add_ycsb(YcsbConfig::ycsb_b(dir, table, keys, 20_000.0));
+    builder.add_ycsb(YcsbConfig::ycsb_b(dir, table, keys, 100_000.0));
 
     // 2. Script a Rocksteady migration: at t = 50 ms, move the upper half
     //    of the table from server 0 to server 1 (§3 of the paper —
@@ -222,7 +223,29 @@ fn main() {
         blame.dominant().unwrap_or("none"),
     );
 
-    // 12. Audit. The protocol auditor watched every ownership edit,
+    // 12. Journeys: causal request tracing. Every client operation's
+    //     cross-node story — each attempt it took, the per-server
+    //     net/queue/service/hold decomposition each attempt caused, and
+    //     any PriorityPull a waiting read spawned — reconstructed from
+    //     the trace under one trace id, telescoping in integer
+    //     nanoseconds to the client-measured latency.
+    let journeys = cluster.journeys();
+    let telescoped = journeys.iter().filter(|j| j.telescoped).count();
+    let crossed = journeys.iter().filter(|j| j.crossed_migration()).count();
+    let journeys_path = "target/quickstart-journeys.json";
+    std::fs::write(journeys_path, cluster.export_journeys_json()).expect("write journeys");
+    println!(
+        "journeys: {} reconstructed ({telescoped} telescope exactly, \
+         {crossed} crossed the migration) -> {journeys_path}",
+        journeys.len(),
+    );
+    if let Some(chains) = cluster.tail_blame_chains(1) {
+        if let Some(worst) = chains.first() {
+            println!("slowest journey: {worst}");
+        }
+    }
+
+    // 13. Audit. The protocol auditor watched every ownership edit,
     //     lineage add/drop, version-floor raise, pull, and replay, and
     //     checked the Rocksteady invariants online: single authoritative
     //     owner (modulo the dual-serving window), monotone version
@@ -250,7 +273,7 @@ fn main() {
         .expect("audited migration");
     println!("explain: {story}");
 
-    // 13. Why did the SLO burn? When the monitor counted breach
+    // 14. Why did the SLO burn? When the monitor counted breach
     //     intervals, ask the auditor to rank the causes active during
     //     the run — the top suspect is (of course) the migration.
     if slo.breach_intervals > 0 {
@@ -259,7 +282,7 @@ fn main() {
         }
     }
 
-    // 14. The flight recorder. Its watchdog evaluated five anomaly
+    // 15. The flight recorder. Its watchdog evaluated five anomaly
     //     detectors (migration stall, replay backlog, SLO burn,
     //     dispatch overcommit, lineage age) on every sampling interval
     //     of this run — a healthy migration trips none of them. Run

@@ -13,7 +13,8 @@ use rocksteady_common::{MigrationId, ServerId, MILLISECOND};
 use rocksteady_simnet::SchedulerKind;
 use rocksteady_workload::YcsbConfig;
 
-fn digest(seed: u64) -> (u64, u64, u64, u64, u64, String, String) {
+#[allow(clippy::type_complexity)]
+fn digest(seed: u64) -> (u64, u64, u64, u64, u64, String, String, String) {
     let mut cfg = common::test_config();
     cfg.seed = seed;
     cfg.tracing = true;
@@ -48,6 +49,7 @@ fn digest(seed: u64) -> (u64, u64, u64, u64, u64, String, String) {
         replayed,
         cluster.export_folded(),
         cluster.export_audit_json(),
+        cluster.export_journeys_json(),
     )
 }
 
@@ -60,7 +62,7 @@ fn identical_seeds_identical_traces() {
 /// Full-experiment digest under an explicit scheduler: event count plus
 /// the byte-exact trace, profiler, and audit exports the swap must
 /// preserve.
-fn sched_digest(kind: SchedulerKind) -> (u64, String, String, String) {
+fn sched_digest(kind: SchedulerKind) -> (u64, String, String, String, String) {
     let mut cfg = common::test_config();
     cfg.seed = 1234;
     cfg.tracing = true;
@@ -89,6 +91,7 @@ fn sched_digest(kind: SchedulerKind) -> (u64, String, String, String) {
         cluster.export_trace_json(),
         cluster.export_folded(),
         cluster.export_audit_json(),
+        cluster.export_journeys_json(),
     )
 }
 
@@ -104,6 +107,7 @@ fn scheduler_swap_is_byte_identical() {
     assert_eq!(cal.1, heap.1, "trace export diverged across schedulers");
     assert_eq!(cal.2, heap.2, "folded profile diverged across schedulers");
     assert_eq!(cal.3, heap.3, "audit export diverged across schedulers");
+    assert_eq!(cal.4, heap.4, "journeys export diverged across schedulers");
 }
 
 /// Equal-deadline events must be delivered in push (FIFO) order, on both
